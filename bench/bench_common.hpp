@@ -1,0 +1,51 @@
+// Shared helpers for the experiment harness. Every bench binary prints
+// paper-style series as aligned tables (and mirrors them to CSV under
+// bench_out/ when writable), then a log-log power fit of the measured
+// simulated mesh time against the problem size, so EXPERIMENTS.md can quote
+// "claimed exponent vs measured exponent" directly.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace meshsearch::bench {
+
+inline void section(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+inline void emit(const util::Table& t, const std::string& csv_name) {
+  t.print(std::cout);
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  if (!ec) {
+    try {
+      t.write_csv_file("bench_out/" + csv_name + ".csv");
+    } catch (const std::exception&) {
+      // CSV mirroring is best-effort (read-only working directories).
+    }
+  }
+}
+
+inline void report_fit(const std::string& label,
+                       const std::vector<double>& xs,
+                       const std::vector<double>& ys,
+                       double claimed_exponent) {
+  const auto fit = util::fit_power(xs, ys);
+  std::cout << label << ": measured exponent " << fit.exponent
+            << " (claimed " << claimed_exponent << ", r2 " << fit.r2 << ")\n";
+}
+
+/// Standard problem-size sweep: mesh sizes 2^lo .. 2^hi.
+inline std::vector<std::size_t> pow2_sweep(unsigned lo, unsigned hi) {
+  std::vector<std::size_t> out;
+  for (unsigned e = lo; e <= hi; ++e) out.push_back(std::size_t{1} << e);
+  return out;
+}
+
+}  // namespace meshsearch::bench

@@ -1,0 +1,112 @@
+// E1 / E1b — Theorem 2 and Lemma 1.
+//
+// Claim (Theorem 2): the multisearch problem for n queries on a
+// hierarchical DAG of size n solves in O(sqrt n) mesh time. We sweep n,
+// run Algorithm 1 with the hash-walk program (every query walks root to a
+// leaf, r = h+1 = Theta(log n)), and fit the growth exponent of simulated
+// steps vs mesh size — expected ~0.5. The synchronous [DR90]-style baseline
+// pays Theta(r sqrt n) = Theta(sqrt(n) log n): same 0.5 exponent but a
+// log-factor larger and a measured hier/sync ratio that keeps improving
+// with n.
+//
+// Claim (Lemma 1): solving band B_i costs O(sqrt(|B_i|) * log^{(i+1)} h)
+// inside its submesh. The band report prints measured vs bound per band.
+#include "bench_common.hpp"
+#include "datastruct/workloads.hpp"
+#include "multisearch/hierarchical.hpp"
+#include "multisearch/query.hpp"
+#include "multisearch/synchronous.hpp"
+#include "util/rng.hpp"
+
+using namespace meshsearch;
+using namespace meshsearch::msearch;
+
+namespace {
+
+void sweep(double mu, unsigned fanout, unsigned lo, unsigned hi) {
+  bench::section("E1: Theorem 2 sweep (mu=" + std::to_string(mu) + ")");
+  util::Table t({"n(mesh)", "h", "bands", "paper steps", "geom steps",
+                 "sync steps", "sync/paper", "paper/sqrt(n)"});
+  std::vector<double> ns, hier_steps, geom_steps, sync_steps;
+  util::Rng rng(7);
+  for (const auto n : bench::pow2_sweep(lo, hi)) {
+    const auto g = ds::build_hierarchical_dag(n, mu, fanout, rng);
+    const HierarchicalDag dag(g, mu);
+    const auto shape = g.shape_for(g.vertex_count());
+    const mesh::CostModel m;
+    auto qs = make_queries(g.vertex_count());
+    util::Rng qrng(n);
+    for (auto& q : qs)
+      q.key[0] = static_cast<std::int64_t>(qrng.uniform(1ull << 40));
+
+    auto qh = qs;
+    const ds::HashWalk prog{0};
+    const auto hier = hierarchical_multisearch(dag, prog, qh, m, shape);
+    auto qg = qs;
+    const auto geom = hierarchical_multisearch(dag, prog, qg, m, shape,
+                                               PlanKind::kGeometric);
+    auto qsyn = qs;
+    reset_queries(qsyn);
+    const auto sync = synchronous_multisearch(g, prog, qsyn, m, shape);
+
+    const double p = static_cast<double>(shape.size());
+    const auto plan = make_hierarchical_plan(dag, shape);
+    t.add_row({static_cast<std::int64_t>(shape.size()),
+               static_cast<std::int64_t>(dag.height()),
+               static_cast<std::int64_t>(plan.bands.size()), hier.cost.steps,
+               geom.cost.steps, sync.cost.steps,
+               sync.cost.steps / hier.cost.steps,
+               hier.cost.steps / std::sqrt(p)});
+    ns.push_back(p);
+    hier_steps.push_back(hier.cost.steps);
+    geom_steps.push_back(geom.cost.steps);
+    sync_steps.push_back(sync.cost.steps);
+  }
+  bench::emit(t, "e1_mu" + std::to_string(static_cast<int>(mu)));
+  bench::report_fit("E1 Algorithm 1, paper plan (claim O(sqrt n))", ns,
+                    hier_steps, 0.5);
+  bench::report_fit("E1 Algorithm 1, geometric plan (claim O(sqrt n))", ns,
+                    geom_steps, 0.5);
+  bench::report_fit("E1 synchronous baseline (O(sqrt n log n))", ns,
+                    sync_steps, 0.5);
+}
+
+void band_report(std::size_t n, double mu) {
+  bench::section("E1b: Lemma 1 band breakdown (n~" + std::to_string(n) + ")");
+  util::Rng rng(9);
+  const auto g = ds::build_hierarchical_dag(n, mu, 3, rng);
+  const HierarchicalDag dag(g, mu);
+  const auto shape = g.shape_for(g.vertex_count());
+  const mesh::CostModel m;
+  const auto plan = make_hierarchical_plan(dag, shape);
+  const auto cost = hierarchical_cost(dag, plan, shape, m);
+  util::Table t({"band", "levels", "|B_i|", "grid", "setup steps",
+                 "solve steps", "lemma1 bound", "solve/bound"});
+  for (std::size_t i = 0; i < cost.bands.size(); ++i) {
+    const auto& b = cost.bands[i];
+    t.add_row({static_cast<std::int64_t>(i),
+               std::to_string(b.lo) + ".." + std::to_string(b.hi),
+               static_cast<std::int64_t>(b.vertices),
+               static_cast<std::int64_t>(b.grid), b.setup_steps, b.solve_steps,
+               b.lemma1_bound, b.solve_steps / b.lemma1_bound});
+  }
+  t.add_row({std::string("B*"),
+             std::to_string(plan.bstar_lo) + ".." + std::to_string(dag.height()),
+             static_cast<std::int64_t>(
+                 dag.band_vertex_count(plan.bstar_lo, dag.height())),
+             std::int64_t{1}, 0.0, cost.bstar_steps, std::sqrt(double(shape.size())),
+             cost.bstar_steps / std::sqrt(double(shape.size()))});
+  bench::emit(t, "e1b_bands");
+  std::cout << "total steps " << cost.cost.steps << " = "
+            << cost.cost.steps / std::sqrt(double(shape.size()))
+            << " * sqrt(n); B* levels = " << cost.bstar_levels << "\n";
+}
+
+}  // namespace
+
+int main() {
+  sweep(2.0, 3, 12, 20);
+  sweep(4.0, 4, 12, 20);
+  band_report(std::size_t{1} << 20, 2.0);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E3 — Theorem 5: multisearch on an alpha-partitionable directed graph in
+// O(sqrt n + r * sqrt(n)/log n).
+//
+// Workload: the comb graph (spine tree + directed teeth, Figure-2 shape
+// with controllable path lengths far beyond log n). Two sweeps:
+//   (a) r sweep at fixed n — the additive shape: steps ~ a + b * r/log n,
+//       and the advantage over the synchronous baseline (r * sqrt n)
+//       approaches log n;
+//   (b) n sweep at r = c*log n — exponent ~0.5.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "datastruct/workloads.hpp"
+#include "multisearch/partitioned.hpp"
+#include "multisearch/query.hpp"
+#include "multisearch/synchronous.hpp"
+#include "util/rng.hpp"
+
+using namespace meshsearch;
+using namespace meshsearch::msearch;
+
+namespace {
+
+struct ComboResult {
+  double alg_steps = 0, sync_steps = 0;
+  std::size_t phases = 0;
+  std::int32_t r = 0;
+  double p = 0;
+};
+
+ComboResult run(std::size_t teeth, std::size_t tooth_len, std::size_t m_q,
+                std::int64_t depth, std::uint64_t seed) {
+  const auto comb = ds::build_comb(teeth, tooth_len);
+  auto qs = make_queries(m_q);
+  util::Rng rng(seed);
+  for (auto& q : qs) {
+    q.key[0] = static_cast<std::int64_t>(rng.uniform(1ull << 30));
+    q.key[1] = depth;
+  }
+  const ds::CombWalk prog{comb.root};
+  const mesh::CostModel m;
+  const auto shape = comb.graph.shape_for(qs.size());
+  ComboResult res;
+  res.p = static_cast<double>(shape.size());
+  auto qa = qs;
+  const auto alg =
+      multisearch_alpha(comb.graph, comb.splitting, prog, qa, m, shape);
+  res.alg_steps = alg.cost.steps;
+  res.phases = alg.log_phases;
+  res.r = alg.longest_path;
+  auto qb = qs;
+  reset_queries(qb);
+  res.sync_steps = synchronous_multisearch(comb.graph, prog, qb, m, shape)
+                       .cost.steps;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  // (a) r sweep at fixed n ~ 2^18.
+  bench::section("E3: Theorem 5, r sweep at n ~ 2^18");
+  const std::size_t teeth = 1 << 9, tooth_len = 1 << 9;  // ~2^18 vertices
+  util::Table t({"r", "r/log n", "log-phases", "alg steps", "sync steps",
+                 "sync/alg", "alg steps/sqrt(n)"});
+  std::vector<double> rs, steps;
+  for (const std::int64_t depth : {0L, 8L, 32L, 64L, 128L, 256L, 480L}) {
+    const auto res = run(teeth, tooth_len, teeth * 64, depth, 11);
+    const double logn = std::log2(res.p);
+    t.add_row({static_cast<std::int64_t>(res.r), res.r / logn,
+               static_cast<std::int64_t>(res.phases), res.alg_steps,
+               res.sync_steps, res.sync_steps / res.alg_steps,
+               res.alg_steps / std::sqrt(res.p)});
+    rs.push_back(static_cast<double>(res.r));
+    steps.push_back(res.alg_steps);
+  }
+  bench::emit(t, "e3_r_sweep");
+  {
+    // Linear fit steps vs r: Theorem 5 predicts slope ~ sqrt(n)/log n
+    // (times the constrained-multisearch constant).
+    const auto fit = util::fit_linear(rs, steps);
+    const double p = static_cast<double>((std::size_t{1} << 19));
+    std::cout << "steps vs r: slope " << fit.slope << " (sqrt(n)/log n = "
+              << std::sqrt(p) / std::log2(p) << ", r2 " << fit.r2 << ")\n";
+  }
+
+  // (b) n sweep at r ~ 8 log n.
+  bench::section("E3: Theorem 5, n sweep at r ~ 8 log n");
+  util::Table t2({"n(mesh)", "r", "log-phases", "alg steps", "sync steps",
+                  "sync/alg", "alg/sqrt(n)"});
+  std::vector<double> ns, alg_steps, sync_steps;
+  for (unsigned e = 12; e <= 20; e += 2) {
+    const std::size_t half = std::size_t{1} << (e / 2);
+    const double logn = static_cast<double>(e);
+    const auto res = run(half, half, half * half / 4,
+                         static_cast<std::int64_t>(8 * logn), 13 + e);
+    t2.add_row({static_cast<std::int64_t>(res.p),
+                static_cast<std::int64_t>(res.r),
+                static_cast<std::int64_t>(res.phases), res.alg_steps,
+                res.sync_steps, res.sync_steps / res.alg_steps,
+                res.alg_steps / std::sqrt(res.p)});
+    ns.push_back(res.p);
+    alg_steps.push_back(res.alg_steps);
+    sync_steps.push_back(res.sync_steps);
+  }
+  bench::emit(t2, "e3_n_sweep");
+  bench::report_fit("E3 Algorithm 2 at r=8log n (claim O(sqrt n))", ns,
+                    alg_steps, 0.5);
+  bench::report_fit("E3 synchronous baseline", ns, sync_steps, 0.5);
+  return 0;
+}

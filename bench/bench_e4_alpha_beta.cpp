@@ -1,0 +1,97 @@
+// E4 — Theorem 7: multisearch on an alpha-beta-partitionable undirected
+// graph in O(sqrt n + r * sqrt(n)/log n).
+//
+// Workload: undirected k-ary search trees with Euler-scan range queries
+// (queries move along tree edges in both directions — the inorder-traversal
+// example of §4.3 / Figure 3). The range width controls the excursion
+// length and hence r.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "datastruct/kary_tree.hpp"
+#include "datastruct/workloads.hpp"
+#include "multisearch/partitioned.hpp"
+#include "multisearch/query.hpp"
+#include "multisearch/synchronous.hpp"
+#include "util/rng.hpp"
+
+using namespace meshsearch;
+using namespace meshsearch::msearch;
+using ds::KaryTree;
+
+namespace {
+
+struct RunOut {
+  double alg = 0, sync = 0, p = 0;
+  std::int32_t r = 0;
+  std::size_t phases = 0;
+};
+
+RunOut run(std::size_t nkeys, std::int64_t width, std::uint64_t seed) {
+  KaryTree tree(ds::iota_keys(nkeys), 2, ds::TreeMode::kUndirected);
+  auto qs = make_queries(nkeys / 2);
+  util::Rng rng(seed);
+  for (auto& q : qs) {
+    const auto lo = rng.uniform(nkeys);
+    q.key[0] = static_cast<std::int64_t>(lo);
+    q.key[1] = static_cast<std::int64_t>(lo) + width;
+  }
+  const auto [s1, s2] = tree.alpha_beta_splittings();
+  const mesh::CostModel m;
+  const auto shape = tree.graph().shape_for(qs.size());
+  RunOut out;
+  out.p = static_cast<double>(shape.size());
+  auto qa = qs;
+  const auto alg = multisearch_alpha_beta(tree.graph(), s1, s2,
+                                          tree.euler_scan(), qa, m, shape);
+  out.alg = alg.cost.steps;
+  out.r = alg.longest_path;
+  out.phases = alg.log_phases;
+  auto qb = qs;
+  reset_queries(qb);
+  out.sync =
+      synchronous_multisearch(tree.graph(), tree.euler_scan(), qb, m, shape)
+          .cost.steps;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::section("E4: Theorem 7, excursion-width sweep at n = 2^17 keys");
+  util::Table t({"range width", "r", "log-phases", "alg steps", "sync steps",
+                 "sync/alg", "alg/sqrt(n)"});
+  std::vector<double> rs, steps;
+  const std::size_t nkeys = std::size_t{1} << 17;
+  for (const std::int64_t width : {0L, 4L, 16L, 64L, 128L, 256L}) {
+    const auto res = run(nkeys, width, 21);
+    t.add_row({width, static_cast<std::int64_t>(res.r),
+               static_cast<std::int64_t>(res.phases), res.alg, res.sync,
+               res.sync / res.alg, res.alg / std::sqrt(res.p)});
+    rs.push_back(static_cast<double>(res.r));
+    steps.push_back(res.alg);
+  }
+  bench::emit(t, "e4_width_sweep");
+  const auto fit = util::fit_linear(rs, steps);
+  const double p = static_cast<double>(std::size_t{1} << 18);
+  std::cout << "steps vs r: slope " << fit.slope << " (sqrt(n)/log n = "
+            << std::sqrt(p) / std::log2(p) << ", r2 " << fit.r2 << ")\n";
+
+  bench::section("E4: Theorem 7, n sweep at range width 32");
+  util::Table t2({"n(mesh)", "r", "log-phases", "alg steps", "sync steps",
+                  "sync/alg", "alg/sqrt(n)"});
+  std::vector<double> ns, alg_steps;
+  for (unsigned e = 10; e <= 18; e += 2) {
+    const auto res = run(std::size_t{1} << e, 32, 23 + e);
+    t2.add_row({static_cast<std::int64_t>(res.p),
+                static_cast<std::int64_t>(res.r),
+                static_cast<std::int64_t>(res.phases), res.alg, res.sync,
+                res.sync / res.alg, res.alg / std::sqrt(res.p)});
+    ns.push_back(res.p);
+    alg_steps.push_back(res.alg);
+  }
+  bench::emit(t2, "e4_n_sweep");
+  bench::report_fit("E4 Algorithm 3 (claim O(sqrt n) at fixed width)", ns,
+                    alg_steps, 0.5);
+  return 0;
+}

@@ -1,0 +1,232 @@
+// E5 — Theorem 8: the geometry applications solve in O(sqrt n) via
+// hierarchical-DAG multisearch.
+//
+//   (a) Multiple planar point location: n queries in a Kirkpatrick
+//       subdivision hierarchy over n points (the [Kir83]/[DK87] structure
+//       the paper builds §5 on).
+//   (b) Multiple tangent plane determination: n directional extreme-vertex
+//       queries on a 3-d Dobkin–Kirkpatrick polytope hierarchy.
+//   (c) Multiple line-polygon intersection on the 2-d DK hierarchy
+//       (Theorem 8 item 1 in its polygon form; see DESIGN.md §6).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "geometry/dk_hierarchy.hpp"
+#include "geometry/dk_polygon.hpp"
+#include "geometry/hull2d.hpp"
+#include "geometry/kirkpatrick.hpp"
+#include "multisearch/hierarchical.hpp"
+#include "multisearch/query.hpp"
+#include "multisearch/synchronous.hpp"
+#include "util/rng.hpp"
+
+using namespace meshsearch;
+using namespace meshsearch::geom;
+using msearch::make_queries;
+
+namespace {
+
+std::vector<Point2> dedup(std::vector<Point2> pts) {
+  std::sort(pts.begin(), pts.end(), [](const Point2& a, const Point2& b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  return pts;
+}
+
+void kirkpatrick_sweep() {
+  bench::section("E5a: multiple planar point location (Kirkpatrick)");
+  util::Table t({"points", "n(mesh)", "hier levels", "paper-plan steps",
+                 "geom-plan steps", "sync steps", "sync/geom",
+                 "geom/sqrt(n)"});
+  std::vector<double> ns, steps, paper_steps;
+  for (unsigned e = 8; e <= 14; e += 2) {
+    const std::size_t npts = std::size_t{1} << e;
+    util::Rng rng(31 + e);
+    const Scalar radius = 1 << 18;
+    const auto pts = dedup(random_points_in_disk(npts, radius - 8, rng));
+    Kirkpatrick kp(pts, radius);
+    const auto dag = kp.hierarchical_dag();
+    const auto shape = kp.dag().shape_for(kp.dag().vertex_count());
+    auto qs = make_queries(kp.dag().vertex_count());
+    for (auto& q : qs) {
+      q.key[0] = rng.uniform_range(-radius / 2, radius / 2);
+      q.key[1] = rng.uniform_range(-radius / 2, radius / 2);
+    }
+    const mesh::CostModel m;
+    auto qh = qs;
+    const auto paper =
+        msearch::hierarchical_multisearch(dag, kp.locate_program(), qh, m, shape);
+    auto qg = qs;
+    const auto geom = msearch::hierarchical_multisearch(
+        dag, kp.locate_program(), qg, m, shape,
+        msearch::PlanKind::kGeometric);
+    auto qsyn = qs;
+    msearch::reset_queries(qsyn);
+    const auto sync = msearch::synchronous_multisearch(
+        kp.dag(), kp.locate_program(), qsyn, m, shape);
+    const double p = static_cast<double>(shape.size());
+    t.add_row({static_cast<std::int64_t>(pts.size()),
+               static_cast<std::int64_t>(shape.size()),
+               static_cast<std::int64_t>(kp.hierarchy_levels()),
+               paper.cost.steps, geom.cost.steps, sync.cost.steps,
+               sync.cost.steps / geom.cost.steps,
+               geom.cost.steps / std::sqrt(p)});
+    ns.push_back(p);
+    steps.push_back(geom.cost.steps);
+    paper_steps.push_back(paper.cost.steps);
+  }
+  bench::emit(t, "e5a_kirkpatrick");
+  bench::report_fit("E5a geometric-plan (claim O(sqrt n))", ns, steps, 0.5);
+  bench::report_fit(
+      "E5a paper-plan (degenerate B* regime, O(sqrt n log n) here)", ns,
+      paper_steps, 0.5);
+}
+
+void dk3_sweep() {
+  bench::section("E5b: multiple tangent planes (3-d DK hierarchy)");
+  util::Table t({"hull verts", "n(mesh)", "levels", "paper-plan steps",
+                 "geom-plan steps", "sync steps", "sync/geom",
+                 "geom/sqrt(n)"});
+  std::vector<double> ns, steps;
+  for (unsigned e = 8; e <= 14; e += 2) {
+    const std::size_t npts = std::size_t{1} << e;
+    util::Rng rng(41 + e);
+    const auto pts = random_points_on_sphere(npts, 1 << 19, rng);
+    DKHierarchy3 dk(pts, rng);
+    const auto& ed = dk.extreme_dag();
+    const auto dag = ed.hierarchical_dag();
+    const auto shape = ed.dag.shape_for(ed.dag.vertex_count());
+    auto qs = make_queries(ed.dag.vertex_count());
+    for (auto& q : qs) {
+      do {
+        q.key[0] = rng.uniform_range(-1000, 1000);
+        q.key[1] = rng.uniform_range(-1000, 1000);
+        q.key[2] = rng.uniform_range(-1000, 1000);
+      } while (q.key[0] == 0 && q.key[1] == 0 && q.key[2] == 0);
+    }
+    const mesh::CostModel m;
+    auto qh = qs;
+    const auto paper = msearch::hierarchical_multisearch(
+        dag, dk.extreme_program(), qh, m, shape);
+    auto qg = qs;
+    const auto geom = msearch::hierarchical_multisearch(
+        dag, dk.extreme_program(), qg, m, shape,
+        msearch::PlanKind::kGeometric);
+    auto qsyn = qs;
+    msearch::reset_queries(qsyn);
+    const auto sync = msearch::synchronous_multisearch(
+        ed.dag, dk.extreme_program(), qsyn, m, shape);
+    const double p = static_cast<double>(shape.size());
+    t.add_row({static_cast<std::int64_t>(dk.hull_vertices().size()),
+               static_cast<std::int64_t>(shape.size()),
+               static_cast<std::int64_t>(dk.hierarchy_levels()),
+               paper.cost.steps, geom.cost.steps, sync.cost.steps,
+               sync.cost.steps / geom.cost.steps,
+               geom.cost.steps / std::sqrt(p)});
+    ns.push_back(p);
+    steps.push_back(geom.cost.steps);
+  }
+  bench::emit(t, "e5b_dk3");
+  bench::report_fit("E5b tangent planes, geometric plan (claim O(sqrt n))",
+                    ns, steps, 0.5);
+}
+
+void polygon_lines() {
+  bench::section("E5c: multiple line-polygon intersection (2-d DK)");
+  util::Table t({"polygon verts", "lines", "n(mesh)", "hier steps",
+                 "hier/sqrt(n)", "hit fraction"});
+  std::vector<double> ns, steps;
+  for (unsigned e = 8; e <= 16; e += 2) {
+    util::Rng rng(51 + e);
+    const auto poly = random_convex_polygon(std::size_t{1} << e, 1 << 19, rng);
+    DKPolygon dk(poly);
+    std::vector<DKPolygon::Line> lines(std::size_t{1} << e);
+    for (auto& l : lines) {
+      do {
+        l.a = rng.uniform_range(-100, 100);
+        l.b = rng.uniform_range(-100, 100);
+      } while (l.a == 0 && l.b == 0);
+      l.c = rng.uniform_range(-(1LL << 26), 1LL << 26);
+    }
+    auto qs = dk.make_line_queries(lines);
+    const auto& ed = dk.extreme_dag();
+    const auto dag = ed.hierarchical_dag();
+    const auto shape = ed.dag.shape_for(qs.size());
+    const mesh::CostModel m;
+    const auto hier = msearch::hierarchical_multisearch(
+        dag, dk.extreme_program(), qs, m, shape,
+        msearch::PlanKind::kGeometric);
+    const auto hit = DKPolygon::combine_line_answers(lines, qs);
+    double frac = 0;
+    for (const auto h : hit) frac += h;
+    frac /= static_cast<double>(hit.size());
+    const double p = static_cast<double>(shape.size());
+    t.add_row({static_cast<std::int64_t>(poly.size()),
+               static_cast<std::int64_t>(lines.size()),
+               static_cast<std::int64_t>(shape.size()), hier.cost.steps,
+               hier.cost.steps / std::sqrt(p), frac});
+    ns.push_back(p);
+    steps.push_back(hier.cost.steps);
+  }
+  bench::emit(t, "e5c_lines");
+  bench::report_fit("E5c line-polygon (claim O(sqrt n))", ns, steps, 0.5);
+}
+
+void polygon_tangents() {
+  bench::section("E5d: multiple tangent lines from external points (2-d DK)");
+  util::Table t({"polygon verts", "queries", "n(mesh)", "hier steps",
+                 "hier/sqrt(n)", "verified"});
+  std::vector<double> ns, steps;
+  for (unsigned e = 8; e <= 16; e += 2) {
+    util::Rng rng(61 + e);
+    const Scalar radius = 1 << 18;
+    const auto poly = random_convex_polygon(std::size_t{1} << e, radius, rng);
+    DKPolygon dk(poly);
+    auto qs = make_queries(std::size_t{1} << e);
+    for (auto& q : qs) {
+      Point2 p;
+      do {
+        p.x = rng.uniform_range(-4 * radius, 4 * radius);
+        p.y = rng.uniform_range(-4 * radius, 4 * radius);
+      } while (p.x * p.x + p.y * p.y <= 4 * static_cast<std::int64_t>(radius) * radius);
+      q.key[0] = p.x;
+      q.key[1] = p.y;
+      q.key[2] = (q.qid & 1) ? 1 : -1;
+    }
+    const auto& ed = dk.extreme_dag();
+    const auto dag = ed.hierarchical_dag();
+    const auto shape = ed.dag.shape_for(qs.size());
+    const mesh::CostModel m;
+    const auto hier = msearch::hierarchical_multisearch(
+        dag, dk.tangent_program(), qs, m, shape,
+        msearch::PlanKind::kGeometric);
+    std::size_t verified = 0, checked = 0;
+    for (std::size_t i = 0; i < qs.size(); i += 17) {
+      ++checked;
+      verified += dk.is_tangent_vertex(Point2{qs[i].key[0], qs[i].key[1]},
+                                       qs[i].result,
+                                       qs[i].key[2] >= 0 ? 1 : -1);
+    }
+    const double p = static_cast<double>(shape.size());
+    t.add_row({static_cast<std::int64_t>(poly.size()),
+               static_cast<std::int64_t>(qs.size()),
+               static_cast<std::int64_t>(p), hier.cost.steps,
+               hier.cost.steps / std::sqrt(p),
+               std::to_string(verified) + "/" + std::to_string(checked)});
+    ns.push_back(p);
+    steps.push_back(hier.cost.steps);
+  }
+  bench::emit(t, "e5d_tangents");
+  bench::report_fit("E5d tangent lines (claim O(sqrt n))", ns, steps, 0.5);
+}
+
+}  // namespace
+
+int main() {
+  kirkpatrick_sweep();
+  dk3_sweep();
+  polygon_lines();
+  polygon_tangents();
+  return 0;
+}

@@ -1,0 +1,181 @@
+// E6 — §6: interval trees and multiple interval intersection search.
+//
+//   (a) Counting: |{i : [l_i, r_i] meets [a,b]}| = n - rank_{r}(a-1) -
+//       (n - rank_{l}(b)) — two Theorem-5 (Algorithm 2) rank multisearches
+//       on endpoint trees. Checked against the brute-force oracle and swept
+//       over n; compared with the 1-processor sequential baseline (total
+//       visits = work).
+//   (b) Reporting: stabbing queries on the chain-augmented interval tree via
+//       Algorithm 3, swept over interval density (mean stabbing depth k),
+//       showing the output-sensitive r = O(log n + k) term.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "datastruct/interval_tree.hpp"
+#include "datastruct/kary_tree.hpp"
+#include "datastruct/segment_tree.hpp"
+#include "datastruct/workloads.hpp"
+#include "multisearch/partitioned.hpp"
+#include "multisearch/query.hpp"
+#include "multisearch/sequential.hpp"
+#include "util/rng.hpp"
+
+using namespace meshsearch;
+using namespace meshsearch::msearch;
+using ds::Interval;
+using ds::IntervalTree;
+using ds::KaryTree;
+
+namespace {
+
+std::vector<Interval> random_intervals(std::size_t n, std::int64_t span,
+                                       std::int64_t max_len, util::Rng& rng) {
+  std::vector<Interval> ivs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t lo = rng.uniform_range(0, span);
+    ivs[i] = Interval{lo, lo + rng.uniform_range(0, max_len),
+                      static_cast<std::int32_t>(i)};
+  }
+  return ivs;
+}
+
+KaryTree endpoint_tree(const std::vector<Interval>& ivs, bool left) {
+  std::vector<std::int64_t> pts;
+  pts.reserve(ivs.size());
+  for (const auto& iv : ivs) pts.push_back(left ? iv.lo : iv.hi);
+  std::sort(pts.begin(), pts.end());
+  std::vector<ds::WeightedKey> keys;
+  for (const auto p : pts) {
+    if (!keys.empty() && keys.back().key == p)
+      ++keys.back().weight;
+    else
+      keys.push_back({p, 1});
+  }
+  return KaryTree(keys, 4, ds::TreeMode::kDirected);
+}
+
+}  // namespace
+
+int main() {
+  // (a) counting sweep over n.
+  bench::section("E6a: multiple interval intersection counting (Alg 2 x2)");
+  util::Table t({"intervals", "n(mesh)", "mesh steps", "steps/sqrt(n)",
+                 "seq visits", "speedup(work/steps)", "oracle ok"});
+  std::vector<double> ns, steps;
+  for (unsigned e = 10; e <= 18; e += 2) {
+    const std::size_t n = std::size_t{1} << e;
+    util::Rng rng(61 + e);
+    const auto ivs = random_intervals(n, static_cast<std::int64_t>(4 * n), 64, rng);
+    const KaryTree ltree = endpoint_tree(ivs, true);
+    const KaryTree rtree = endpoint_tree(ivs, false);
+    auto qa = make_queries(n), qb = make_queries(n);
+    std::vector<std::pair<std::int64_t, std::int64_t>> ranges(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t a = rng.uniform_range(0, static_cast<std::int64_t>(4 * n));
+      const std::int64_t b = a + rng.uniform_range(0, 256);
+      ranges[i] = {a, b};
+      qa[i].key[0] = a - 1;
+      qb[i].key[0] = b;
+    }
+    const mesh::CostModel m;
+    const auto shape = rtree.graph().shape_for(n);
+    auto res1 = multisearch_alpha(rtree.graph(), rtree.alpha_splitting(),
+                                  rtree.rank_count(), qa, m, shape);
+    auto res2 = multisearch_alpha(ltree.graph(), ltree.alpha_splitting(),
+                                  ltree.rank_count(), qb, m, shape);
+    // Sequential baseline work.
+    auto sa = qa, sb = qb;
+    reset_queries(sa);
+    reset_queries(sb);
+    const auto seq1 = sequential_multisearch(rtree.graph(), rtree.rank_count(), sa);
+    const auto seq2 = sequential_multisearch(ltree.graph(), ltree.rank_count(), sb);
+    // Spot-check 200 answers against the oracle.
+    bool ok = true;
+    const auto ni = static_cast<std::int64_t>(n);
+    for (std::size_t i = 0; i < 200; ++i) {
+      const std::size_t j = rng.uniform(n);
+      const std::int64_t got = ni - qa[j].acc0 - (ni - qb[j].acc0);
+      if (got != ds::intersect_count_oracle(ivs, ranges[j].first,
+                                            ranges[j].second)) {
+        ok = false;
+        break;
+      }
+    }
+    const double total = res1.cost.steps + res2.cost.steps;
+    const double work =
+        static_cast<double>(seq1.total_visits + seq2.total_visits);
+    const double p = static_cast<double>(shape.size());
+    t.add_row({static_cast<std::int64_t>(n), static_cast<std::int64_t>(p),
+               total, total / std::sqrt(p), work, work / total,
+               std::string(ok ? "yes" : "NO")});
+    ns.push_back(p);
+    steps.push_back(total);
+  }
+  bench::emit(t, "e6a_counting");
+  bench::report_fit("E6a interval counting (claim O(sqrt n))", ns, steps, 0.5);
+
+  // (b) reporting: density sweep at fixed n.
+  bench::section("E6b: stabbing reporting via Algorithm 3, density sweep");
+  util::Table t2({"max len", "mean k", "r", "log-phases", "alg steps",
+                  "alg/sqrt(n)"});
+  const std::size_t n = std::size_t{1} << 14;
+  for (const std::int64_t maxlen : {0L, 64L, 256L, 1024L, 4096L}) {
+    util::Rng rng(71 + static_cast<std::uint64_t>(maxlen));
+    const auto ivs =
+        random_intervals(n, static_cast<std::int64_t>(2 * n), maxlen, rng);
+    IntervalTree tree(ivs);
+    auto qs = make_queries(n);
+    for (auto& q : qs)
+      q.key[0] = rng.uniform_range(0, static_cast<std::int64_t>(2 * n));
+    const auto [s1, s2] = tree.alpha_beta_splittings();
+    const mesh::CostModel m;
+    const auto shape = tree.graph().shape_for(qs.size());
+    const auto res = multisearch_alpha_beta(tree.graph(), s1, s2,
+                                            tree.stabbing_program(), qs, m,
+                                            shape);
+    double mean_k = 0;
+    for (const auto& q : qs) mean_k += static_cast<double>(q.acc0);
+    mean_k /= static_cast<double>(qs.size());
+    const double p = static_cast<double>(shape.size());
+    t2.add_row({maxlen, mean_k, static_cast<std::int64_t>(res.longest_path),
+                static_cast<std::int64_t>(res.log_phases), res.cost.steps,
+                res.cost.steps / std::sqrt(p)});
+  }
+  bench::emit(t2, "e6b_stabbing");
+
+  // (c) the same stabbing answers by the segment-tree decomposition
+  // (pure directed descent, Algorithm 2) — a cross-structure check and a
+  // cost comparison of the two §6 data-structure choices.
+  bench::section("E6c: stabbing counts, interval tree (Alg 3) vs segment tree (Alg 2)");
+  util::Table t3({"intervals", "segtree steps", "ivtree steps",
+                  "ivtree/segtree", "answers agree"});
+  for (unsigned e = 10; e <= 15; e += 1) {
+    const std::size_t nn = std::size_t{1} << e;
+    util::Rng rng(91 + e);
+    const auto ivs =
+        random_intervals(nn, static_cast<std::int64_t>(2 * nn), 128, rng);
+    ds::SegmentTree st(ivs);
+    IntervalTree it(ivs);
+    auto qs = make_queries(nn);
+    for (auto& q : qs)
+      q.key[0] = rng.uniform_range(0, static_cast<std::int64_t>(2 * nn));
+    const mesh::CostModel m;
+    auto q_st = qs;
+    const auto st_res = multisearch_alpha(
+        st.graph(), st.alpha_splitting(), st.stab_count(), q_st, m,
+        st.graph().shape_for(qs.size()));
+    auto q_it = qs;
+    const auto [s1, s2] = it.alpha_beta_splittings();
+    const auto it_res = multisearch_alpha_beta(
+        it.graph(), s1, s2, it.stabbing_program(), q_it, m,
+        it.graph().shape_for(qs.size()));
+    bool agree = true;
+    for (std::size_t i = 0; i < qs.size(); ++i)
+      agree &= q_st[i].acc0 == q_it[i].acc0;
+    t3.add_row({static_cast<std::int64_t>(nn), st_res.cost.steps,
+                it_res.cost.steps, it_res.cost.steps / st_res.cost.steps,
+                std::string(agree ? "yes" : "NO")});
+  }
+  bench::emit(t3, "e6c_cross_structure");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// E7 — ablations of the paper's design choices.
+//
+//   (i)  Copy duplication (§1 bullet 2, the Gamma machinery of §4.4): with
+//        duplication OFF, a congested piece timeshares one delta-submesh and
+//        round cost multiplies by ceil(load / capacity). Point-congested
+//        workloads show the gap growing with n; the paper's copies keep the
+//        cost flat at O(sqrt n).
+//   (ii) Sort model: the counting engine charges the optimal O(sqrt p) mesh
+//        sort; charging the physical shearsort bound O(sqrt p log p) instead
+//        degrades every algorithm by exactly a log factor — visible as a
+//        drifting ratio, not a changed exponent.
+//   (iii) The §1 strawman "one copy of G per search" needs Theta(n) space
+//        per processor and Theta(n * sqrt n) time just to replicate; we
+//        print its analytic cost next to the measured Algorithm-2 cost.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "datastruct/kary_tree.hpp"
+#include "datastruct/workloads.hpp"
+#include "multisearch/partitioned.hpp"
+#include "multisearch/query.hpp"
+#include "util/rng.hpp"
+
+using namespace meshsearch;
+using namespace meshsearch::msearch;
+using ds::KaryTree;
+
+int main() {
+  // (i) duplication on/off under point congestion.
+  bench::section("E7i: copy duplication under point-congested load");
+  util::Table t({"n(mesh)", "steps (dup ON)", "steps (dup OFF)",
+                 "OFF/ON", "ON/sqrt(n)"});
+  std::vector<double> ns, on_steps, off_steps;
+  for (unsigned e = 10; e <= 18; e += 2) {
+    const std::size_t nkeys = std::size_t{1} << e;
+    KaryTree tree(ds::iota_keys(nkeys), 2, ds::TreeMode::kDirected);
+    auto qs = make_queries(nkeys);
+    for (auto& q : qs) q.key[0] = static_cast<std::int64_t>(nkeys / 2);
+    const mesh::CostModel m;
+    const auto shape = tree.graph().shape_for(qs.size());
+    auto q1 = qs;
+    const auto on = multisearch_alpha(tree.graph(), tree.alpha_splitting(),
+                                      tree.rank_count(), q1, m, shape, true);
+    auto q2 = qs;
+    const auto off = multisearch_alpha(tree.graph(), tree.alpha_splitting(),
+                                       tree.rank_count(), q2, m, shape, false);
+    const double p = static_cast<double>(shape.size());
+    t.add_row({static_cast<std::int64_t>(p), on.cost.steps, off.cost.steps,
+               off.cost.steps / on.cost.steps, on.cost.steps / std::sqrt(p)});
+    ns.push_back(p);
+    on_steps.push_back(on.cost.steps);
+    off_steps.push_back(off.cost.steps);
+  }
+  bench::emit(t, "e7i_duplication");
+  bench::report_fit("E7i dup ON (claim O(sqrt n))", ns, on_steps, 0.5);
+  bench::report_fit("E7i dup OFF (congested, super-sqrt)", ns, off_steps, 0.5);
+
+  // (ii) optimal vs physical (shearsort) cost model.
+  bench::section("E7ii: optimal-sort vs shearsort charging");
+  util::Table t2({"n(mesh)", "steps (optimal)", "steps (shearsort)",
+                  "ratio", "log2(n)"});
+  util::Rng rng(81);
+  for (unsigned e = 10; e <= 20; e += 2) {
+    const std::size_t nkeys = std::size_t{1} << e;
+    KaryTree tree(ds::iota_keys(nkeys), 2, ds::TreeMode::kDirected);
+    auto qs = ds::uniform_key_queries(nkeys, nkeys, rng);
+    const auto shape = tree.graph().shape_for(qs.size());
+    mesh::CostModel opt;
+    auto q1 = qs;
+    const auto a = multisearch_alpha(tree.graph(), tree.alpha_splitting(),
+                                     tree.rank_count(), q1, opt, shape);
+    mesh::CostModel phys;
+    phys.physical_sort = true;
+    auto q2 = qs;
+    const auto b = multisearch_alpha(tree.graph(), tree.alpha_splitting(),
+                                     tree.rank_count(), q2, phys, shape);
+    t2.add_row({static_cast<std::int64_t>(shape.size()), a.cost.steps,
+                b.cost.steps, b.cost.steps / a.cost.steps,
+                std::log2(static_cast<double>(shape.size()))});
+  }
+  bench::emit(t2, "e7ii_sortmodel");
+
+  // (iii) the copy-G-per-search strawman (analytic; §1).
+  bench::section("E7iii: strawman 'one copy of G per search' (analytic)");
+  util::Table t3({"n(mesh)", "strawman steps (n copies via routing)",
+                  "strawman space/processor", "Alg 2 steps (measured)"});
+  util::Rng rng3(83);
+  for (unsigned e = 10; e <= 18; e += 4) {
+    const std::size_t nkeys = std::size_t{1} << e;
+    KaryTree tree(ds::iota_keys(nkeys), 2, ds::TreeMode::kDirected);
+    auto qs = ds::uniform_key_queries(nkeys, nkeys, rng3);
+    const mesh::CostModel m;
+    const auto shape = tree.graph().shape_for(qs.size());
+    const double p = static_cast<double>(shape.size());
+    auto q1 = qs;
+    const auto alg = multisearch_alpha(tree.graph(), tree.alpha_splitting(),
+                                       tree.rank_count(), q1, m, shape);
+    // n copies of an n-record graph: even with perfect pipelining each copy
+    // needs a full-mesh routing, n * route(n) steps, and n records per
+    // processor of storage (the paper: "there is not even enough space").
+    const double strawman = p * m.route(p).steps;
+    t3.add_row({static_cast<std::int64_t>(p), strawman,
+                static_cast<std::int64_t>(p), alg.cost.steps});
+  }
+  bench::emit(t3, "e7iii_strawman");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// F1–F5 — the paper's five (definitional) figures, regenerated as
+// structural dumps from the implemented classes:
+//   F1: a hierarchical DAG with mu = 2 — level-size profile.
+//   F2: a directed balanced binary tree and its alpha-splitter (alpha=1/2)
+//       — piece inventory with kinds and sizes.
+//   F3: an undirected balanced binary tree with alpha- and beta-splitters
+//       whose borders are h/6 = Omega(log n) apart — measured distance.
+//   F4: the band decomposition B_0..B_{T-1}, B* of §3.
+//   F5: the inner split B_i^1 / B_i^2 of Lemma 1.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "datastruct/kary_tree.hpp"
+#include "datastruct/workloads.hpp"
+#include "multisearch/hierarchical.hpp"
+#include "multisearch/query.hpp"
+#include "util/rng.hpp"
+
+using namespace meshsearch;
+using namespace meshsearch::msearch;
+using ds::KaryTree;
+
+int main() {
+  // F1.
+  bench::section("Figure 1: hierarchical DAG with mu = 2");
+  {
+    util::Rng rng(1);
+    const auto g = ds::build_hierarchical_dag(1 << 12, 2.0, 2, rng);
+    const HierarchicalDag dag(g, 2.0);
+    util::Table t({"level", "|L_i|", "|L_i| / 2^i"});
+    for (std::int32_t i = 0; i <= dag.height(); ++i)
+      t.add_row({static_cast<std::int64_t>(i),
+                 static_cast<std::int64_t>(dag.level_size(i)),
+                 static_cast<double>(dag.level_size(i)) / std::pow(2.0, i)});
+    bench::emit(t, "f1_levels");
+  }
+
+  // F2.
+  bench::section("Figure 2: directed balanced binary tree, alpha-splitter");
+  {
+    KaryTree tree(ds::iota_keys(512), 2, ds::TreeMode::kDirected);
+    const auto s = tree.alpha_splitting();
+    validate_alpha_splitting(tree.graph(), s);
+    const auto sizes = piece_sizes(s);
+    std::size_t heads = 0, tails = 0, head_total = 0, tail_total = 0;
+    for (std::size_t pc = 0; pc < sizes.size(); ++pc) {
+      if (s.kind[pc] == PieceKind::kHead) {
+        ++heads;
+        head_total += sizes[pc];
+      } else {
+        ++tails;
+        tail_total += sizes[pc];
+      }
+    }
+    util::Table t({"quantity", "value"});
+    t.add_row({std::string("tree height h"),
+               static_cast<std::int64_t>(tree.height())});
+    t.add_row({std::string("splitter cut depth"),
+               static_cast<std::int64_t>((tree.height() + 1) / 2)});
+    t.add_row({std::string("head pieces (H_i)"), static_cast<std::int64_t>(heads)});
+    t.add_row({std::string("tail pieces (T_i)"), static_cast<std::int64_t>(tails)});
+    t.add_row({std::string("max piece size"),
+               static_cast<std::int64_t>(max_piece_size(s))});
+    t.add_row({std::string("delta (measured)"), s.delta});
+    t.add_row({std::string("head vertices"), static_cast<std::int64_t>(head_total)});
+    t.add_row({std::string("tail vertices"), static_cast<std::int64_t>(tail_total)});
+    bench::emit(t, "f2_alpha_splitter");
+  }
+
+  // F3.
+  bench::section("Figure 3: undirected tree, S1/S2 with Omega(log n) distance");
+  {
+    util::Table t({"n(keys)", "h", "cut d1", "cut d2", "border distance",
+                   "h/6", "delta1", "delta2"});
+    for (const std::size_t nkeys : {256u, 4096u, 65536u}) {
+      KaryTree tree(ds::iota_keys(nkeys), 2, ds::TreeMode::kUndirected);
+      const auto [s1, s2] = tree.alpha_beta_splittings();
+      const auto dist = border_distance(tree.graph(), s1, s2, 1000);
+      const auto h = tree.height();
+      // Mirror KaryTree::alpha_beta_splittings' cut depths (d2 clamped to
+      // keep the borders >= 2 cut levels apart).
+      const std::int32_t d1 = std::max<std::int32_t>(1, (h + 1) / 2);
+      std::int32_t d2 = std::max<std::int32_t>(1, (h + 1) / 3);
+      if (d2 > d1 - 2) d2 = std::max<std::int32_t>(1, d1 - 2);
+      t.add_row({static_cast<std::int64_t>(nkeys),
+                 static_cast<std::int64_t>(h),
+                 static_cast<std::int64_t>(d1),
+                 static_cast<std::int64_t>(d2),
+                 static_cast<std::int64_t>(dist),
+                 static_cast<double>(h) / 6.0, s1.delta, s2.delta});
+    }
+    bench::emit(t, "f3_alpha_beta");
+  }
+
+  // F4 + F5.
+  bench::section("Figures 4-5: band decomposition B_i and the B_i^1/B_i^2 split");
+  {
+    util::Rng rng(2);
+    const auto g = ds::build_hierarchical_dag(1 << 20, 2.0, 2, rng);
+    const HierarchicalDag dag(g, 2.0);
+    const auto shape = g.shape_for(g.vertex_count());
+    const auto plan = make_hierarchical_plan(dag, shape);
+    util::Table t({"band", "levels", "B_i^1 levels", "B_i^2 levels", "|B_i|",
+                   "submesh grid", "submesh elems", "inner grid"});
+    for (std::size_t i = 0; i < plan.bands.size(); ++i) {
+      const auto& b = plan.bands[i];
+      t.add_row({static_cast<std::int64_t>(i),
+                 std::to_string(b.lo) + ".." + std::to_string(b.hi),
+                 static_cast<std::int64_t>(b.split - b.lo),
+                 static_cast<std::int64_t>(b.hi - b.split + 1),
+                 static_cast<std::int64_t>(b.vertices),
+                 static_cast<std::int64_t>(b.grid),
+                 static_cast<std::int64_t>(b.submesh_elems),
+                 static_cast<std::int64_t>(b.inner_grid)});
+    }
+    t.add_row({std::string("B*"),
+               std::to_string(plan.bstar_lo) + ".." +
+                   std::to_string(dag.height()),
+               std::int64_t{0},
+               static_cast<std::int64_t>(dag.height() - plan.bstar_lo + 1),
+               static_cast<std::int64_t>(
+                   dag.band_vertex_count(plan.bstar_lo, dag.height())),
+               std::int64_t{1}, static_cast<std::int64_t>(shape.size()),
+               std::int64_t{1}});
+    bench::emit(t, "f4_f5_bands");
+    std::cout << "log*-recursion constant c = " << plan.c << " (mu = 2)\n";
+  }
+  return 0;
+}

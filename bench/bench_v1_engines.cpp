@@ -1,0 +1,130 @@
+// V1 — engine cross-validation and wall-clock throughput of the simulator.
+//
+// google-benchmark timings for the physically faithful cycle engine
+// (shearsort, snake scan, greedy routing) and the counting engine, plus a
+// table comparing measured cycle-engine step counts with the counting
+// engine's charged costs: the scan ratio is a constant, the sort ratio
+// grows as the shearsort log factor (exactly why the counting engine
+// charges the optimal bound — see DESIGN.md §2).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "mesh/cycle_ops.hpp"
+#include "mesh/grid.hpp"
+#include "mesh/ops.hpp"
+#include "util/rng.hpp"
+
+using namespace meshsearch;
+using mesh::Grid;
+using mesh::MeshShape;
+
+namespace {
+
+std::vector<std::int64_t> random_values(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = rng.uniform_range(-1000000, 1000000);
+  return v;
+}
+
+void BM_CycleShearsort(benchmark::State& state) {
+  const MeshShape s(static_cast<std::uint32_t>(state.range(0)));
+  const auto vals = random_values(s.size(), 1);
+  for (auto _ : state) {
+    auto g = Grid<std::int64_t>::from_snake(s, vals);
+    benchmark::DoNotOptimize(g.shearsort());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_CycleShearsort)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_CycleSnakeScan(benchmark::State& state) {
+  const MeshShape s(static_cast<std::uint32_t>(state.range(0)));
+  const auto vals = random_values(s.size(), 2);
+  for (auto _ : state) {
+    auto g = Grid<std::int64_t>::from_snake(s, vals);
+    benchmark::DoNotOptimize(g.snake_scan(std::plus<std::int64_t>{}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_CycleSnakeScan)->Arg(32)->Arg(128);
+
+void BM_CycleRoutePermutation(benchmark::State& state) {
+  const MeshShape s(static_cast<std::uint32_t>(state.range(0)));
+  util::Rng rng(3);
+  const auto vals = random_values(s.size(), 3);
+  const auto perm = util::random_permutation(s.size(), rng);
+  const std::vector<std::uint32_t> dest(perm.begin(), perm.end());
+  for (auto _ : state) {
+    auto g = Grid<std::int64_t>::from_snake(s, vals);
+    benchmark::DoNotOptimize(g.route_permutation(dest));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_CycleRoutePermutation)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CountingSort(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto vals = random_values(n, 4);
+  const mesh::CostModel m;
+  for (auto _ : state) {
+    auto v = vals;
+    benchmark::DoNotOptimize(mesh::ops::sort(v, m, static_cast<double>(n)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CountingSort)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
+
+void cross_engine_table() {
+  bench::section("V1: measured cycle-engine steps vs charged costs");
+  util::Table t({"side", "p", "shear steps", "charged sort", "ratio(sort)",
+                 "scan steps", "charged scan", "ratio(scan)", "route steps",
+                 "charged route", "RAR steps", "charged RAR(phys)"});
+  const mesh::CostModel m;
+  mesh::CostModel phys;
+  phys.physical_sort = true;
+  for (std::uint32_t side : {8u, 16u, 32u, 64u, 128u}) {
+    const MeshShape s(side);
+    const auto vals = random_values(s.size(), side);
+    auto g1 = Grid<std::int64_t>::from_snake(s, vals);
+    const double shear = static_cast<double>(g1.shearsort());
+    auto g2 = Grid<std::int64_t>::from_snake(s, vals);
+    const double scan =
+        static_cast<double>(g2.snake_scan(std::plus<std::int64_t>{}));
+    util::Rng rng(side);
+    const auto perm = util::random_permutation(s.size(), rng);
+    const std::vector<std::uint32_t> dest(perm.begin(), perm.end());
+    auto g3 = Grid<std::int64_t>::from_snake(s, vals);
+    const double route = static_cast<double>(g3.route_permutation(dest));
+    // Physical random access read with a skewed request pattern.
+    std::vector<std::int64_t> addr(s.size(), mesh::kNoAddr);
+    for (std::size_t i = 0; i < s.size(); ++i)
+      if (rng.uniform(10) < 7)
+        addr[i] = static_cast<std::int64_t>(
+            rng.bernoulli(0.5) ? rng.uniform(4) : rng.uniform(s.size()));
+    const auto rar = mesh::cycle_random_access_read(s, vals, addr);
+    const double p = static_cast<double>(s.size());
+    t.add_row({static_cast<std::int64_t>(side), static_cast<std::int64_t>(p),
+               shear, m.sort(p).steps, shear / m.sort(p).steps, scan,
+               m.scan(p).steps, scan / m.scan(p).steps, route,
+               m.route(p).steps, static_cast<double>(rar.steps),
+               phys.rar(p).steps});
+  }
+  bench::emit(t, "v1_cross_engine");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cross_engine_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

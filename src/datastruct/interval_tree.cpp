@@ -1,0 +1,289 @@
+#include "datastruct/interval_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mesh/snake.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace meshsearch::ds {
+
+namespace {
+
+constexpr std::int64_t kSentinel = std::numeric_limits<std::int64_t>::max();
+
+// Vertex type tags (VertexRecord::key[6]).
+constexpr std::int64_t kInternal = 0;
+constexpr std::int64_t kLeaf = 1;
+constexpr std::int64_t kChain = 2;
+
+}  // namespace
+
+IntervalTree::IntervalTree(std::vector<Interval> intervals)
+    : intervals_(std::move(intervals)) {
+  MS_CHECK_MSG(!intervals_.empty(), "empty interval set");
+  for (const auto& iv : intervals_) MS_CHECK_MSG(iv.lo <= iv.hi, "lo > hi");
+
+  // Distinct endpoints, padded to a power of two.
+  std::vector<std::int64_t> pts;
+  pts.reserve(2 * intervals_.size());
+  for (const auto& iv : intervals_) {
+    pts.push_back(iv.lo);
+    pts.push_back(iv.hi);
+  }
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const std::size_t leaves = mesh::ceil_pow2(pts.size());
+  tree_nodes_ = 2 * leaves - 1;
+  leaf_offset_ = leaves - 1;
+  tree_height_ = static_cast<std::int32_t>(mesh::floor_log2(leaves));
+
+  auto leaf_value = [&](std::size_t j) {
+    return j < pts.size() ? pts[j] : kSentinel;
+  };
+  // split(t) = value of the last leaf of t's left subtree.
+  auto last_left_leaf = [&](std::size_t t) {
+    std::size_t x = 2 * t + 1;  // left child
+    while (x < leaf_offset_) x = 2 * x + 2;
+    return x - leaf_offset_;
+  };
+
+  // Assign each interval to the highest node whose split it straddles.
+  std::vector<std::vector<std::int32_t>> assigned(tree_nodes_);
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    std::size_t t = 0;
+    while (t < leaf_offset_) {
+      const std::int64_t m = leaf_value(last_left_leaf(t));
+      if (intervals_[i].hi <= m)
+        t = 2 * t + 1;
+      else if (intervals_[i].lo > m)
+        t = 2 * t + 2;
+      else
+        break;
+    }
+    assigned[t].push_back(static_cast<std::int32_t>(i));
+  }
+
+  // Build chains: per node, an L-chain (ascending lo) and an R-chain
+  // (descending hi). Count chain vertices first.
+  std::size_t chain_total = 0;
+  for (const auto& a : assigned) chain_total += 2 * a.size();
+  g_ = DistributedGraph(tree_nodes_ + chain_total);
+  chain_owner_.assign(chain_total, kNoVertex);
+  chain_pos_.assign(chain_total, 0);
+
+  // Tree node records (vid == heap index).
+  for (std::size_t t = 0; t < tree_nodes_; ++t) {
+    auto& rec = g_.vert(static_cast<Vid>(t));
+    const bool leaf = t >= leaf_offset_;
+    rec.key[6] = leaf ? kLeaf : kInternal;
+    rec.key[0] = leaf ? leaf_value(t - leaf_offset_)
+                      : leaf_value(last_left_leaf(t));
+    rec.key[1] = -1;  // nbr index of L-chain head
+    rec.key[2] = -1;  // nbr index of R-chain head
+    rec.key[3] = -1;  // nbr index of parent
+    rec.level = static_cast<std::int32_t>(mesh::floor_log2(t + 1));
+  }
+
+  // Primary tree edges. Adjacency order matters to the search program:
+  // every node lists its children first (nbr[0] = left, nbr[1] = right),
+  // then its parent, then any chain heads — so the down edges are added for
+  // all nodes before any up edge, one direction at a time.
+  for (std::size_t t = 0; t < leaf_offset_; ++t) {
+    g_.add_edge(static_cast<Vid>(t), static_cast<Vid>(2 * t + 1));
+    g_.add_edge(static_cast<Vid>(t), static_cast<Vid>(2 * t + 2));
+  }
+  for (std::size_t t = 1; t < tree_nodes_; ++t) {
+    auto& rec = g_.vert(static_cast<Vid>(t));
+    rec.key[3] = rec.degree;  // parent's slot
+    g_.add_edge(static_cast<Vid>(t), static_cast<Vid>((t - 1) / 2));
+  }
+
+  // Chain vertices.
+  Vid next_vid = static_cast<Vid>(tree_nodes_);
+  auto build_chain = [&](Vid owner, std::vector<std::int32_t> ids,
+                         bool left_chain) {
+    if (ids.empty()) return;
+    if (left_chain)
+      std::sort(ids.begin(), ids.end(), [&](std::int32_t a, std::int32_t b) {
+        return intervals_[static_cast<std::size_t>(a)].lo <
+               intervals_[static_cast<std::size_t>(b)].lo;
+      });
+    else
+      std::sort(ids.begin(), ids.end(), [&](std::int32_t a, std::int32_t b) {
+        return intervals_[static_cast<std::size_t>(a)].hi >
+               intervals_[static_cast<std::size_t>(b)].hi;
+      });
+    Vid prev = owner;
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      const Vid cv = next_vid++;
+      const auto& iv = intervals_[static_cast<std::size_t>(ids[j])];
+      auto& rec = g_.vert(cv);
+      rec.key[0] = iv.lo;
+      rec.key[1] = iv.hi;
+      rec.key[2] = j + 1 < ids.size() ? 1 : 0;  // has_next
+      rec.key[3] = left_chain ? 0 : 1;          // chain kind
+      rec.key[4] = iv.id;
+      rec.key[6] = kChain;
+      rec.level = g_.vert(owner).level;
+      chain_owner_[static_cast<std::size_t>(cv) - tree_nodes_] = owner;
+      chain_pos_[static_cast<std::size_t>(cv) - tree_nodes_] =
+          static_cast<std::uint32_t>(j);
+      // Edge to predecessor: appended as the chain node's nbr[0]; the head
+      // position within the owner is recorded in the owner's key[1]/key[2].
+      if (j == 0) {
+        auto& orec = g_.vert(owner);
+        const std::int64_t slot = orec.degree;  // where cv will land
+        g_.add_undirected_edge(owner, cv);
+        (left_chain ? orec.key[1] : orec.key[2]) = slot;
+      } else {
+        g_.add_undirected_edge(prev, cv);
+      }
+      prev = cv;
+    }
+  };
+  for (std::size_t t = 0; t < tree_nodes_; ++t) {
+    build_chain(static_cast<Vid>(t), assigned[t], /*left_chain=*/true);
+    build_chain(static_cast<Vid>(t), assigned[t], /*left_chain=*/false);
+  }
+  MS_CHECK(static_cast<std::size_t>(next_vid) == g_.vertex_count());
+  g_.validate();
+}
+
+// ---------------------------------------------------------------------------
+// stabbing program
+// ---------------------------------------------------------------------------
+//
+// States: 0 = fresh arrival at a tree node, 1 = walking down a chain,
+//         2 = walking back up a chain / arrived back with the detour done.
+
+Vid IntervalTree::Stabbing::start(Query&) const { return root; }
+
+Vid IntervalTree::Stabbing::next(const VertexRecord& v, Query& q) const {
+  const std::int64_t x = q.key[0];
+  if (v.key[6] == kChain) {
+    if (q.state == 2) return v.nbr[0];  // keep climbing back
+    const bool left_chain = v.key[3] == 0;
+    const bool in_order = left_chain ? v.key[0] <= x : v.key[1] >= x;
+    if (!in_order) {  // sorted prefix exhausted: turn around
+      q.state = 2;
+      return v.nbr[0];
+    }
+    if (v.key[0] <= x && x <= v.key[1]) {  // a hit
+      q.acc0 += 1;
+      q.acc1 ^= static_cast<std::int64_t>(
+          util::mix64(static_cast<std::uint64_t>(v.key[4])));
+    }
+    if (v.key[2] == 0) {  // chain end: turn around
+      q.state = 2;
+      return v.nbr[0];
+    }
+    return v.nbr[1];  // continue down the chain
+  }
+  // Tree node.
+  const bool leaf = v.key[6] == kLeaf;
+  const bool go_left = x <= v.key[0];
+  if (q.state == 0) {  // fresh arrival: detour into the relevant chain
+    const std::int64_t head = go_left ? v.key[1] : v.key[2];
+    if (head >= 0) {
+      q.state = 1;
+      return v.nbr[static_cast<std::size_t>(head)];
+    }
+  }
+  // Chain done (or absent): descend.
+  q.state = 0;
+  if (leaf) return kNoVertex;
+  return v.nbr[go_left ? 0 : 1];
+}
+
+// ---------------------------------------------------------------------------
+// splittings
+// ---------------------------------------------------------------------------
+
+std::pair<Splitting, Splitting> IntervalTree::alpha_beta_splittings() const {
+  const std::size_t n = g_.vertex_count();
+  const std::uint32_t period = static_cast<std::uint32_t>(std::max<double>(
+      4.0, std::ceil(std::sqrt(static_cast<double>(n)))));
+  const std::int32_t d1 = std::max<std::int32_t>(1, (tree_height_ + 1) / 2);
+  std::int32_t d2 = std::max<std::int32_t>(1, (tree_height_ + 1) / 3);
+  // Cut levels >= 2 apart so the primary-tree borders never touch.
+  if (d2 > d1 - 2) d2 = std::max<std::int32_t>(1, d1 - 2);
+
+  auto tree_label = [&](std::size_t t, std::int32_t d) -> std::int32_t {
+    // 0 for depth < d, else 1 + index of the depth-d ancestor.
+    std::int32_t depth = static_cast<std::int32_t>(mesh::floor_log2(t + 1));
+    if (depth < d) return 0;
+    std::size_t a = t;
+    while (depth > d) {
+      a = (a - 1) / 2;
+      --depth;
+    }
+    return 1 + static_cast<std::int32_t>(a - ((std::size_t{1} << d) - 1));
+  };
+
+  auto make = [&](std::int32_t d, bool attach_prefix) {
+    Splitting s;
+    s.piece.assign(n, -1);
+    std::int32_t next_piece = 1 + (1 << d);  // tree pieces come first
+    // Tree nodes.
+    for (std::size_t t = 0; t < tree_nodes_; ++t)
+      s.piece[t] = tree_label(t, d);
+    // Chain nodes: segment pieces of `period` nodes; with attach_prefix the
+    // first half-period of each chain joins its owner's tree piece.
+    std::vector<std::pair<std::int64_t, std::int32_t>> seg_ids;
+    auto seg_id_for = [&](Vid owner, std::uint32_t seg) {
+      const std::int64_t key =
+          static_cast<std::int64_t>(owner) * (1 << 24) + seg;
+      if (!seg_ids.empty() && seg_ids.back().first == key)
+        return seg_ids.back().second;
+      seg_ids.emplace_back(key, next_piece);
+      return next_piece++;
+    };
+    for (std::size_t c = 0; c < chain_owner_.size(); ++c) {
+      const std::size_t vtx = tree_nodes_ + c;
+      const std::uint32_t pos = chain_pos_[c];
+      const Vid owner = chain_owner_[c];
+      if (attach_prefix && pos < period / 2) {
+        s.piece[vtx] = s.piece[static_cast<std::size_t>(owner)];
+      } else {
+        const std::uint32_t shifted = attach_prefix ? pos - period / 2 : pos;
+        s.piece[vtx] = seg_id_for(owner, shifted / period);
+      }
+    }
+    s.kind.assign(static_cast<std::size_t>(next_piece),
+                  msearch::PieceKind::kPlain);
+    s.delta = std::log(static_cast<double>(
+                  std::max<std::size_t>(2, msearch::max_piece_size(s)))) /
+              std::log(std::max<double>(2.0, static_cast<double>(n)));
+    return s;
+  };
+  return {make(d1, /*attach_prefix=*/false), make(d2, /*attach_prefix=*/true)};
+}
+
+// ---------------------------------------------------------------------------
+// oracles
+// ---------------------------------------------------------------------------
+
+std::pair<std::int64_t, std::int64_t> IntervalTree::stab_oracle(
+    const std::vector<Interval>& intervals, std::int64_t x) {
+  std::int64_t count = 0, checksum = 0;
+  for (const auto& iv : intervals)
+    if (iv.lo <= x && x <= iv.hi) {
+      ++count;
+      checksum ^= static_cast<std::int64_t>(
+          util::mix64(static_cast<std::uint64_t>(iv.id)));
+    }
+  return {count, checksum};
+}
+
+std::int64_t intersect_count_oracle(const std::vector<Interval>& intervals,
+                                    std::int64_t a, std::int64_t b) {
+  std::int64_t count = 0;
+  for (const auto& iv : intervals)
+    if (iv.lo <= b && iv.hi >= a) ++count;
+  return count;
+}
+
+}  // namespace meshsearch::ds

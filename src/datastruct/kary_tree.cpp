@@ -1,0 +1,256 @@
+#include "datastruct/kary_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace meshsearch::ds {
+
+namespace {
+
+constexpr std::int64_t kSentinel = std::numeric_limits<std::int64_t>::max();
+
+/// vid offset of the first node at depth d in BFS numbering: (k^d - 1)/(k-1).
+std::size_t level_offset(unsigned k, std::int32_t d) {
+  std::size_t off = 0, width = 1;
+  for (std::int32_t i = 0; i < d; ++i) {
+    off += width;
+    width *= k;
+  }
+  return off;
+}
+
+std::size_t pow_k(unsigned k, std::int32_t e) {
+  std::size_t p = 1;
+  for (std::int32_t i = 0; i < e; ++i) p *= k;
+  return p;
+}
+
+}  // namespace
+
+std::vector<WeightedKey> iota_keys(std::size_t count) {
+  std::vector<WeightedKey> keys(count);
+  for (std::size_t i = 0; i < count; ++i)
+    keys[i] = WeightedKey{static_cast<std::int64_t>(i), 1};
+  return keys;
+}
+
+KaryTree::KaryTree(std::vector<WeightedKey> keys, unsigned k, TreeMode mode)
+    : k_(k), mode_(mode) {
+  MS_CHECK_MSG(k >= 2 && k <= 6, "supported fan-out is 2..6");
+  MS_CHECK_MSG(!keys.empty(), "empty key set");
+  for (std::size_t i = 1; i < keys.size(); ++i)
+    MS_CHECK_MSG(keys[i - 1].key < keys[i].key, "keys not sorted unique");
+  keys_ = keys.size();
+
+  // Complete k-ary tree: pad the leaf level with +inf sentinels.
+  height_ = 0;
+  while (pow_k(k, height_) < keys.size()) ++height_;
+  leaves_ = pow_k(k, height_);
+  const std::size_t total = level_offset(k, height_ + 1);
+  g_ = DistributedGraph(total);
+  root_ = 0;
+
+  // Leaf weight prefix sums for left-sibling weights.
+  std::vector<std::int64_t> wprefix(leaves_ + 1, 0);
+  for (std::size_t j = 0; j < leaves_; ++j)
+    wprefix[j + 1] = wprefix[j] + (j < keys.size() ? keys[j].weight : 0);
+
+  auto leaf_min = [&](std::size_t leaf_idx) {
+    return leaf_idx < keys.size() ? keys[leaf_idx].key : kSentinel;
+  };
+
+  for (std::int32_t d = 0; d <= height_; ++d) {
+    const std::size_t off = level_offset(k, d);
+    const std::size_t width = pow_k(k, d);
+    const std::size_t span = pow_k(k, height_ - d);  // leaves per subtree
+    for (std::size_t i = 0; i < width; ++i) {
+      auto& rec = g_.vert(static_cast<Vid>(off + i));
+      rec.level = d;
+      const std::size_t first_leaf = i * span;
+      const std::size_t sib_first_leaf = (i - i % k) * span;
+      rec.key[7] = wprefix[first_leaf] - wprefix[sib_first_leaf];
+      if (d == height_) {
+        rec.key[6] = 0;  // leaf
+        rec.key[0] = leaf_min(i);
+        rec.key[5] = i < keys.size() ? keys[i].weight : 0;
+      } else {
+        rec.key[6] = k;
+        for (unsigned c = 1; c < k; ++c)
+          rec.key[c - 1] = leaf_min((i * k + c) * pow_k(k, height_ - d - 1));
+      }
+    }
+  }
+
+  // Edges: children first (so nbr[0..nc-1] are children), then parents.
+  for (std::int32_t d = 0; d < height_; ++d) {
+    const std::size_t off = level_offset(k, d);
+    const std::size_t coff = level_offset(k, d + 1);
+    const std::size_t width = pow_k(k, d);
+    for (std::size_t i = 0; i < width; ++i)
+      for (unsigned c = 0; c < k; ++c)
+        g_.add_edge(static_cast<Vid>(off + i),
+                    static_cast<Vid>(coff + i * k + c));
+  }
+  if (mode_ == TreeMode::kUndirected) {
+    for (std::int32_t d = 1; d <= height_; ++d) {
+      const std::size_t off = level_offset(k, d);
+      const std::size_t poff = level_offset(k, d - 1);
+      const std::size_t width = pow_k(k, d);
+      for (std::size_t i = 0; i < width; ++i)
+        g_.add_edge(static_cast<Vid>(off + i),
+                    static_cast<Vid>(poff + i / k));
+    }
+  }
+  g_.validate();
+}
+
+std::vector<std::int32_t> KaryTree::subtree_labels(std::int32_t d) const {
+  MS_CHECK(d >= 0 && d <= height_ + 1);
+  std::vector<std::int32_t> label(g_.vertex_count(), 0);
+  for (std::int32_t depth = d; depth <= height_; ++depth) {
+    const std::size_t off = level_offset(k_, depth);
+    const std::size_t width = pow_k(k_, depth);
+    const std::size_t shrink = pow_k(k_, depth - d);
+    for (std::size_t i = 0; i < width; ++i)
+      label[off + i] = 1 + static_cast<std::int32_t>(i / shrink);
+  }
+  return label;
+}
+
+namespace {
+double delta_of(const Splitting& s, std::size_t n) {
+  return std::log(static_cast<double>(
+             std::max<std::size_t>(2, msearch::max_piece_size(s)))) /
+         std::log(std::max<double>(2.0, static_cast<double>(n)));
+}
+}  // namespace
+
+Splitting KaryTree::alpha_splitting() const {
+  return alpha_splitting_at(std::max<std::int32_t>(1, (height_ + 1) / 2));
+}
+
+Splitting KaryTree::alpha_splitting_at(std::int32_t d) const {
+  MS_CHECK_MSG(mode_ == TreeMode::kDirected,
+               "alpha splitting applies to the directed tree");
+  Splitting s;
+  const std::int32_t d1 = std::clamp<std::int32_t>(d, 1, std::max(1, height_));
+  if (height_ == 0) {
+    s.piece.assign(1, 0);
+    s.kind.assign(1, msearch::PieceKind::kHead);
+  } else {
+    s.piece = subtree_labels(d1);
+    s.kind.assign(1 + pow_k(k_, d1), msearch::PieceKind::kTail);
+    s.kind[0] = msearch::PieceKind::kHead;
+  }
+  s.delta = delta_of(s, g_.vertex_count());
+  return s;
+}
+
+std::pair<Splitting, Splitting> KaryTree::alpha_beta_splittings() const {
+  MS_CHECK_MSG(mode_ == TreeMode::kUndirected,
+               "alpha-beta splittings apply to the undirected tree");
+  const std::int32_t d1 = std::max<std::int32_t>(1, (height_ + 1) / 2);
+  std::int32_t d2 = std::max<std::int32_t>(1, (height_ + 1) / 3);
+  // Keep the cut levels >= 2 apart so the splitter borders never touch
+  // (Figure 3's h/6 separation, clamped for small trees).
+  if (d2 > d1 - 2) d2 = std::max<std::int32_t>(1, d1 - 2);
+  auto make = [&](std::int32_t d) {
+    Splitting s;
+    if (height_ == 0) {
+      s.piece.assign(1, 0);
+      s.kind.assign(1, msearch::PieceKind::kPlain);
+    } else {
+      s.piece = subtree_labels(d);
+      s.kind.assign(1 + pow_k(k_, d), msearch::PieceKind::kPlain);
+    }
+    s.delta = delta_of(s, g_.vertex_count());
+    return s;
+  };
+  return {make(d1), make(d2)};
+}
+
+KaryTree::EulerScan KaryTree::euler_scan() const {
+  MS_CHECK_MSG(mode_ == TreeMode::kUndirected,
+               "EulerScan requires the undirected tree");
+  return EulerScan{root_};
+}
+
+// ---------------------------------------------------------------------------
+// programs
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Child index chosen when descending for x: the last child whose subtree
+/// minimum is <= x (separators are the minima of children 1..nc-1).
+unsigned pick_child(const VertexRecord& v, std::int64_t x) {
+  const auto nc = static_cast<unsigned>(v.key[6]);
+  unsigned c = 0;
+  while (c + 1 < nc && v.key[c] <= x) ++c;
+  return c;
+}
+}  // namespace
+
+Vid KaryTree::PredecessorSearch::start(Query&) const { return root; }
+
+Vid KaryTree::PredecessorSearch::next(const VertexRecord& v, Query& q) const {
+  if (v.key[6] == 0) {  // leaf
+    q.result = v.id;
+    q.acc0 = (v.key[0] != kSentinel && v.key[0] <= q.key[0])
+                 ? v.key[0]
+                 : std::numeric_limits<std::int64_t>::min();
+    return kNoVertex;
+  }
+  return v.nbr[pick_child(v, q.key[0])];
+}
+
+Vid KaryTree::RankCount::start(Query&) const { return root; }
+
+Vid KaryTree::RankCount::next(const VertexRecord& v, Query& q) const {
+  q.acc0 += v.key[7];  // weight of subtrees left of the descent path
+  if (v.key[6] == 0) {
+    if (v.key[0] != kSentinel && v.key[0] <= q.key[0]) q.acc0 += v.key[5];
+    return kNoVertex;
+  }
+  return v.nbr[pick_child(v, q.key[0])];
+}
+
+Vid KaryTree::EulerScan::start(Query&) const { return root; }
+
+Vid KaryTree::EulerScan::next(const VertexRecord& v, Query& q) const {
+  const auto nc = static_cast<unsigned>(v.key[6]);
+  const std::int64_t lo = q.key[0], hi = q.key[1];
+  if (nc == 0) {  // leaf: report, then continue the in-order walk
+    if (v.key[0] != kSentinel && v.key[0] >= lo && v.key[0] <= hi) {
+      q.acc0 += v.key[5];
+      q.acc1 ^= static_cast<std::int64_t>(
+          util::mix64(static_cast<std::uint64_t>(v.key[0])));
+    }
+    if (v.key[0] == kSentinel || v.key[0] > hi || v.id == root)
+      return kNoVertex;  // past the range (or degenerate one-node tree)
+    q.state = 1;
+    q.prev = v.id;
+    return v.nbr[0];  // parent
+  }
+  if (q.state == 0) {  // still descending toward the first relevant leaf
+    return v.nbr[pick_child(v, lo)];
+  }
+  // Euler step at an internal node: came from q.prev.
+  const Vid parent = v.id == root ? kNoVertex : v.nbr[nc];
+  Vid out;
+  if (q.prev == parent) {
+    out = v.nbr[0];
+  } else {
+    unsigned i = 0;
+    while (i < nc && v.nbr[i] != q.prev) ++i;
+    MS_CHECK_MSG(i < nc, "Euler walk lost its way");
+    out = (i + 1 < nc) ? v.nbr[i + 1] : parent;  // kNoVertex ends at root
+  }
+  q.prev = v.id;
+  return out;
+}
+
+}  // namespace meshsearch::ds

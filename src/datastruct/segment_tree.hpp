@@ -1,0 +1,53 @@
+// Static segment trees on the mesh — a further §6-style application of
+// multisearch for alpha-partitionable directed graphs.
+//
+// The segment tree over the 2n interval endpoints stores, at each node, the
+// number of input intervals whose span covers the node's elementary range
+// entirely but not its parent's (the canonical-set count). A stabbing-count
+// query then accumulates the counts along one root-to-leaf path: a pure
+// directed descent, i.e. exactly the Theorem-5 setting, and an independent
+// cross-check of the interval-tree results (both answer |{i : x in
+// [l_i, r_i]}|, by totally different decompositions).
+//
+// Payload layout (VertexRecord::key):
+//   key[0] = range low, key[1] = range high (inclusive elementary range),
+//   key[2] = canonical count, key[6] = child count (0 for leaves).
+// nbr[0..1] = children. level = depth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datastruct/interval_tree.hpp"  // Interval
+#include "multisearch/graph.hpp"
+#include "multisearch/splitter.hpp"
+
+namespace meshsearch::ds {
+
+class SegmentTree {
+ public:
+  explicit SegmentTree(const std::vector<Interval>& intervals);
+
+  const DistributedGraph& graph() const { return g_; }
+  Vid root() const { return 0; }
+  std::int32_t height() const { return height_; }
+
+  /// Stabbing-count program: q.key[0] = x. Result: q.acc0 = number of
+  /// intervals containing x.
+  struct StabCount {
+    Vid root;
+    Vid start(Query&) const { return root; }
+    Vid next(const VertexRecord& v, Query& q) const;
+  };
+  StabCount stab_count() const { return StabCount{root()}; }
+
+  /// Alpha-splitting at half height (Figure 2 applied to this tree).
+  Splitting alpha_splitting() const;
+
+ private:
+  DistributedGraph g_;
+  std::int32_t height_ = 0;
+  std::vector<std::int64_t> coords_;  ///< sorted distinct endpoints
+};
+
+}  // namespace meshsearch::ds

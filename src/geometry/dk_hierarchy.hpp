@@ -1,0 +1,89 @@
+// Dobkin–Kirkpatrick hierarchical representations of convex polytopes
+// (§5, Theorem 8: multiple tangent plane determination / directional
+// extreme-vertex queries), as hierarchical-DAG multisearch structures.
+//
+// Hierarchy: P_0 = the full polytope; P_{k+1} = conv(V_k \ I_k) for an
+// independent set I_k of vertices with degree <= 12 in P_k's 1-skeleton.
+// Every surviving vertex stays a hull vertex, and the key DK property
+// holds: the extreme vertex of P_k in direction d is either the extreme
+// vertex u of P_{k+1} or one of u's removed neighbours in P_k (a d-monotone
+// path from u ascends through at most one removed vertex — two consecutive
+// removed vertices would violate independence).
+//
+// DAG encoding ("candidate rings"): a query must take the max of dot(d, .)
+// over u's candidate set, but a record holds one point. Every (parent u,
+// candidate z) pair becomes a slot vertex storing z's coordinates; a
+// parent's slots form a cyclic ring (within-level edges). A query walks the
+// full ring recording the best candidate, keeps walking to the best slot
+// (<= one more lap), and descends to that candidate's own ring at the next
+// level. level_work = 2 * max ring length, the generalized model of §3
+// supported by Algorithm 1.
+//
+// The same machinery serves the 2-d (convex polygon) hierarchy in
+// geometry/dk_polygon.hpp — points with z = 0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/hull3d.hpp"
+#include "geometry/predicates.hpp"
+#include "multisearch/hierarchical.hpp"
+
+namespace meshsearch::geom {
+
+/// Coarse-to-fine hierarchy description consumed by build_extreme_dag.
+struct HierarchyLevels {
+  std::vector<Point3> pts;  ///< coordinates of every vertex id used
+  /// layer[0] = coarsest vertex set (<= ~8 ids) ... layer.back() = finest.
+  std::vector<std::vector<std::int32_t>> layer;
+  /// cand[l][i] = candidate ids (into pts) in layer l for the i-th vertex u
+  /// of layer l-1: u itself first, then u's removed neighbours. l >= 1.
+  std::vector<std::vector<std::vector<std::int32_t>>> cand;
+};
+
+/// The slot DAG over a hierarchy plus its derived parameters.
+struct ExtremeDag {
+  msearch::DistributedGraph dag;
+  std::int32_t level_work = 2;
+  double mu = 2.0;
+  msearch::Vid root = 0;
+
+  msearch::HierarchicalDag hierarchical_dag() const {
+    return msearch::HierarchicalDag(dag, mu, level_work);
+  }
+};
+
+ExtremeDag build_extreme_dag(const HierarchyLevels& h);
+
+/// Directional extreme-vertex program: q.key[0..2] = direction d.
+/// Result: q.result = extreme vertex id, q.acc0 = max dot(d, v).
+/// The supporting (tangent) plane is { x : dot(d, x) = q.acc0 }.
+struct ExtremeQuery {
+  msearch::Vid root;
+  msearch::Vid start(msearch::Query&) const { return root; }
+  msearch::Vid next(const msearch::VertexRecord& v, msearch::Query& q) const;
+};
+
+/// 3-d DK hierarchy over the convex hull of `pts`.
+class DKHierarchy3 {
+ public:
+  /// pts: at least 4 non-coplanar points, |coords| <= kMaxCoord.
+  DKHierarchy3(std::vector<Point3> pts, util::Rng& rng,
+               unsigned max_degree = 12);
+
+  const ExtremeDag& extreme_dag() const { return dag_; }
+  ExtremeQuery extreme_program() const { return ExtremeQuery{dag_.root}; }
+  std::size_t hierarchy_levels() const { return num_levels_; }
+  const std::vector<Point3>& points() const { return pts_; }
+  /// Vertex ids of the finest hull P_0 (the answer space).
+  const std::vector<std::int32_t>& hull_vertices() const { return hull_verts_; }
+
+ private:
+  std::vector<Point3> pts_;
+  std::vector<std::int32_t> hull_verts_;
+  std::size_t num_levels_ = 0;
+  ExtremeDag dag_;
+};
+
+}  // namespace meshsearch::geom

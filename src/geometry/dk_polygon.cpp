@@ -1,0 +1,159 @@
+#include "geometry/dk_polygon.hpp"
+
+#include <algorithm>
+
+#include "geometry/hull2d.hpp"
+#include "util/check.hpp"
+
+namespace meshsearch::geom {
+
+DKPolygon::DKPolygon(std::vector<Point2> poly) : poly_(std::move(poly)) {
+  MS_CHECK_MSG(is_strictly_convex_ccw(poly_), "polygon must be strictly convex ccw");
+  for (const auto& p : poly_)
+    MS_CHECK(std::abs(p.x) <= kMaxCoord && std::abs(p.y) <= kMaxCoord);
+
+  HierarchyLevels h;
+  h.pts.reserve(poly_.size());
+  for (const auto& p : poly_) h.pts.push_back(Point3{p.x, p.y, 0});
+
+  // Fine-to-coarse: remove every second vertex until <= 8 remain.
+  std::vector<std::vector<std::int32_t>> fine_layers;
+  std::vector<std::vector<std::vector<std::int32_t>>> fine_cands;
+  std::vector<std::int32_t> cur(poly_.size());
+  for (std::size_t i = 0; i < poly_.size(); ++i)
+    cur[i] = static_cast<std::int32_t>(i);
+  fine_layers.push_back(cur);
+  while (cur.size() > 8) {
+    const std::size_t m = cur.size();
+    // Remove odd positions; with odd m the last even position keeps both of
+    // its neighbours so independence holds trivially (degree-2 cycle).
+    std::vector<std::int32_t> survivors;
+    std::vector<std::vector<std::int32_t>> cands;
+    for (std::size_t i = 0; i < m; i += 2) {
+      survivors.push_back(cur[i]);
+      std::vector<std::int32_t> c{cur[i]};
+      if ((i + 1) % m % 2 == 1) c.push_back(cur[(i + 1) % m]);  // next removed
+      const std::size_t prev = (i + m - 1) % m;
+      if (prev % 2 == 1) c.push_back(cur[prev]);  // previous removed
+      cands.push_back(std::move(c));
+    }
+    fine_cands.push_back(std::move(cands));
+    fine_layers.push_back(survivors);
+    cur = fine_layers.back();
+  }
+
+  // Assemble coarse-to-fine.
+  const std::size_t K = fine_layers.size() - 1;
+  num_levels_ = fine_layers.size();
+  h.layer.resize(K + 1);
+  h.cand.resize(K + 1);
+  for (std::size_t k = 0; k <= K; ++k) h.layer[k] = fine_layers[K - k];
+  for (std::size_t l = 1; l <= K; ++l) h.cand[l] = fine_cands[K - l];
+  dag_ = build_extreme_dag(h);
+}
+
+std::vector<msearch::Query> DKPolygon::make_line_queries(
+    const std::vector<Line>& lines) const {
+  auto qs = std::vector<msearch::Query>(2 * lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (int side = 0; side < 2; ++side) {
+      auto& q = qs[2 * i + static_cast<std::size_t>(side)];
+      q.qid = static_cast<std::int32_t>(2 * i + static_cast<std::size_t>(side));
+      const Scalar sgn = side == 0 ? 1 : -1;
+      q.key[0] = sgn * lines[i].a;
+      q.key[1] = sgn * lines[i].b;
+      q.key[2] = 0;
+    }
+  }
+  return qs;
+}
+
+std::vector<bool> DKPolygon::combine_line_answers(
+    const std::vector<Line>& lines, const std::vector<msearch::Query>& qs) {
+  MS_CHECK(qs.size() == 2 * lines.size());
+  std::vector<bool> out(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    // max(ax+by) >= c and min(ax+by) <= c <=> the line meets the polygon.
+    const std::int64_t maxdot = qs[2 * i].acc0;
+    const std::int64_t mindot = -qs[2 * i + 1].acc0;  // max of -d
+    out[i] = maxdot >= lines[i].c && mindot <= lines[i].c;
+  }
+  return out;
+}
+
+msearch::Vid DKPolygon::PointTangent::next(const msearch::VertexRecord& v,
+                                           msearch::Query& q) const {
+  const Point2 p{q.key[0], q.key[1]};
+  const int side = q.key[2] >= 0 ? 1 : -1;
+  const Point2 cand{v.key[0], v.key[1]};
+  const auto ring_len = static_cast<std::int32_t>(v.key[3]);
+  const bool ring_edge = v.key[3] > 1;
+  const msearch::Vid ring_next = ring_edge ? v.nbr[0] : msearch::kNoVertex;
+  const msearch::Vid descend =
+      v.key[6] ? v.nbr[ring_edge ? 1 : 0] : msearch::kNoVertex;
+
+  bool better = q.state == 0;
+  if (!better) {
+    const Point2 best{q.acc0, q.acc1};
+    const int o = side * orient2d(p, best, cand);
+    if (o > 0) {
+      better = true;
+    } else if (o == 0) {
+      // Collinear with the current best: the farther point witnesses the
+      // same tangent line; prefer it for determinism.
+      const auto d2 = [&](const Point2& a) {
+        const __int128 dx = a.x - p.x, dy = a.y - p.y;
+        return dx * dx + dy * dy;
+      };
+      better = d2(cand) > d2(best);
+    }
+  }
+  if (better) {
+    q.acc0 = cand.x;
+    q.acc1 = cand.y;
+    q.result = static_cast<std::int32_t>(v.key[4]);
+  }
+  ++q.state;
+  if (q.state < ring_len) return ring_next;
+  if (static_cast<std::int32_t>(v.key[4]) == q.result) {
+    q.state = 0;
+    return descend;
+  }
+  MS_CHECK_MSG(q.state < 2 * ring_len + 2, "tangent ring walk diverged");
+  return ring_next;
+}
+
+bool DKPolygon::point_outside(const Point2& p) const {
+  for (std::size_t i = 0; i < poly_.size(); ++i)
+    if (orient2d(poly_[i], poly_[(i + 1) % poly_.size()], p) < 0) return true;
+  return false;
+}
+
+bool DKPolygon::is_tangent_vertex(const Point2& p, std::int32_t t,
+                                  int side) const {
+  if (t < 0 || static_cast<std::size_t>(t) >= poly_.size()) return false;
+  const Point2 tv = poly_[static_cast<std::size_t>(t)];
+  for (const auto& w : poly_)
+    if (side * orient2d(p, tv, w) > 0) return false;
+  return true;
+}
+
+std::int64_t DKPolygon::extreme_dot_brute(const Point2& d) const {
+  std::int64_t best = std::numeric_limits<std::int64_t>::min();
+  for (const auto& p : poly_)
+    best = std::max(best, dot3(Point3{d.x, d.y, 0}, Point3{p.x, p.y, 0}));
+  return best;
+}
+
+bool DKPolygon::line_intersects_brute(const Line& l) const {
+  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+  std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+  for (const auto& p : poly_) {
+    const auto v = dot3(Point3{l.a, l.b, 0}, Point3{p.x, p.y, 0});
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return lo <= l.c && l.c <= hi;
+}
+
+}  // namespace meshsearch::geom

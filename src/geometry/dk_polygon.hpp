@@ -1,0 +1,79 @@
+// Dobkin–Kirkpatrick hierarchy for convex polygons (the 2-d instance of
+// §5's hierarchical representations): alternate-vertex removal halves the
+// polygon per level (mu = 2 exactly), candidate rings have length <= 3.
+//
+// Applications (Theorem 8 items 1-2 in their 2-d form, documented
+// substitution in DESIGN.md):
+//   * multiple tangent-line determination — directional extreme queries;
+//   * multiple line-polygon intersection tests — a line meets the polygon
+//     iff the extreme vertices along +normal and -normal straddle it, i.e.
+//     two extreme queries and two sign tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/dk_hierarchy.hpp"
+#include "geometry/predicates.hpp"
+
+namespace meshsearch::geom {
+
+class DKPolygon {
+ public:
+  /// poly: strictly convex, counter-clockwise, >= 3 vertices,
+  /// |coords| <= kMaxCoord.
+  explicit DKPolygon(std::vector<Point2> poly);
+
+  const ExtremeDag& extreme_dag() const { return dag_; }
+  ExtremeQuery extreme_program() const { return ExtremeQuery{dag_.root}; }
+  std::size_t hierarchy_levels() const { return num_levels_; }
+  const std::vector<Point2>& polygon() const { return poly_; }
+
+  /// Queries for a batch of line-intersection tests: line i is
+  /// a_i * x + b_i * y = c_i; emits two extreme queries per line
+  /// (directions (a,b) and (-a,-b)). After running them, combine() returns
+  /// per-line booleans: does the line meet the polygon?
+  struct Line {
+    Scalar a = 0, b = 0, c = 0;
+  };
+  std::vector<msearch::Query> make_line_queries(
+      const std::vector<Line>& lines) const;
+  static std::vector<bool> combine_line_answers(
+      const std::vector<Line>& lines,
+      const std::vector<msearch::Query>& queries);
+
+  /// Tangent lines through an external point (Theorem 8 item 1's "two
+  /// planes through l tangent to P" in the polygon setting): the
+  /// counter-clockwise-most (side = +1) or clockwise-most (side = -1)
+  /// polygon vertex as seen from p. The angular position of the boundary
+  /// seen from an external point is unimodal, so the DK candidate property
+  /// holds exactly as for linear extremes (see dk_hierarchy.hpp).
+  ///
+  /// q.key[0..1] = p (must be strictly outside the polygon),
+  /// q.key[2] = side (+1 / -1). Result: q.result = tangent vertex id,
+  /// (q.acc0, q.acc1) = its coordinates.
+  struct PointTangent {
+    msearch::Vid root;
+    msearch::Vid start(msearch::Query&) const { return root; }
+    msearch::Vid next(const msearch::VertexRecord& v,
+                      msearch::Query& q) const;
+  };
+  PointTangent tangent_program() const { return PointTangent{dag_.root}; }
+
+  /// True iff vertex id `t` witnesses the side-tangent from p: no polygon
+  /// vertex lies strictly beyond the line (p, t) on that side.
+  bool is_tangent_vertex(const Point2& p, std::int32_t t, int side) const;
+
+  bool point_outside(const Point2& p) const;
+
+  /// Reference answers.
+  std::int64_t extreme_dot_brute(const Point2& d) const;
+  bool line_intersects_brute(const Line& l) const;
+
+ private:
+  std::vector<Point2> poly_;
+  std::size_t num_levels_ = 0;
+  ExtremeDag dag_;
+};
+
+}  // namespace meshsearch::geom

@@ -1,0 +1,72 @@
+#include "geometry/hull2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace meshsearch::geom {
+
+std::vector<Point2> convex_hull(std::vector<Point2> pts) {
+  std::sort(pts.begin(), pts.end(), [](const Point2& a, const Point2& b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const std::size_t n = pts.size();
+  if (n <= 2) return pts;
+  std::vector<Point2> hull(2 * n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // lower chain
+    while (k >= 2 && orient2d(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  const std::size_t lower = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {  // upper chain
+    while (k >= lower && orient2d(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+bool is_strictly_convex_ccw(const std::vector<Point2>& poly) {
+  const std::size_t n = poly.size();
+  if (n < 3) return false;
+  for (std::size_t i = 0; i < n; ++i)
+    if (orient2d(poly[i], poly[(i + 1) % n], poly[(i + 2) % n]) <= 0)
+      return false;
+  return true;
+}
+
+std::vector<Point2> random_convex_polygon(std::size_t target, Scalar radius,
+                                          util::Rng& rng) {
+  MS_CHECK(target >= 3 && radius >= 8 && radius <= kMaxCoord);
+  // Sample angles, round onto the integer grid near the circle, and hull.
+  std::vector<Point2> pts;
+  pts.reserve(2 * target);
+  const double tau = 6.283185307179586;
+  for (std::size_t i = 0; i < 2 * target; ++i) {
+    const double ang = rng.uniform_real() * tau;
+    pts.push_back(Point2{
+        static_cast<Scalar>(std::llround(std::cos(ang) * double(radius))),
+        static_cast<Scalar>(std::llround(std::sin(ang) * double(radius)))});
+  }
+  auto hull = convex_hull(std::move(pts));
+  MS_CHECK_MSG(hull.size() >= 3, "degenerate random polygon");
+  return hull;
+}
+
+std::vector<Point2> random_points_in_disk(std::size_t count, Scalar radius,
+                                          util::Rng& rng) {
+  MS_CHECK(radius >= 2 && radius <= kMaxCoord);
+  std::vector<Point2> pts;
+  pts.reserve(count);
+  while (pts.size() < count) {
+    const Scalar x = rng.uniform_range(-radius, radius);
+    const Scalar y = rng.uniform_range(-radius, radius);
+    if (x * x + y * y <= radius * radius) pts.push_back(Point2{x, y});
+  }
+  return pts;
+}
+
+}  // namespace meshsearch::geom

@@ -1,0 +1,29 @@
+// 2-d convex hulls (Andrew's monotone chain) and convex-polygon workload
+// generators. Substrate for the Dobkin–Kirkpatrick polygon hierarchy (§5).
+#pragma once
+
+#include <vector>
+
+#include "geometry/predicates.hpp"
+#include "util/rng.hpp"
+
+namespace meshsearch::geom {
+
+/// Convex hull of `pts` in counter-clockwise order, collinear points on the
+/// hull boundary removed. Duplicates allowed in the input.
+std::vector<Point2> convex_hull(std::vector<Point2> pts);
+
+/// True iff `poly` is convex, counter-clockwise, with no three consecutive
+/// collinear vertices.
+bool is_strictly_convex_ccw(const std::vector<Point2>& poly);
+
+/// A convex polygon with `target` vertices (or slightly fewer after hulling)
+/// sampled on an integer circle of the given radius.
+std::vector<Point2> random_convex_polygon(std::size_t target, Scalar radius,
+                                          util::Rng& rng);
+
+/// `count` points uniform in the disk of the given radius.
+std::vector<Point2> random_points_in_disk(std::size_t count, Scalar radius,
+                                          util::Rng& rng);
+
+}  // namespace meshsearch::geom

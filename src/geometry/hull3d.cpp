@@ -1,0 +1,306 @@
+#include "geometry/hull3d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace meshsearch::geom {
+
+namespace {
+
+struct Face {
+  std::array<std::int32_t, 3> v{};
+  bool alive = false;
+  std::vector<std::int32_t> conflicts;  ///< point ids strictly seeing this face
+};
+
+/// p strictly sees face f (is on its positive/outside half-space).
+bool sees(const std::vector<Point3>& pts, const Face& f, std::int32_t p) {
+  return orient3d(pts[static_cast<std::size_t>(f.v[0])],
+                  pts[static_cast<std::size_t>(f.v[1])],
+                  pts[static_cast<std::size_t>(f.v[2])],
+                  pts[static_cast<std::size_t>(p)]) > 0;
+}
+
+std::uint64_t edge_key(std::int32_t a, std::int32_t b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+}  // namespace
+
+Hull3 convex_hull3(const std::vector<Point3>& pts, util::Rng& rng) {
+  const std::size_t n = pts.size();
+  MS_CHECK_MSG(n >= 4, "hull3 needs at least 4 points");
+  for (const auto& p : pts) {
+    MS_CHECK(std::abs(p.x) <= kMaxCoord && std::abs(p.y) <= kMaxCoord &&
+             std::abs(p.z) <= kMaxCoord);
+  }
+  auto order32 = util::random_permutation(n, rng);
+  std::vector<std::int32_t> order(order32.begin(), order32.end());
+
+  // Seed: find 4 points in the random order that are affinely independent,
+  // moving them to the front.
+  {
+    std::size_t j = 1;
+    // second point distinct from first.
+    while (j < n && pts[static_cast<std::size_t>(order[j])] ==
+                        pts[static_cast<std::size_t>(order[0])])
+      ++j;
+    MS_CHECK_MSG(j < n, "all points identical");
+    std::swap(order[1], order[j]);
+    // third point not collinear.
+    auto collinear = [&](std::int32_t a, std::int32_t b, std::int32_t c) {
+      const auto &A = pts[static_cast<std::size_t>(a)],
+                 &B = pts[static_cast<std::size_t>(b)],
+                 &C = pts[static_cast<std::size_t>(c)];
+      const __int128 ux = B.x - A.x, uy = B.y - A.y, uz = B.z - A.z;
+      const __int128 vx = C.x - A.x, vy = C.y - A.y, vz = C.z - A.z;
+      return uy * vz - uz * vy == 0 && uz * vx - ux * vz == 0 &&
+             ux * vy - uy * vx == 0;
+    };
+    j = 2;
+    while (j < n && collinear(order[0], order[1], order[j])) ++j;
+    MS_CHECK_MSG(j < n, "all points collinear");
+    std::swap(order[2], order[j]);
+    j = 3;
+    while (j < n && orient3d(pts[static_cast<std::size_t>(order[0])],
+                             pts[static_cast<std::size_t>(order[1])],
+                             pts[static_cast<std::size_t>(order[2])],
+                             pts[static_cast<std::size_t>(order[j])]) == 0)
+      ++j;
+    MS_CHECK_MSG(j < n, "all points coplanar");
+    std::swap(order[3], order[j]);
+  }
+
+  std::vector<Face> faces;
+  // Inverse conflict index: point -> faces it sees (lazily pruned of dead
+  // faces); keeps each insertion's work proportional to its conflict size.
+  std::vector<std::vector<std::int32_t>> point_faces(n);
+  std::unordered_map<std::uint64_t, std::int32_t> edge_face;
+  auto add_face = [&](std::int32_t a, std::int32_t b, std::int32_t c) {
+    Face f;
+    f.v = {a, b, c};
+    f.alive = true;
+    faces.push_back(std::move(f));
+    const auto id = static_cast<std::int32_t>(faces.size() - 1);
+    edge_face[edge_key(a, b)] = id;
+    edge_face[edge_key(b, c)] = id;
+    edge_face[edge_key(c, a)] = id;
+    return id;
+  };
+
+  // Initial tetrahedron, oriented outward.
+  {
+    std::int32_t a = order[0], b = order[1], c = order[2], d = order[3];
+    if (orient3d(pts[static_cast<std::size_t>(a)],
+                 pts[static_cast<std::size_t>(b)],
+                 pts[static_cast<std::size_t>(c)],
+                 pts[static_cast<std::size_t>(d)]) > 0)
+      std::swap(b, c);
+    // Now d is on the negative side of (a,b,c): all faces below are outward.
+    add_face(a, b, c);
+    add_face(a, c, d);
+    add_face(c, b, d);
+    add_face(b, a, d);
+    for (std::size_t i = 4; i < n; ++i) {
+      const std::int32_t p = order[i];
+      for (std::int32_t f = 0; f < 4; ++f)
+        if (sees(pts, faces[static_cast<std::size_t>(f)], p)) {
+          faces[static_cast<std::size_t>(f)].conflicts.push_back(p);
+          point_faces[static_cast<std::size_t>(p)].push_back(f);
+        }
+    }
+  }
+
+  std::vector<std::int32_t> visible;
+  for (std::size_t i = 4; i < n; ++i) {
+    const std::int32_t p = order[i];
+    // Seeds: alive faces in p's inverse conflict list.
+    visible.clear();
+    for (const auto f : point_faces[static_cast<std::size_t>(p)])
+      if (faces[static_cast<std::size_t>(f)].alive)
+        visible.push_back(f);
+    point_faces[static_cast<std::size_t>(p)].clear();
+    if (visible.empty()) continue;  // p inside (or on) the current hull
+    // The conflict lists make the scan above O(total conflicts); recompute
+    // the full visible set from the seeds to be safe against coplanarity:
+    // flood fill across edges.
+    std::unordered_set<std::int32_t> vis(visible.begin(), visible.end());
+    std::vector<std::int32_t> stack(visible.begin(), visible.end());
+    while (!stack.empty()) {
+      const auto f = stack.back();
+      stack.pop_back();
+      const auto& fv = faces[static_cast<std::size_t>(f)].v;
+      for (int e = 0; e < 3; ++e) {
+        const auto it = edge_face.find(
+            edge_key(fv[static_cast<std::size_t>((e + 1) % 3)],
+                     fv[static_cast<std::size_t>(e)]));
+        if (it == edge_face.end()) continue;
+        const auto g = it->second;
+        if (vis.count(g) || !faces[static_cast<std::size_t>(g)].alive) continue;
+        if (sees(pts, faces[static_cast<std::size_t>(g)], p)) {
+          vis.insert(g);
+          stack.push_back(g);
+        }
+      }
+    }
+    visible.assign(vis.begin(), vis.end());
+    std::sort(visible.begin(), visible.end());
+
+    // Horizon: directed edges of visible faces whose twin is not visible.
+    struct HorizonEdge {
+      std::int32_t a, b;      ///< directed as in the visible face
+      std::int32_t vis_face;  ///< the visible face it came from
+      std::int32_t inv_face;  ///< the surviving face across it
+    };
+    std::vector<HorizonEdge> horizon;
+    for (const auto f : visible) {
+      const auto& fv = faces[static_cast<std::size_t>(f)].v;
+      for (int e = 0; e < 3; ++e) {
+        const std::int32_t a = fv[static_cast<std::size_t>(e)];
+        const std::int32_t b = fv[static_cast<std::size_t>((e + 1) % 3)];
+        const auto it = edge_face.find(edge_key(b, a));
+        if (it == edge_face.end()) continue;
+        const auto g = it->second;
+        if (!vis.count(g)) horizon.push_back({a, b, f, g});
+      }
+    }
+    MS_CHECK_MSG(!horizon.empty(), "visible region has no horizon");
+
+    // Retire visible faces; collect their conflicts as candidates.
+    std::vector<std::int32_t> candidates;
+    for (const auto f : visible) {
+      auto& ff = faces[static_cast<std::size_t>(f)];
+      ff.alive = false;
+      candidates.insert(candidates.end(), ff.conflicts.begin(),
+                        ff.conflicts.end());
+      ff.conflicts.clear();
+      ff.conflicts.shrink_to_fit();
+      for (int e = 0; e < 3; ++e) {
+        const auto key = edge_key(ff.v[static_cast<std::size_t>(e)],
+                                  ff.v[static_cast<std::size_t>((e + 1) % 3)]);
+        auto it = edge_face.find(key);
+        if (it != edge_face.end() && it->second == f) edge_face.erase(it);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    // New fan of faces around p.
+    for (const auto& he : horizon) {
+      const auto nf = add_face(he.a, he.b, p);
+      auto& f = faces[static_cast<std::size_t>(nf)];
+      for (const auto q : candidates) {
+        if (q == p) continue;
+        if (sees(pts, f, q)) {
+          f.conflicts.push_back(q);
+          point_faces[static_cast<std::size_t>(q)].push_back(nf);
+        }
+      }
+      // Points seen only by the surviving neighbour may also see the new
+      // face across the horizon ridge.
+      for (const auto q :
+           faces[static_cast<std::size_t>(he.inv_face)].conflicts) {
+        if (q == p) continue;
+        if (std::find(f.conflicts.begin(), f.conflicts.end(), q) !=
+            f.conflicts.end())
+          continue;
+        if (sees(pts, f, q)) {
+          f.conflicts.push_back(q);
+          point_faces[static_cast<std::size_t>(q)].push_back(nf);
+        }
+      }
+    }
+  }
+
+  Hull3 out;
+  std::unordered_set<std::int32_t> vset;
+  for (const auto& f : faces) {
+    if (!f.alive) continue;
+    out.faces.push_back(f.v);
+    for (const auto v : f.v) vset.insert(v);
+  }
+  out.vertices.assign(vset.begin(), vset.end());
+  std::sort(out.vertices.begin(), out.vertices.end());
+  return out;
+}
+
+std::vector<std::vector<std::int32_t>> hull_adjacency(const Hull3& hull,
+                                                      std::size_t num_pts) {
+  std::vector<std::vector<std::int32_t>> adj(num_pts);
+  auto link = [&](std::int32_t a, std::int32_t b) {
+    auto& la = adj[static_cast<std::size_t>(a)];
+    if (std::find(la.begin(), la.end(), b) == la.end()) la.push_back(b);
+  };
+  for (const auto& f : hull.faces)
+    for (int e = 0; e < 3; ++e) {
+      link(f[static_cast<std::size_t>(e)], f[static_cast<std::size_t>((e + 1) % 3)]);
+      link(f[static_cast<std::size_t>((e + 1) % 3)], f[static_cast<std::size_t>(e)]);
+    }
+  return adj;
+}
+
+std::vector<Point3> random_points_in_ball(std::size_t count, Scalar radius,
+                                          util::Rng& rng) {
+  MS_CHECK(radius >= 4 && radius <= kMaxCoord);
+  std::vector<Point3> pts;
+  std::unordered_set<std::uint64_t> seen;
+  while (pts.size() < count) {
+    const Scalar x = rng.uniform_range(-radius, radius);
+    const Scalar y = rng.uniform_range(-radius, radius);
+    const Scalar z = rng.uniform_range(-radius, radius);
+    if (x * x + y * y + z * z > radius * radius) continue;
+    const std::uint64_t key = util::mix64(static_cast<std::uint64_t>(
+        (x + radius) * 4 * radius * radius + (y + radius) * 2 * radius +
+        (z + radius)));
+    if (!seen.insert(key).second) continue;
+    pts.push_back(Point3{x, y, z});
+  }
+  return pts;
+}
+
+std::vector<Point3> random_points_on_sphere(std::size_t count, Scalar radius,
+                                            util::Rng& rng) {
+  MS_CHECK(radius >= 16 && radius <= kMaxCoord);
+  std::vector<Point3> pts;
+  std::unordered_set<std::uint64_t> seen;
+  const double r = static_cast<double>(radius);
+  while (pts.size() < count) {
+    // Marsaglia sphere sampling, rounded to the grid.
+    double u = 2 * rng.uniform_real() - 1, v = 2 * rng.uniform_real() - 1;
+    const double s = u * u + v * v;
+    if (s >= 1 || s == 0) continue;
+    const double m = std::sqrt(1 - s);
+    const Scalar x = static_cast<Scalar>(std::llround(2 * u * m * r));
+    const Scalar y = static_cast<Scalar>(std::llround(2 * v * m * r));
+    const Scalar z = static_cast<Scalar>(std::llround((1 - 2 * s) * r));
+    const std::uint64_t key = util::mix64(static_cast<std::uint64_t>(
+        (x + radius) * 4 * radius * radius + (y + radius) * 2 * radius +
+        (z + radius)));
+    if (!seen.insert(key).second) continue;
+    pts.push_back(Point3{x, y, z});
+  }
+  return pts;
+}
+
+std::int32_t extreme_point_brute(const std::vector<Point3>& pts,
+                                 const Point3& d) {
+  MS_CHECK(!pts.empty());
+  std::int32_t best = 0;
+  std::int64_t best_dot = dot3(d, pts[0]);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const auto v = dot3(d, pts[i]);
+    if (v > best_dot) {
+      best_dot = v;
+      best = static_cast<std::int32_t>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace meshsearch::geom

@@ -1,0 +1,45 @@
+// 3-d convex hulls: randomized incremental construction with conflict
+// lists (Clarkson–Shor style), exact integer predicates. Substrate for the
+// Dobkin–Kirkpatrick polytope hierarchy (§5, Theorem 8).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/predicates.hpp"
+#include "util/rng.hpp"
+
+namespace meshsearch::geom {
+
+struct Hull3 {
+  /// Outward-oriented triangular facets (indices into the input points).
+  std::vector<std::array<std::int32_t, 3>> faces;
+  /// Sorted ids of the points that are hull vertices.
+  std::vector<std::int32_t> vertices;
+};
+
+/// Convex hull of `pts` (at least 4 non-coplanar points; |coords| <=
+/// kMaxCoord). Points interior to the hull or coplanar-inside a facet are
+/// simply absent from the output. Insertion order is randomized with `rng`.
+Hull3 convex_hull3(const std::vector<Point3>& pts, util::Rng& rng);
+
+/// Adjacency lists (over point ids) of the hull's 1-skeleton.
+std::vector<std::vector<std::int32_t>> hull_adjacency(const Hull3& hull,
+                                                      std::size_t num_pts);
+
+/// `count` points uniform in the ball of the given radius (radius <=
+/// kMaxCoord / 2), deduplicated.
+std::vector<Point3> random_points_in_ball(std::size_t count, Scalar radius,
+                                          util::Rng& rng);
+
+/// `count` points on (near) the sphere of the given radius — most become
+/// hull vertices, the interesting case for the DK hierarchy.
+std::vector<Point3> random_points_on_sphere(std::size_t count, Scalar radius,
+                                            util::Rng& rng);
+
+/// Brute-force extreme point: index into pts maximizing dot(d, p).
+std::int32_t extreme_point_brute(const std::vector<Point3>& pts,
+                                 const Point3& d);
+
+}  // namespace meshsearch::geom

@@ -1,0 +1,96 @@
+// Kirkpatrick's subdivision hierarchy (§5, [Kir83], [DK87]) as a
+// hierarchical-DAG search structure for multiple planar point location.
+//
+// Construction: start from a triangulation of the point set inside a
+// bounding triangle (geometry/triangulate.hpp); repeatedly remove an
+// independent set of interior vertices of degree <= max_degree and
+// retriangulate each star-shaped hole by ear clipping, linking every new
+// (coarser) triangle to the old (finer) triangles it overlaps (exact
+// separating-axis tests). The last level is the bounding triangle alone.
+//
+// DAG encoding ("slot" nodes): a query at a coarse triangle must test which
+// of its <= max_degree finer children contains the point, but a vertex
+// record can only hold ONE triangle's coordinates. So every (parent, child)
+// pair becomes a slot vertex holding the child's corner coordinates; a
+// parent's slots form a chain (within-level edges), and a slot whose
+// triangle contains the query point descends to the head of that child's
+// own chain. A query therefore takes <= chain-length steps per level —
+// exactly the generalized hierarchical-DAG model (level_work) that
+// Algorithm 1 supports with a constant-factor cost.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/triangulate.hpp"
+#include "multisearch/hierarchical.hpp"
+
+namespace meshsearch::geom {
+
+class Kirkpatrick {
+ public:
+  /// Build over `points` (distinct, |coords| < radius, 4*radius <=
+  /// kMaxCoord). max_degree is the removal degree cap (Kirkpatrick uses a
+  /// constant; 8 keeps chains short).
+  Kirkpatrick(std::vector<Point2> points, Scalar radius,
+              unsigned max_degree = 8);
+
+  const msearch::DistributedGraph& dag() const { return dag_; }
+  msearch::Vid root_slot() const { return 0; }
+
+  std::size_t hierarchy_levels() const { return levels_.size(); }
+  std::int32_t level_work() const { return level_work_; }
+  double mu() const { return mu_; }
+
+  /// View of the slot DAG as the paper's §3 input class.
+  msearch::HierarchicalDag hierarchical_dag() const {
+    return msearch::HierarchicalDag(dag_, mu_, level_work_);
+  }
+
+  /// Triangles of the finest triangulation (answer space).
+  std::size_t finest_triangle_count() const { return levels_.front().tri.size(); }
+  std::array<Point2, 3> finest_corners(std::int32_t id) const;
+
+  /// q.result value for probes outside the bounding triangle.
+  static constexpr std::int32_t kOutside = -2;
+
+  /// Corner points of the bounding triangle (hierarchy root).
+  std::array<Point2, 3> bounding_corners() const {
+    return {verts_[0], verts_[1], verts_[2]};
+  }
+
+  /// Point-location program: q.key[0], q.key[1] = point coordinates.
+  /// Result: q.result = id of a finest triangle containing the point, or
+  /// kOutside for points outside the bounding triangle.
+  struct PointLocate {
+    msearch::Vid root;
+    msearch::Vid start(msearch::Query&) const { return root; }
+    msearch::Vid next(const msearch::VertexRecord& v,
+                      msearch::Query& q) const;
+  };
+  PointLocate locate_program() const { return PointLocate{root_slot()}; }
+
+  /// Does the finest triangle q.result contain the point in q.key?
+  bool answer_contains_point(const msearch::Query& q) const;
+
+ private:
+  struct Level {
+    std::vector<std::array<std::int32_t, 3>> tri;  ///< ccw vertex ids
+    /// children[j] = indices of finer-level triangles overlapping tri j
+    /// (empty for the finest level).
+    std::vector<std::vector<std::int32_t>> children;
+  };
+
+  Level coarsen(const Level& fine, std::vector<std::uint8_t>& removed_flag,
+                unsigned max_degree);
+  void build_dag();
+
+  std::vector<Point2> verts_;        ///< shared vertex coordinates
+  std::vector<Level> levels_;        ///< [0] = finest ... back() = 1 triangle
+  msearch::DistributedGraph dag_;
+  std::int32_t level_work_ = 1;
+  double mu_ = 2.0;
+};
+
+}  // namespace meshsearch::geom

@@ -1,0 +1,144 @@
+#include "geometry/triangulate.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace meshsearch::geom {
+
+Triangulation::Triangulation(std::vector<Point2> points, Scalar radius) {
+  MS_CHECK(radius >= 2 && 4 * radius <= kMaxCoord);
+  // Bounding triangle comfortably containing the disk of `radius`.
+  verts_.push_back(Point2{-4 * radius, -3 * radius});
+  verts_.push_back(Point2{4 * radius, -3 * radius});
+  verts_.push_back(Point2{0, 4 * radius});
+  Tri root;
+  root.v = {0, 1, 2};
+  root.alive = true;
+  MS_CHECK(orient2d(verts_[0], verts_[1], verts_[2]) > 0);
+  tris_.push_back(root);
+
+  for (const auto& p : points) {
+    MS_CHECK_MSG(std::abs(p.x) < radius && std::abs(p.y) < radius,
+                 "point outside declared radius");
+    const auto vid = static_cast<std::int32_t>(verts_.size());
+    verts_.push_back(p);
+    split_containing(p, vid);
+  }
+}
+
+std::vector<std::int32_t> Triangulation::alive_ids() const {
+  std::vector<std::int32_t> out;
+  for (std::size_t i = 0; i < tris_.size(); ++i)
+    if (tris_[i].alive) out.push_back(static_cast<std::int32_t>(i));
+  return out;
+}
+
+std::array<Point2, 3> Triangulation::corners(std::int32_t id) const {
+  const auto& t = tris_[static_cast<std::size_t>(id)];
+  return {verts_[static_cast<std::size_t>(t.v[0])],
+          verts_[static_cast<std::size_t>(t.v[1])],
+          verts_[static_cast<std::size_t>(t.v[2])]};
+}
+
+std::int32_t Triangulation::locate(const Point2& p) const {
+  std::int32_t cur = 0;
+  MS_CHECK_MSG(point_in_triangle(p, verts_[0], verts_[1], verts_[2]),
+               "locate: point outside the bounding triangle");
+  while (!tris_[static_cast<std::size_t>(cur)].alive) {
+    const auto& t = tris_[static_cast<std::size_t>(cur)];
+    std::int32_t next = -1;
+    for (std::int32_t k = 0; k < t.nchild; ++k) {
+      const auto c = t.child[static_cast<std::size_t>(k)];
+      const auto tc = corners(c);
+      if (point_in_triangle(p, tc[0], tc[1], tc[2])) {
+        next = c;
+        break;
+      }
+    }
+    MS_CHECK_MSG(next >= 0, "locate: history DAG lost the point");
+    cur = next;
+  }
+  return cur;
+}
+
+std::int32_t Triangulation::split_containing(const Point2& p,
+                                             std::int32_t vid) {
+  const std::int32_t host = locate(p);
+  // Copy: add_tri below grows tris_ and would invalidate a reference.
+  const auto hv = tris_[static_cast<std::size_t>(host)].v;
+  const auto hc = corners(host);
+  // Which edge (if any) contains p? Edge k is (v[k], v[k+1]).
+  std::int32_t on_edge = -1;
+  for (std::int32_t k = 0; k < 3; ++k) {
+    if (orient2d(hc[static_cast<std::size_t>(k)],
+                 hc[static_cast<std::size_t>((k + 1) % 3)], p) == 0) {
+      MS_CHECK_MSG(on_edge < 0, "duplicate point inserted");
+      on_edge = k;
+    }
+  }
+  auto add_tri = [&](std::int32_t a, std::int32_t b, std::int32_t c) {
+    Tri t;
+    t.v = {a, b, c};
+    t.alive = true;
+    MS_CHECK_MSG(orient2d(verts_[static_cast<std::size_t>(a)],
+                          verts_[static_cast<std::size_t>(b)],
+                          verts_[static_cast<std::size_t>(c)]) > 0,
+                 "degenerate split triangle");
+    tris_.push_back(t);
+    return static_cast<std::int32_t>(tris_.size() - 1);
+  };
+  auto retire = [&](std::int32_t id, std::initializer_list<std::int32_t> kids) {
+    auto& t = tris_[static_cast<std::size_t>(id)];
+    t.alive = false;
+    t.nchild = 0;
+    for (const auto k : kids) t.child[static_cast<std::size_t>(t.nchild++)] = k;
+  };
+
+  if (on_edge < 0) {
+    // Interior: split host into three.
+    const auto t0 = add_tri(hv[0], hv[1], vid);
+    const auto t1 = add_tri(hv[1], hv[2], vid);
+    const auto t2 = add_tri(hv[2], hv[0], vid);
+    retire(host, {t0, t1, t2});
+    return t0;
+  }
+  // On an edge: split host and (if interior edge) the triangle across it.
+  const std::int32_t a = hv[static_cast<std::size_t>(on_edge)];
+  const std::int32_t b = hv[static_cast<std::size_t>((on_edge + 1) % 3)];
+  const std::int32_t c = hv[static_cast<std::size_t>((on_edge + 2) % 3)];
+  const auto h0 = add_tri(a, vid, c);
+  const auto h1 = add_tri(vid, b, c);
+  retire(host, {h0, h1});
+  // Find the alive neighbour sharing edge (b, a) by scanning alive
+  // triangles incident to both a and b (history makes this rare and cheap
+  // relative to a full adjacency structure).
+  std::int32_t other = -1;
+  for (std::size_t i = 0; i < tris_.size(); ++i) {
+    const auto& t = tris_[i];
+    if (!t.alive || static_cast<std::int32_t>(i) == h0 ||
+        static_cast<std::int32_t>(i) == h1)
+      continue;
+    for (std::int32_t k = 0; k < 3; ++k)
+      if (t.v[static_cast<std::size_t>(k)] == b &&
+          t.v[static_cast<std::size_t>((k + 1) % 3)] == a) {
+        other = static_cast<std::int32_t>(i);
+        break;
+      }
+    if (other >= 0) break;
+  }
+  if (other >= 0) {
+    const auto& ot = tris_[static_cast<std::size_t>(other)];
+    std::int32_t k = 0;
+    while (!(ot.v[static_cast<std::size_t>(k)] == b &&
+             ot.v[static_cast<std::size_t>((k + 1) % 3)] == a))
+      ++k;
+    const std::int32_t d = ot.v[static_cast<std::size_t>((k + 2) % 3)];
+    const auto o0 = add_tri(b, vid, d);
+    const auto o1 = add_tri(vid, a, d);
+    retire(other, {o0, o1});
+  }
+  return h0;
+}
+
+}  // namespace meshsearch::geom

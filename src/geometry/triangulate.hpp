@@ -1,0 +1,53 @@
+// Incremental triangulation of a planar point set inside a big bounding
+// triangle — the substrate that Kirkpatrick's subdivision hierarchy (§5,
+// [Kir83]) coarsens. Each insertion splits the containing triangle into
+// three (or, for a point on an edge, the two incident triangles into four);
+// the split history forms a DAG used to locate subsequent insertions in
+// expected O(log n) for random orders. No Delaunay flipping: any valid
+// triangulation suffices for point location.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/predicates.hpp"
+
+namespace meshsearch::geom {
+
+class Triangulation {
+ public:
+  /// Triangulate `points` (distinct, |coords| < radius) inside a bounding
+  /// triangle of circumscribing size ~3*radius. Vertices 0..2 are the
+  /// bounding corners; input point i becomes vertex i+3.
+  Triangulation(std::vector<Point2> points, Scalar radius);
+
+  struct Tri {
+    std::array<std::int32_t, 3> v{};      ///< vertex indices, ccw
+    std::array<std::int32_t, 3> child{};  ///< history children (split results)
+    std::int32_t nchild = 0;
+    bool alive = false;
+  };
+
+  const std::vector<Point2>& vertices() const { return verts_; }
+  const std::vector<Tri>& history() const { return tris_; }
+
+  /// Ids of the triangles of the final triangulation.
+  std::vector<std::int32_t> alive_ids() const;
+
+  /// Corner points of triangle `id`.
+  std::array<Point2, 3> corners(std::int32_t id) const;
+
+  /// Walk the history DAG to an alive triangle containing p (closed
+  /// containment; any containing triangle may be returned for edge points).
+  /// p must be inside the bounding triangle.
+  std::int32_t locate(const Point2& p) const;
+
+ private:
+  std::int32_t split_containing(const Point2& p, std::int32_t vid);
+
+  std::vector<Point2> verts_;
+  std::vector<Tri> tris_;
+};
+
+}  // namespace meshsearch::geom

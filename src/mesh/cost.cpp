@@ -1,0 +1,5 @@
+#include "mesh/cost.hpp"
+
+// Header-only; this translation unit exists so the module participates in
+// the library target and any future non-inline helpers have a home.
+namespace meshsearch::mesh {}

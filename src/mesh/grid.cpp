@@ -1,0 +1,8 @@
+#include "mesh/grid.hpp"
+
+// Grid is a template; this TU anchors the module in the library target and
+// provides an explicit instantiation for the common value type to speed up
+// test/bench builds.
+namespace meshsearch::mesh {
+template class Grid<std::int64_t>;
+}  // namespace meshsearch::mesh

@@ -1,0 +1,289 @@
+// Cycle engine: a physically faithful mesh-connected computer simulator.
+//
+// A Grid<T> is a side x side array of processors, each holding one value of
+// type T. Algorithms here are executed step by step under the machine model
+// of the paper: in one step a processor performs O(1) local work and
+// exchanges at most one word with each grid neighbour. Every composite
+// operation returns the exact number of steps it took.
+//
+// Provided operations (with their step counts on a side s mesh):
+//   * odd-even transposition row/column sort       — s steps
+//   * shearsort into snake order                   — (2⌈log2 s⌉ + 3) * s
+//   * snake prefix scan                            — ~3s
+//   * broadcast from the top-left processor        — 2(s-1)
+//   * greedy XY (dimension-order) permutation routing — measured
+//
+// The counting engine (mesh/ops.hpp) charges closed-form costs for the same
+// operations; the cross-engine tests check that both compute identical data
+// and that measured steps track the charged bounds.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "mesh/snake.hpp"
+#include "util/check.hpp"
+
+namespace meshsearch::mesh {
+
+template <typename T>
+class Grid {
+ public:
+  explicit Grid(MeshShape shape) : shape_(shape), cells_(shape.size()) {}
+
+  /// Load values given in snake order.
+  static Grid from_snake(MeshShape shape, const std::vector<T>& snake) {
+    MS_CHECK(snake.size() == shape.size());
+    Grid g(shape);
+    for (std::size_t i = 0; i < snake.size(); ++i)
+      g.at_rm(shape.snake_to_rowmajor(i)) = snake[i];
+    return g;
+  }
+
+  MeshShape shape() const { return shape_; }
+  std::uint32_t side() const { return shape_.side(); }
+
+  T& at(std::uint32_t r, std::uint32_t c) {
+    MS_DCHECK(r < side() && c < side());
+    return cells_[static_cast<std::size_t>(r) * side() + c];
+  }
+  const T& at(std::uint32_t r, std::uint32_t c) const {
+    return cells_[static_cast<std::size_t>(r) * side() + c];
+  }
+  T& at_rm(std::size_t rm) { return cells_[rm]; }
+  const T& at_rm(std::size_t rm) const { return cells_[rm]; }
+
+  /// Dump the grid contents in snake order.
+  std::vector<T> to_snake() const {
+    std::vector<T> out(shape_.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = cells_[shape_.snake_to_rowmajor(i)];
+    return out;
+  }
+
+  // -------------------------------------------------------------------------
+  // Sorting
+  // -------------------------------------------------------------------------
+
+  /// One odd-even transposition sort of every row in parallel. Rows with
+  /// `snake_direction` sort even rows ascending and odd rows descending
+  /// (the shearsort row phase); otherwise all rows ascend. Returns steps.
+  template <typename Cmp>
+  std::size_t sort_rows(Cmp cmp, bool snake_direction) {
+    const std::uint32_t s = side();
+    for (std::uint32_t phase = 0; phase < s; ++phase) {
+      for (std::uint32_t r = 0; r < s; ++r) {
+        const bool descending = snake_direction && (r & 1u);
+        for (std::uint32_t c = phase & 1u; c + 1 < s; c += 2) {
+          T& a = at(r, c);
+          T& b = at(r, c + 1);
+          const bool out_of_order = descending ? cmp(a, b) : cmp(b, a);
+          if (out_of_order) std::swap(a, b);
+        }
+      }
+    }
+    return s;
+  }
+
+  /// Odd-even transposition sort of every column (ascending top->bottom).
+  template <typename Cmp>
+  std::size_t sort_cols(Cmp cmp) {
+    const std::uint32_t s = side();
+    for (std::uint32_t phase = 0; phase < s; ++phase) {
+      for (std::uint32_t c = 0; c < s; ++c) {
+        for (std::uint32_t r = phase & 1u; r + 1 < s; r += 2) {
+          T& a = at(r, c);
+          T& b = at(r + 1, c);
+          if (cmp(b, a)) std::swap(a, b);
+        }
+      }
+    }
+    return s;
+  }
+
+  /// Shearsort into snake order. O(sqrt(p) log p) steps — deliberately the
+  /// simple suboptimal sort; see mesh/cost.hpp for the discussion.
+  template <typename Cmp = std::less<T>>
+  std::size_t shearsort(Cmp cmp = {}) {
+    std::size_t steps = 0;
+    const std::uint32_t s = side();
+    std::uint32_t rounds = 1;
+    for (std::uint32_t x = 1; x < s; x <<= 1) ++rounds;  // ceil(log2 s) + 1
+    for (std::uint32_t i = 0; i < rounds; ++i) {
+      steps += sort_rows(cmp, /*snake_direction=*/true);
+      steps += sort_cols(cmp);
+    }
+    steps += sort_rows(cmp, /*snake_direction=*/true);
+    return steps;
+  }
+
+  // -------------------------------------------------------------------------
+  // Scan / broadcast
+  // -------------------------------------------------------------------------
+
+  /// Inclusive prefix scan along the snake with associative op.
+  /// Classic 3-sweep construction: row scans, a column scan of row totals,
+  /// then a row broadcast of offsets.
+  template <typename Op>
+  std::size_t snake_scan(Op op) {
+    const std::uint32_t s = side();
+    // 1) Each row scans in its snake direction: s-1 steps.
+    for (std::uint32_t r = 0; r < s; ++r) {
+      if ((r & 1u) == 0)
+        for (std::uint32_t c = 1; c < s; ++c) at(r, c) = op(at(r, c - 1), at(r, c));
+      else
+        for (std::uint32_t c = s - 1; c-- > 0;) at(r, c) = op(at(r, c + 1), at(r, c));
+    }
+    // 2) Row totals live at the snake-exit end of each row. Scan them down
+    //    a single column: s-1 steps to collect + s-1 to scan == modelled as
+    //    s steps (totals hop to the exit column first is free: they are
+    //    already there).
+    std::vector<T> row_total(s);
+    for (std::uint32_t r = 0; r < s; ++r)
+      row_total[r] = (r & 1u) == 0 ? at(r, s - 1) : at(r, 0);
+    std::vector<T> offset(s);  // offset[r] = combined totals of rows < r
+    for (std::uint32_t r = 1; r < s; ++r)
+      offset[r] = r == 1 ? row_total[0] : op(offset[r - 1], row_total[r - 1]);
+    // 3) Broadcast offsets across rows and combine: s-1 steps.
+    for (std::uint32_t r = 1; r < s; ++r)
+      for (std::uint32_t c = 0; c < s; ++c) at(r, c) = op(offset[r], at(r, c));
+    return 3 * static_cast<std::size_t>(s);
+  }
+
+  /// Broadcast the value at (0,0) to every processor: 2(s-1) steps.
+  std::size_t broadcast_from_origin() {
+    const std::uint32_t s = side();
+    for (std::uint32_t c = 1; c < s; ++c) at(0, c) = at(0, 0);
+    for (std::uint32_t r = 1; r < s; ++r)
+      for (std::uint32_t c = 0; c < s; ++c) at(r, c) = at(0, c);
+    return 2 * static_cast<std::size_t>(s - 1);
+  }
+
+  // -------------------------------------------------------------------------
+  // Routing
+  // -------------------------------------------------------------------------
+
+  /// Greedy XY permutation routing: packet i (at row-major position i)
+  /// must reach row-major position dest_rm[i]; dest_rm is a permutation.
+  /// One packet per link per step, FIFO queues, X (row) dimension first.
+  /// Returns the number of synchronous steps until delivery completes.
+  std::size_t route_permutation(const std::vector<std::uint32_t>& dest_rm);
+
+ private:
+  MeshShape shape_;
+  std::vector<T> cells_;
+};
+
+template <typename T>
+std::size_t Grid<T>::route_permutation(const std::vector<std::uint32_t>& dest_rm) {
+  const std::uint32_t s = side();
+  const std::size_t p = shape_.size();
+  MS_CHECK(dest_rm.size() == p);
+
+  struct Packet {
+    T value{};
+    std::uint32_t dr = 0, dc = 0;  // destination coordinates
+  };
+  // Per-cell queues; queue[0] = packets still travelling horizontally,
+  // queue[1] = packets travelling vertically.
+  struct Cell {
+    std::deque<Packet> horiz, vert;
+  };
+  std::vector<Cell> state(p);
+  std::size_t undelivered = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    Packet pk{cells_[i], dest_rm[i] / s, dest_rm[i] % s};
+    const std::uint32_t r = static_cast<std::uint32_t>(i / s);
+    const std::uint32_t c = static_cast<std::uint32_t>(i % s);
+    if (r == pk.dr && c == pk.dc) {
+      cells_[i] = pk.value;  // already home
+    } else {
+      ++undelivered;
+      if (c != pk.dc)
+        state[i].horiz.push_back(pk);
+      else
+        state[i].vert.push_back(pk);
+    }
+  }
+
+  std::size_t steps = 0;
+  // Synchronous rounds: each cell forwards at most one packet per outgoing
+  // link per step. Moves computed against the pre-step state.
+  while (undelivered > 0) {
+    ++steps;
+    MS_CHECK_MSG(steps <= 64 * static_cast<std::size_t>(s) + 64,
+                 "routing failed to converge (bug in route_permutation)");
+    struct Move {
+      std::size_t from_cell;
+      bool from_horiz;
+      std::size_t to_cell;
+      bool to_horiz;  // which queue it joins (false = vertical/done)
+    };
+    std::vector<Move> moves;
+    moves.reserve(p);
+    for (std::uint32_t r = 0; r < s; ++r) {
+      for (std::uint32_t c = 0; c < s; ++c) {
+        const std::size_t cell = static_cast<std::size_t>(r) * s + c;
+        // One horizontal departure per step (east or west link — a packet
+        // uses only one, and all packets in this queue share the row
+        // direction decision individually; we allow one east + one west).
+        auto& hq = state[cell].horiz;
+        int sent_east = 0, sent_west = 0;
+        for (std::size_t k = 0; k < hq.size();) {
+          const Packet& pk = hq[k];
+          const bool east = pk.dc > c;
+          if (east && sent_east == 0) {
+            moves.push_back({cell, true, cell + 1, pk.dc != c + 1});
+            ++sent_east;
+            ++k;
+          } else if (!east && sent_west == 0) {
+            moves.push_back({cell, true, cell - 1, pk.dc != c - 1});
+            ++sent_west;
+            ++k;
+          } else {
+            break;  // FIFO: head blocked means the rest of the queue waits
+          }
+        }
+        // One vertical departure per step per direction.
+        auto& vq = state[cell].vert;
+        int sent_south = 0, sent_north = 0;
+        for (std::size_t k = 0; k < vq.size();) {
+          const Packet& pk = vq[k];
+          const bool south = pk.dr > r;
+          if (south && sent_south == 0) {
+            moves.push_back({cell, false, cell + s, false});
+            ++sent_south;
+            ++k;
+          } else if (!south && sent_north == 0) {
+            moves.push_back({cell, false, cell - s, false});
+            ++sent_north;
+            ++k;
+          } else {
+            break;
+          }
+        }
+      }
+    }
+    // Apply moves: pop in order recorded (heads first), push to targets.
+    for (const Move& mv : moves) {
+      auto& q = mv.from_horiz ? state[mv.from_cell].horiz : state[mv.from_cell].vert;
+      Packet pk = q.front();
+      q.pop_front();
+      const std::uint32_t tr = static_cast<std::uint32_t>(mv.to_cell / s);
+      const std::uint32_t tc = static_cast<std::uint32_t>(mv.to_cell % s);
+      if (tr == pk.dr && tc == pk.dc) {
+        cells_[mv.to_cell] = pk.value;
+        --undelivered;
+      } else if (mv.to_horiz) {
+        state[mv.to_cell].horiz.push_back(pk);
+      } else {
+        state[mv.to_cell].vert.push_back(pk);
+      }
+    }
+  }
+  return steps;
+}
+
+}  // namespace meshsearch::mesh

@@ -1,0 +1,5 @@
+#include "mesh/ops.hpp"
+
+// The counting engine is header-only (templates); this TU anchors the module
+// in the library target.
+namespace meshsearch::mesh::ops {}

@@ -1,0 +1,225 @@
+// Counting engine: the standard mesh operations.
+//
+// Each primitive transforms host arrays exactly as the corresponding mesh
+// operation would and returns the Cost charged on a p-processor (sub)mesh
+// (see mesh/cost.hpp for the charged bounds). The array index is the snake
+// position of the owning processor; arrays may be shorter than p when the
+// submesh is partially occupied (cost is still a function of p — idle
+// processors do not speed a mesh up).
+//
+// The physically faithful counterparts of these primitives live in
+// mesh/grid.hpp (the cycle engine); the cross-engine tests assert both
+// produce identical data.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "mesh/cost.hpp"
+#include "util/check.hpp"
+
+namespace meshsearch::mesh::ops {
+
+/// Address type for random access operations; kNone marks "no request".
+using Addr = std::int64_t;
+inline constexpr Addr kNone = -1;
+
+// ---------------------------------------------------------------------------
+// Sorting and order maintenance
+// ---------------------------------------------------------------------------
+
+/// Sort `data` into snake order by `cmp`. Stable, so equal keys keep their
+/// snake order and results are deterministic.
+template <typename T, typename Cmp = std::less<T>>
+Cost sort(std::vector<T>& data, const CostModel& m, double p, Cmp cmp = {}) {
+  MS_CHECK(static_cast<double>(data.size()) <= p);
+  std::stable_sort(data.begin(), data.end(), cmp);
+  return m.sort(p);
+}
+
+/// Rank of each element after sorting by cmp, without moving the data
+/// (sort + scan on the mesh).
+template <typename T, typename Cmp = std::less<T>>
+Cost rank(const std::vector<T>& data, std::vector<std::uint32_t>& ranks,
+          const CostModel& m, double p, Cmp cmp = {}) {
+  std::vector<std::uint32_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return cmp(data[a], data[b]);
+                   });
+  ranks.assign(data.size(), 0);
+  for (std::uint32_t r = 0; r < order.size(); ++r) ranks[order[r]] = r;
+  return m.sort(p) + m.scan(p);
+}
+
+// ---------------------------------------------------------------------------
+// Scans and reductions
+// ---------------------------------------------------------------------------
+
+/// Inclusive prefix scan along the snake with associative `op`.
+template <typename T, typename Op = std::plus<T>>
+Cost scan_inclusive(std::vector<T>& data, const CostModel& m, double p,
+                    Op op = {}) {
+  for (std::size_t i = 1; i < data.size(); ++i)
+    data[i] = op(data[i - 1], data[i]);
+  return m.scan(p);
+}
+
+/// Exclusive prefix scan; `identity` fills position 0.
+template <typename T, typename Op = std::plus<T>>
+Cost scan_exclusive(std::vector<T>& data, const CostModel& m, double p,
+                    T identity = {}, Op op = {}) {
+  T acc = identity;
+  for (auto& x : data) {
+    const T next = op(acc, x);
+    x = acc;
+    acc = next;
+  }
+  return m.scan(p);
+}
+
+/// Segmented inclusive scan: restarts where seg_start[i] is true.
+template <typename T, typename Op = std::plus<T>>
+Cost scan_segmented(std::vector<T>& data, const std::vector<std::uint8_t>& seg_start,
+                    const CostModel& m, double p, Op op = {}) {
+  MS_CHECK(seg_start.size() == data.size());
+  for (std::size_t i = 1; i < data.size(); ++i)
+    if (!seg_start[i]) data[i] = op(data[i - 1], data[i]);
+  return m.scan(p);
+}
+
+/// Semigroup reduction of all elements to one value.
+template <typename T, typename Op = std::plus<T>>
+Cost reduce(const std::vector<T>& data, T& out, const CostModel& m, double p,
+            T identity = {}, Op op = {}) {
+  out = identity;
+  for (const auto& x : data) out = op(out, x);
+  return m.reduce(p);
+}
+
+/// Broadcast one value to all processors (data-wise the caller just uses
+/// the value; the mesh pays the step cost).
+inline Cost broadcast(const CostModel& m, double p) { return m.broadcast(p); }
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+/// Permutation routing: element i moves to snake position dest[i].
+/// dest entries must be unique and < out_size.
+template <typename T>
+Cost route(const std::vector<T>& data, const std::vector<std::uint32_t>& dest,
+           std::vector<T>& out, std::size_t out_size, const CostModel& m,
+           double p) {
+  MS_CHECK(dest.size() == data.size());
+  out.assign(out_size, T{});
+  // Collision detection stays on in release builds: a colliding "permutation"
+  // silently drops a record, which would corrupt a measurement.
+  std::vector<std::uint8_t> seen(out_size, 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    MS_CHECK_MSG(dest[i] < out_size, "route: destination out of range");
+    MS_CHECK_MSG(!seen[dest[i]], "route: destination collision");
+    seen[dest[i]] = 1;
+    out[dest[i]] = data[i];
+  }
+  return m.route(p);
+}
+
+/// In-place permutation routing.
+template <typename T>
+Cost route_inplace(std::vector<T>& data, const std::vector<std::uint32_t>& dest,
+                   const CostModel& m, double p) {
+  std::vector<T> out;
+  const Cost c = route(data, dest, out, data.size(), m, p);
+  data = std::move(out);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Random access read / write (the concurrent-access workhorses)
+// ---------------------------------------------------------------------------
+
+/// Random access read: out[i] = table[addr[i]] for addr[i] != kNone.
+/// Concurrent reads of one address are legal (the mesh construction sorts
+/// the requests, fetches once per distinct address, and segmented-broadcasts
+/// copies — that is what makes the naive multisearch baselines pay, and the
+/// cost charged here is the full construction, duplicates or not).
+template <typename T>
+Cost random_access_read(std::span<const T> table, std::span<const Addr> addr,
+                        std::vector<T>& out, const CostModel& m, double p) {
+  out.assign(addr.size(), T{});
+  for (std::size_t i = 0; i < addr.size(); ++i) {
+    if (addr[i] == kNone) continue;
+    MS_DCHECK(addr[i] >= 0 &&
+              static_cast<std::size_t>(addr[i]) < table.size());
+    out[i] = table[static_cast<std::size_t>(addr[i])];
+  }
+  return m.rar(p);
+}
+
+/// Random access write with combining: table[addr[i]] = combine(table[addr[i]],
+/// value[i]). Concurrent writes to one address are merged by `combine`
+/// (associative+commutative), as the sort-based mesh RAW does.
+template <typename T, typename Combine>
+Cost random_access_write(std::span<const Addr> addr, std::span<const T> values,
+                         std::vector<T>& table, Combine combine,
+                         const CostModel& m, double p) {
+  MS_CHECK(addr.size() == values.size());
+  for (std::size_t i = 0; i < addr.size(); ++i) {
+    if (addr[i] == kNone) continue;
+    MS_DCHECK(addr[i] >= 0 &&
+              static_cast<std::size_t>(addr[i]) < table.size());
+    auto& slot = table[static_cast<std::size_t>(addr[i])];
+    slot = combine(slot, values[i]);
+  }
+  return m.raw(p);
+}
+
+/// Histogram RAW: counts[a] = number of requests with addr == a.
+inline Cost random_access_count(std::span<const Addr> addr,
+                                std::vector<std::uint32_t>& counts,
+                                std::size_t table_size, const CostModel& m,
+                                double p) {
+  counts.assign(table_size, 0);
+  for (const Addr a : addr) {
+    if (a == kNone) continue;
+    MS_DCHECK(a >= 0 && static_cast<std::size_t>(a) < table_size);
+    ++counts[static_cast<std::size_t>(a)];
+  }
+  return m.raw(p);
+}
+
+// ---------------------------------------------------------------------------
+// Compression / distribution
+// ---------------------------------------------------------------------------
+
+/// Move elements satisfying `pred` to a contiguous prefix, preserving order.
+template <typename T, typename Pred>
+Cost compress(const std::vector<T>& data, Pred pred, std::vector<T>& out,
+              const CostModel& m, double p) {
+  out.clear();
+  for (const auto& x : data)
+    if (pred(x)) out.push_back(x);
+  return m.compress(p);
+}
+
+/// Gather the elements at the given snake positions into a prefix
+/// (a compress keyed by position).
+template <typename T>
+Cost gather(const std::vector<T>& data, std::span<const std::uint32_t> pos,
+            std::vector<T>& out, const CostModel& m, double p) {
+  out.clear();
+  out.reserve(pos.size());
+  for (const auto i : pos) {
+    MS_DCHECK(i < data.size());
+    out.push_back(data[i]);
+  }
+  return m.compress(p);
+}
+
+}  // namespace meshsearch::mesh::ops

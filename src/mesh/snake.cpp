@@ -1,0 +1,37 @@
+#include "mesh/snake.hpp"
+
+#include <cstdlib>
+
+namespace meshsearch::mesh {
+
+std::uint64_t ceil_pow2(std::uint64_t n) {
+  MS_CHECK(n >= 1);
+  std::uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint32_t floor_log2(std::uint64_t n) {
+  MS_CHECK(n >= 1);
+  std::uint32_t l = 0;
+  while (n >>= 1) ++l;
+  return l;
+}
+
+MeshShape MeshShape::for_elements(std::size_t n) {
+  MS_CHECK(n >= 1);
+  // side = 2^ceil(log4 n): the smallest power-of-two side with side^2 >= n.
+  std::uint64_t side = 1;
+  while (side * side < n) side <<= 1;
+  return MeshShape(static_cast<std::uint32_t>(side));
+}
+
+std::size_t MeshShape::distance(std::size_t a, std::size_t b) const {
+  const Coord ca = snake_to_coord(a), cb = snake_to_coord(b);
+  const auto d = [](std::uint32_t x, std::uint32_t y) {
+    return x > y ? x - y : y - x;
+  };
+  return d(ca.row, cb.row) + d(ca.col, cb.col);
+}
+
+}  // namespace meshsearch::mesh

@@ -1,0 +1,87 @@
+// Snake-order indexing on a square mesh.
+//
+// The mesh is a side x side grid of processors. Two linear orders matter:
+//   * row-major order  — (r, c) -> r*side + c
+//   * snake order      — row-major, but odd rows reversed; consecutive snake
+//     indices are always grid neighbours, which is why mesh sorting and
+//     scanning are defined along the snake.
+// All meshsearch arrays index processors by snake order unless stated
+// otherwise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace meshsearch::mesh {
+
+struct Coord {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Geometry of a square mesh with side a power of two.
+class MeshShape {
+ public:
+  MeshShape() = default;
+  explicit MeshShape(std::uint32_t side);
+
+  /// Smallest power-of-two-sided mesh with at least n processors.
+  static MeshShape for_elements(std::size_t n);
+
+  std::uint32_t side() const { return side_; }
+  std::size_t size() const { return static_cast<std::size_t>(side_) * side_; }
+
+  Coord snake_to_coord(std::size_t idx) const;
+  std::size_t coord_to_snake(Coord c) const;
+
+  std::size_t rowmajor_to_snake(std::size_t rm) const;
+  std::size_t snake_to_rowmajor(std::size_t idx) const;
+
+  /// Manhattan (grid) distance between two snake indices.
+  std::size_t distance(std::size_t a, std::size_t b) const;
+
+  friend bool operator==(const MeshShape&, const MeshShape&) = default;
+
+ private:
+  std::uint32_t side_ = 0;
+};
+
+/// Round n up to the next power of two (n >= 1).
+std::uint64_t ceil_pow2(std::uint64_t n);
+
+/// Floor of log2 (n >= 1).
+std::uint32_t floor_log2(std::uint64_t n);
+
+inline MeshShape::MeshShape(std::uint32_t side) : side_(side) {
+  MS_CHECK_MSG(side > 0 && (side & (side - 1)) == 0,
+               "mesh side must be a power of two");
+}
+
+inline Coord MeshShape::snake_to_coord(std::size_t idx) const {
+  MS_DCHECK(idx < size());
+  const std::uint32_t r = static_cast<std::uint32_t>(idx / side_);
+  const std::uint32_t off = static_cast<std::uint32_t>(idx % side_);
+  return Coord{r, (r & 1u) ? side_ - 1 - off : off};
+}
+
+inline std::size_t MeshShape::coord_to_snake(Coord c) const {
+  MS_DCHECK(c.row < side_ && c.col < side_);
+  const std::uint32_t off = (c.row & 1u) ? side_ - 1 - c.col : c.col;
+  return static_cast<std::size_t>(c.row) * side_ + off;
+}
+
+inline std::size_t MeshShape::rowmajor_to_snake(std::size_t rm) const {
+  MS_DCHECK(rm < size());
+  return coord_to_snake(Coord{static_cast<std::uint32_t>(rm / side_),
+                              static_cast<std::uint32_t>(rm % side_)});
+}
+
+inline std::size_t MeshShape::snake_to_rowmajor(std::size_t idx) const {
+  const Coord c = snake_to_coord(idx);
+  return static_cast<std::size_t>(c.row) * side_ + c.col;
+}
+
+}  // namespace meshsearch::mesh

@@ -1,0 +1,22 @@
+#include "mesh/submesh.hpp"
+
+namespace meshsearch::mesh {
+
+Partition::Partition(MeshShape shape, std::uint32_t blocks_per_side)
+    : shape_(shape), g_(blocks_per_side) {
+  MS_CHECK_MSG(g_ > 0 && (g_ & (g_ - 1)) == 0,
+               "blocks_per_side must be a power of two");
+  MS_CHECK_MSG(g_ <= shape.side(), "more blocks than processors per side");
+  block_side_ = shape.side() / g_;
+}
+
+std::vector<std::uint32_t> Partition::block_permutation() const {
+  std::vector<std::uint32_t> perm(shape_.size());
+  const std::size_t bs = block_size();
+  for (std::size_t idx = 0; idx < perm.size(); ++idx)
+    perm[idx] =
+        static_cast<std::uint32_t>(block_of(idx) * bs + local_of(idx));
+  return perm;
+}
+
+}  // namespace meshsearch::mesh

@@ -1,0 +1,75 @@
+// Submesh partition algebra.
+//
+// The paper's algorithms repeatedly partition the sqrt(n) x sqrt(n) mesh
+// into a g x g grid of square submeshes ("B_i-partitionings",
+// "delta-submeshes") and run independently inside each. A Partition captures
+// that decomposition and the index maps between
+//
+//   * global snake index on the full mesh, and
+//   * (block id, local snake index) within a block,
+//
+// where blocks are numbered row-major over the block grid. Moving an array
+// between the two layouts is a fixed permutation, realized on a mesh by one
+// routing; block_permutation() materializes it for the counting engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/snake.hpp"
+
+namespace meshsearch::mesh {
+
+class Partition {
+ public:
+  /// Partition `shape` into blocks_per_side x blocks_per_side submeshes.
+  /// blocks_per_side must be a power of two dividing shape.side().
+  Partition(MeshShape shape, std::uint32_t blocks_per_side);
+
+  MeshShape shape() const { return shape_; }
+  MeshShape block_shape() const { return MeshShape(block_side_); }
+  std::uint32_t blocks_per_side() const { return g_; }
+  std::size_t block_count() const { return static_cast<std::size_t>(g_) * g_; }
+  std::size_t block_size() const {
+    return static_cast<std::size_t>(block_side_) * block_side_;
+  }
+
+  /// Block containing the processor at global snake index `idx`.
+  std::uint32_t block_of(std::size_t idx) const;
+  /// Local snake index within its block of the processor at `idx`.
+  std::size_t local_of(std::size_t idx) const;
+  /// Global snake index of (block, local snake index).
+  std::size_t global_of(std::uint32_t block, std::size_t local) const;
+
+  /// perm[global] = block_of(global) * block_size() + local_of(global):
+  /// the permutation taking a global-snake-order array to block-contiguous
+  /// layout. Its inverse recovers the global layout.
+  std::vector<std::uint32_t> block_permutation() const;
+
+ private:
+  MeshShape shape_;
+  std::uint32_t g_ = 1;
+  std::uint32_t block_side_ = 0;
+};
+
+inline std::uint32_t Partition::block_of(std::size_t idx) const {
+  const Coord c = shape_.snake_to_coord(idx);
+  return (c.row / block_side_) * g_ + (c.col / block_side_);
+}
+
+inline std::size_t Partition::local_of(std::size_t idx) const {
+  const Coord c = shape_.snake_to_coord(idx);
+  return block_shape().coord_to_snake(
+      Coord{c.row % block_side_, c.col % block_side_});
+}
+
+inline std::size_t Partition::global_of(std::uint32_t block,
+                                        std::size_t local) const {
+  MS_DCHECK(block < block_count());
+  const Coord lc = block_shape().snake_to_coord(local);
+  const Coord gc{(block / g_) * block_side_ + lc.row,
+                 (block % g_) * block_side_ + lc.col};
+  return shape_.coord_to_snake(gc);
+}
+
+}  // namespace meshsearch::mesh

@@ -1,0 +1,2 @@
+#include "multisearch/constrained.hpp"
+namespace meshsearch::msearch {}

@@ -1,0 +1,87 @@
+// Distributed search structure: the master copy of G on the mesh.
+//
+// One vertex per processor, adjacency by processor address (paper Appendix).
+// The mesh is sized so that side^2 >= max(#vertices, #queries); the paper's
+// "mesh of size n" with n = |V|+|E| and O(1) degree is the same thing up to
+// the degree constant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/snake.hpp"
+#include "multisearch/types.hpp"
+#include "util/check.hpp"
+
+namespace meshsearch::msearch {
+
+class DistributedGraph {
+ public:
+  DistributedGraph() = default;
+  explicit DistributedGraph(std::size_t vertex_count);
+
+  std::size_t vertex_count() const { return verts_.size(); }
+  /// |V| + |E| (directed edge count; undirected edges count twice).
+  std::size_t size() const;
+
+  VertexRecord& vert(Vid v) {
+    MS_DCHECK(v >= 0 && static_cast<std::size_t>(v) < verts_.size());
+    return verts_[static_cast<std::size_t>(v)];
+  }
+  const VertexRecord& vert(Vid v) const {
+    MS_DCHECK(v >= 0 && static_cast<std::size_t>(v) < verts_.size());
+    return verts_[static_cast<std::size_t>(v)];
+  }
+  const std::vector<VertexRecord>& verts() const { return verts_; }
+
+  /// Append a directed edge u -> w to u's adjacency.
+  void add_edge(Vid u, Vid w);
+  /// Append both directions.
+  void add_undirected_edge(Vid u, Vid w);
+
+  bool has_edge(Vid u, Vid w) const;
+
+  /// Mesh holding this graph together with `queries` many queries.
+  mesh::MeshShape shape_for(std::size_t queries) const;
+
+  /// Structural validation: ids consistent, neighbours in range, no
+  /// self-loops, degree within kMaxDegree. Throws on violation.
+  void validate() const;
+
+  std::size_t max_degree() const;
+
+ private:
+  std::vector<VertexRecord> verts_;
+};
+
+/// Visit semantics shared by all engines: q arrives at q.next, receives the
+/// record, applies the successor function once. Returns false when the query
+/// was already finished (and flags `done`).
+template <SearchProgram P>
+bool advance_one(const DistributedGraph& g, const P& prog, Query& q) {
+  if (q.done) return false;
+  if (q.next == kNoVertex && q.current != kNoVertex) {
+    q.done = true;
+    return false;
+  }
+  const Vid v = q.current == kNoVertex ? prog.start(q) : q.next;
+  if (v == kNoVertex) {
+    q.done = true;
+    return false;
+  }
+  q.current = v;
+  ++q.steps;
+  q.next = prog.next(g.vert(v), q);
+  return true;
+}
+
+/// Initialize query engine state (does not touch application payload).
+void reset_queries(std::vector<Query>& queries);
+
+/// True when every query's search path has terminated.
+bool all_done(const std::vector<Query>& queries);
+
+/// Longest search path executed so far (max steps over queries).
+std::int32_t max_steps(const std::vector<Query>& queries);
+
+}  // namespace meshsearch::msearch

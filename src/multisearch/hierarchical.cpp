@@ -1,0 +1,352 @@
+#include "multisearch/hierarchical.hpp"
+
+#include "mesh/submesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace meshsearch::msearch {
+
+HierarchicalDag::HierarchicalDag(const DistributedGraph& g, double mu,
+                                 std::int32_t level_work)
+    : g_(&g), mu_(mu), level_work_(level_work) {
+  MS_CHECK_MSG(mu > 1.0, "hierarchical DAG requires mu > 1");
+  MS_CHECK(level_work >= 1);
+  std::int32_t h = -1;
+  for (const auto& v : g.verts()) {
+    MS_CHECK_MSG(v.level >= 0, "hierarchical DAG vertex without level");
+    h = std::max(h, v.level);
+  }
+  MS_CHECK(h >= 0);
+  level_size_.assign(static_cast<std::size_t>(h) + 1, 0);
+  for (const auto& v : g.verts())
+    ++level_size_[static_cast<std::size_t>(v.level)];
+  for (std::size_t i = 0; i <= static_cast<std::size_t>(h); ++i)
+    MS_CHECK_MSG(level_size_[i] > 0, "empty level in hierarchical DAG");
+  // Every edge must go from L_i to L_{i+1} (same-level edges are allowed
+  // only in the generalized level_work > 1 model).
+  for (const auto& v : g.verts())
+    for (std::uint8_t d = 0; d < v.degree; ++d) {
+      const std::int32_t nl = g.vert(v.nbr[d]).level;
+      const bool ok =
+          nl == v.level + 1 || (level_work_ > 1 && nl == v.level);
+      MS_CHECK_MSG(ok, "hierarchical DAG edge not between consecutive levels");
+    }
+  level_prefix_.assign(level_size_.size() + 1, 0);
+  for (std::size_t i = 0; i < level_size_.size(); ++i)
+    level_prefix_[i + 1] = level_prefix_[i] + level_size_[i];
+}
+
+std::size_t HierarchicalDag::band_vertex_count(std::int32_t lo,
+                                               std::int32_t hi) const {
+  MS_CHECK(lo >= 0 && hi <= height() && lo <= hi);
+  return level_prefix_[static_cast<std::size_t>(hi) + 1] -
+         level_prefix_[static_cast<std::size_t>(lo)];
+}
+
+namespace {
+
+/// Largest power of two <= x (x >= 1).
+std::uint32_t pow2_floor(double x) {
+  std::uint32_t p = 1;
+  while (2.0 * p <= x) p <<= 1;
+  return p;
+}
+
+/// The constant c of §3: smallest integer y >= 2 with mu^z >= z^2 for all
+/// z >= y (checked over the relevant range).
+std::int32_t mu_constant(double mu) {
+  for (std::int32_t c = 2; c < 64; ++c) {
+    bool ok = true;
+    for (std::int32_t z = c; z <= 128; ++z)
+      if (std::pow(mu, z) < static_cast<double>(z) * z) {
+        ok = false;
+        break;
+      }
+    if (ok) return c;
+  }
+  MS_CHECK_MSG(false, "mu too close to 1 for the log* recursion");
+  return 64;
+}
+
+}  // namespace
+
+namespace {
+
+/// The kGeometric strategy: maximal level runs sharing the same
+/// power-of-two grid g = pow2_floor(sqrt(n / prefix)), so each level is
+/// processed in a submesh ~proportional to the DAG prefix through it.
+HierarchicalPlan make_geometric_plan(const HierarchicalDag& dag,
+                                     mesh::MeshShape shape) {
+  HierarchicalPlan plan;
+  plan.c = mu_constant(dag.mu());
+  const double n = static_cast<double>(shape.size());
+  std::size_t prefix = 0;
+  Band cur;
+  bool open = false;
+  for (std::int32_t l = 0; l <= dag.height(); ++l) {
+    prefix += dag.level_size(l);
+    std::uint32_t g = pow2_floor(std::sqrt(n / static_cast<double>(prefix)));
+    g = std::min(g, shape.side());
+    if (!open || g != cur.grid) {
+      if (open) plan.bands.push_back(cur);
+      cur = Band{};
+      cur.lo = l;
+      cur.grid = g;
+      cur.submesh_elems =
+          shape.size() / (static_cast<std::size_t>(g) * g);
+      open = true;
+    }
+    cur.hi = l;
+    cur.split = cur.lo;  // no inner split: every level at submesh scale
+    cur.inner_grid = 1;
+    cur.vertices = dag.band_vertex_count(cur.lo, cur.hi);
+  }
+  // The last (grid == 1, or largest) run is B*: it runs at full-mesh scale
+  // anyway, and leaving it as B* keeps the reports comparable.
+  if (open) {
+    if (cur.grid == 1) {
+      plan.bstar_lo = cur.lo;
+    } else {
+      plan.bands.push_back(cur);
+      plan.bstar_lo = dag.height() + 1;
+      // Ensure B* is non-empty for reporting: peel the last level.
+      if (!plan.bands.empty() && plan.bands.back().hi == dag.height()) {
+        auto& b = plan.bands.back();
+        if (b.lo == b.hi) {
+          plan.bstar_lo = b.lo;
+          plan.bands.pop_back();
+        } else {
+          plan.bstar_lo = b.hi;
+          b.hi -= 1;
+          b.vertices = dag.band_vertex_count(b.lo, b.hi);
+        }
+      }
+    }
+  } else {
+    plan.bstar_lo = 0;
+  }
+  return plan;
+}
+
+}  // namespace
+
+HierarchicalPlan make_hierarchical_plan(const HierarchicalDag& dag,
+                                        mesh::MeshShape shape,
+                                        PlanKind kind) {
+  if (kind == PlanKind::kGeometric && dag.height() > 0)
+    return make_geometric_plan(dag, shape);
+  HierarchicalPlan plan;
+  const double h = static_cast<double>(dag.height());
+  const double mu = dag.mu();
+  plan.c = mu_constant(mu);
+  const double n = static_cast<double>(shape.size());
+
+  if (dag.height() == 0) {
+    plan.bstar_lo = 0;
+    return plan;
+  }
+
+  // Iterated logarithm sequence: l[0] = h/2, l[i] = log_mu(l[i-1]) for i>=1
+  // except l[1] = log_mu(h) by the paper's convention (log^{(1)} x = log x).
+  std::vector<double> l;
+  l.push_back(h / 2.0);
+  double cur = h;
+  while (true) {
+    cur = std::log(cur) / std::log(mu);
+    if (cur < static_cast<double>(plan.c)) {
+      l.push_back(cur);  // l[T] < c terminates the recursion; B* begins here
+      break;
+    }
+    l.push_back(cur);
+  }
+  // T = log*_mu h = max{ i >= 1 : l[i] >= c }. Bands exist for i = 0..T-1.
+  std::size_t T = 0;
+  for (std::size_t i = 1; i < l.size(); ++i)
+    if (l[i] >= static_cast<double>(plan.c)) T = i;
+  if (T == 0) {
+    // h < mu^c: the whole (O(1)-level) DAG is B*.
+    plan.bstar_lo = 0;
+    return plan;
+  }
+
+  // Integer band boundaries: band i spans [w_i, w_{i+1} - 1], B* = [w_T, h].
+  std::vector<std::int32_t> w(T + 1);
+  w[0] = 0;
+  for (std::size_t i = 1; i <= T; ++i) {
+    const double b = h - 2.0 * l[i];
+    w[i] = std::clamp(static_cast<std::int32_t>(std::ceil(b)), w[i - 1],
+                      dag.height());
+  }
+  plan.bstar_lo = w[T];
+
+  for (std::size_t i = 0; i < T; ++i) {
+    if (w[i] > w[i + 1] - 1) continue;  // band emptied by rounding
+    Band band;
+    band.lo = w[i];
+    band.hi = w[i + 1] - 1;
+    band.vertices = dag.band_vertex_count(band.lo, band.hi);
+    // grid = submeshes per side; a copy of B_i must fit in one submesh.
+    band.grid = pow2_floor(
+        std::sqrt(n / static_cast<double>(std::max<std::size_t>(
+                          1, band.vertices))));
+    band.grid = std::min(band.grid, shape.side());
+    // Grids must strictly shrink band to band (the paper's log^{(i)} h are
+    // strictly decreasing); the label scheme of Step 1 needs it.
+    if (!plan.bands.empty())
+      band.grid = std::min(band.grid, plan.bands.back().grid / 2);
+    band.grid = std::max<std::uint32_t>(band.grid, 1);
+    band.submesh_elems = shape.size() / (static_cast<std::size_t>(band.grid) *
+                                         band.grid);
+    // Lemma 1 inner split: B_i^2 = the last 2*ceil(log_mu Delta-h_i) levels.
+    const std::int32_t dh = band.hi - band.lo + 1;
+    const std::int32_t tail = 2 * static_cast<std::int32_t>(std::ceil(
+                                      std::log(std::max(2.0, double(dh))) /
+                                      std::log(mu)));
+    band.split = std::max(band.lo, band.hi + 1 - tail);
+    const std::size_t b1 =
+        band.split > band.lo
+            ? dag.band_vertex_count(band.lo, band.split - 1)
+            : 0;
+    band.inner_grid =
+        b1 == 0 ? 1
+                : pow2_floor(std::sqrt(
+                      static_cast<double>(band.submesh_elems) /
+                      static_cast<double>(std::max<std::size_t>(1, b1))));
+    plan.bands.push_back(band);
+  }
+  return plan;
+}
+
+std::vector<std::int32_t> band_labels(const HierarchicalPlan& plan,
+                                      mesh::MeshShape shape) {
+  std::vector<std::int32_t> labels(shape.size(), -1);
+  // i = T-1 .. 0: smaller bands overwrite later, as in the paper's Step 1.
+  for (std::size_t bi = plan.bands.size(); bi-- > 0;) {
+    const auto& band = plan.bands[bi];
+    const std::uint32_t g_i = band.grid;
+    const std::uint32_t g_next = bi + 1 < plan.bands.size()
+                                     ? plan.bands[bi + 1].grid
+                                     : 1;  // the full mesh
+    const mesh::Partition part_i(shape, g_i);
+    const std::uint32_t ratio = g_i / std::max<std::uint32_t>(1, g_next);
+    if (ratio == 0) continue;
+    // Top-left B_i-block of every B_{i+1}-block: block coordinates that are
+    // multiples of `ratio` in both directions.
+    for (std::size_t idx = 0; idx < shape.size(); ++idx) {
+      const auto block = part_i.block_of(idx);
+      const std::uint32_t br = block / g_i, bc = block % g_i;
+      if (br % ratio == 0 && bc % ratio == 0 && (br / ratio) < g_next &&
+          (bc / ratio) < g_next)
+        labels[idx] = static_cast<std::int32_t>(bi);
+    }
+  }
+  return labels;
+}
+
+void verify_label_capacity(const HierarchicalPlan& plan,
+                           mesh::MeshShape shape,
+                           const std::vector<std::int32_t>& labels) {
+  MS_CHECK(labels.size() == shape.size());
+  for (std::size_t bi = 0; bi < plan.bands.size(); ++bi) {
+    const auto& band = plan.bands[bi];
+    const std::uint32_t g_next =
+        bi + 1 < plan.bands.size() ? plan.bands[bi + 1].grid : 1;
+    const mesh::Partition part_next(shape, std::max<std::uint32_t>(1, g_next));
+    std::vector<std::size_t> count(part_next.block_count(), 0);
+    for (std::size_t idx = 0; idx < shape.size(); ++idx)
+      if (labels[idx] == static_cast<std::int32_t>(bi))
+        ++count[part_next.block_of(idx)];
+    for (const auto c : count) {
+      // Theta(|B_i|) with explicit constants: at least a third of the
+      // B_i-submesh survives the overwrites, and the copy of B_i fits with
+      // at most 4 records per processor (O(1) memory).
+      MS_CHECK_MSG(3 * c >= band.submesh_elems,
+                   "label capacity below a third of a B_i-submesh");
+      MS_CHECK_MSG(4 * c >= band.vertices,
+                   "label-i processors cannot store a copy of B_i");
+    }
+  }
+}
+
+HierarchicalRunResult hierarchical_cost(
+    const HierarchicalDag& dag, const HierarchicalPlan& plan,
+    mesh::MeshShape shape, const mesh::CostModel& m,
+    const std::vector<std::int32_t>* sweeps) {
+  HierarchicalRunResult res;
+  const double p = static_cast<double>(shape.size());
+  // Sweeps per level: measured if provided, else the static bound.
+  auto sweeps_at = [&](std::int32_t level) {
+    if (sweeps == nullptr) return static_cast<double>(dag.level_work());
+    MS_CHECK(static_cast<std::size_t>(level) < sweeps->size());
+    return static_cast<double>((*sweeps)[static_cast<std::size_t>(level)]);
+  };
+  res.level_sweeps.assign(static_cast<std::size_t>(dag.height()) + 1, 0);
+  for (std::int32_t l = 0; l <= dag.height(); ++l)
+    res.level_sweeps[static_cast<std::size_t>(l)] =
+        static_cast<std::int32_t>(sweeps_at(l));
+
+  // Initial multistep: every query visits the first node of its path.
+  res.cost += m.rar(p);
+
+  for (std::size_t i = 0; i < plan.bands.size(); ++i) {
+    const Band& band = plan.bands[i];
+    BandCostReport rep;
+    rep.lo = band.lo;
+    rep.hi = band.hi;
+    rep.vertices = band.vertices;
+    rep.grid = band.grid;
+
+    // Parent submesh size s_{i+1}: the next band's submesh (the full mesh
+    // for the last band) — Algorithm 1 steps 1, 2 and 3(a) all run at the
+    // B_{i+1}-partitioning scale.
+    const double s_next = i + 1 < plan.bands.size()
+                              ? static_cast<double>(
+                                    plan.bands[i + 1].submesh_elems)
+                              : p;
+    mesh::Cost setup;
+    setup += m.sort(s_next) + m.route(s_next);  // steps 1-2 (labels, spread)
+    setup += m.route(s_next);                   // step 3(a): duplicate B_i
+    rep.setup_steps = setup.steps;
+    res.cost += setup;
+
+    // Step 3(b): Lemma 1 on every B_i-submesh, independently in parallel —
+    // all submeshes run the same lockstep sweeps, so max == one submesh.
+    const double s_i = static_cast<double>(band.submesh_elems);
+    mesh::Cost solve;
+    const std::int32_t b1_levels = band.split - band.lo;
+    if (b1_levels > 0) {
+      // Phase 1: replicate B_i^1 into inner sub-submeshes, then walk its
+      // levels locally (sweeps_at(l) RAR sweeps per level).
+      const double s_inner =
+          s_i / (static_cast<double>(band.inner_grid) * band.inner_grid);
+      solve += m.route(s_i);
+      for (std::int32_t l = band.lo; l < band.split; ++l)
+        solve += sweeps_at(l) * m.rar(s_inner);
+    }
+    // Phase 2: walk B_i^2 level-by-level at submesh scale.
+    for (std::int32_t l = band.split; l <= band.hi; ++l)
+      solve += sweeps_at(l) * m.rar(s_i);
+    rep.solve_steps = solve.steps;
+    res.cost += solve;
+
+    const double dh = static_cast<double>(band.hi - band.lo + 1);
+    rep.lemma1_bound =
+        std::sqrt(static_cast<double>(std::max<std::size_t>(1, band.vertices))) *
+        std::max(1.0, std::log(dh) / std::log(dag.mu()));
+    res.bands.push_back(rep);
+  }
+
+  // Step 4: B* level-by-level on the whole mesh (O(1) levels).
+  res.bstar_levels = dag.height() - plan.bstar_lo + 1;
+  mesh::Cost bstar;
+  for (std::int32_t l = plan.bstar_lo; l <= dag.height(); ++l)
+    bstar += sweeps_at(l) * m.rar(p);
+  res.bstar_steps = bstar.steps;
+  res.cost += bstar;
+  return res;
+}
+
+}  // namespace meshsearch::msearch

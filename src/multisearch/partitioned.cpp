@@ -1,0 +1,3 @@
+#include "multisearch/partitioned.hpp"
+
+namespace meshsearch::msearch {}

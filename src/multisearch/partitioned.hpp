@@ -1,0 +1,99 @@
+// Multisearch for partitionable graphs — paper §4.5 (Algorithm 2, directed
+// alpha-partitionable) and §4.6 (Algorithm 3, undirected
+// alpha-beta-partitionable).
+//
+// One log-phase is:
+//   1. every query visits the first/next node of its path   (global RAR)
+//   2. Constrained-Multisearch(Psi_A, .)                    (Lemma 3)
+//   3. every query visits the next node                     (global RAR)
+//   4. Constrained-Multisearch(Psi_B, .)                    (Lemma 3)
+// For Algorithm 2, Psi_A == Psi_B == G(S) = {H_1..H_k1, T_1..T_k2}.
+// For Algorithm 3, Psi_A = G(S_1) and Psi_B = G(S_2).
+// The driver iterates log-phases until every search path has terminated,
+// ceil(r / log n) times for longest path r (Theorems 5 and 7).
+#pragma once
+
+#include <vector>
+
+#include "multisearch/constrained.hpp"
+
+namespace meshsearch::msearch {
+
+struct PartitionedRunResult {
+  mesh::Cost cost;
+  std::size_t log_phases = 0;
+  std::size_t constrained_calls = 0;
+  std::size_t total_visits = 0;
+  std::int32_t longest_path = 0;  ///< r: max steps over queries at the end
+};
+
+/// One global multistep: every live query visits the next node in its path
+/// (one full-mesh RAR). Returns the number of queries that advanced.
+template <SearchProgram P>
+std::size_t global_multistep(const DistributedGraph& g, const P& prog,
+                             std::vector<Query>& queries) {
+  std::size_t advanced = 0;
+  for (auto& q : queries) advanced += advance_one(g, prog, q) ? 1 : 0;
+  return advanced;
+}
+
+template <SearchProgram P>
+PartitionedRunResult multisearch_partitioned(
+    const DistributedGraph& g, const Splitting& psi_a, const Splitting& psi_b,
+    const P& prog, std::vector<Query>& queries, const mesh::CostModel& m,
+    mesh::MeshShape shape, bool duplicate_copies = true) {
+  PartitionedRunResult res;
+  const double p = static_cast<double>(shape.size());
+  reset_queries(queries);
+  while (!all_done(queries)) {
+    // Step 1: visit first/next node.
+    res.total_visits += global_multistep(g, prog, queries);
+    res.cost += m.rar(p);
+    // Step 2.
+    const auto s2 = constrained_multisearch(g, psi_a, prog, queries, m, shape,
+                                            duplicate_copies);
+    res.cost += s2.cost;
+    res.total_visits += s2.advanced;
+    // Step 3.
+    res.total_visits += global_multistep(g, prog, queries);
+    res.cost += m.rar(p);
+    // Step 4.
+    const auto s4 = constrained_multisearch(g, psi_b, prog, queries, m, shape,
+                                            duplicate_copies);
+    res.cost += s4.cost;
+    res.total_visits += s4.advanced;
+    res.constrained_calls += 2;
+    ++res.log_phases;
+    // Termination check: a reduction over query flags.
+    res.cost += m.reduce(p);
+  }
+  res.longest_path = max_steps(queries);
+  return res;
+}
+
+/// Algorithm 2: alpha-partitionable directed graphs (Theorem 5).
+template <SearchProgram P>
+PartitionedRunResult multisearch_alpha(const DistributedGraph& g,
+                                       const Splitting& gs, const P& prog,
+                                       std::vector<Query>& queries,
+                                       const mesh::CostModel& m,
+                                       mesh::MeshShape shape,
+                                       bool duplicate_copies = true) {
+  return multisearch_partitioned(g, gs, gs, prog, queries, m, shape,
+                                 duplicate_copies);
+}
+
+/// Algorithm 3: alpha-beta-partitionable undirected graphs (Theorem 7).
+template <SearchProgram P>
+PartitionedRunResult multisearch_alpha_beta(const DistributedGraph& g,
+                                            const Splitting& gs1,
+                                            const Splitting& gs2, const P& prog,
+                                            std::vector<Query>& queries,
+                                            const mesh::CostModel& m,
+                                            mesh::MeshShape shape,
+                                            bool duplicate_copies = true) {
+  return multisearch_partitioned(g, gs1, gs2, prog, queries, m, shape,
+                                 duplicate_copies);
+}
+
+}  // namespace meshsearch::msearch

@@ -1,0 +1,39 @@
+#include "multisearch/query.hpp"
+
+#include <sstream>
+
+namespace meshsearch::msearch {
+
+std::vector<Query> make_queries(std::size_t m) {
+  std::vector<Query> qs(m);
+  for (std::size_t i = 0; i < m; ++i) qs[i].qid = static_cast<std::int32_t>(i);
+  return qs;
+}
+
+std::vector<QueryOutcome> outcomes(const std::vector<Query>& queries) {
+  std::vector<QueryOutcome> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries)
+    out.push_back(QueryOutcome{q.steps, q.acc0, q.acc1, q.result});
+  return out;
+}
+
+std::string diff_outcomes(const std::vector<QueryOutcome>& a,
+                          const std::vector<QueryOutcome>& b) {
+  if (a.size() != b.size()) {
+    std::ostringstream os;
+    os << "size mismatch: " << a.size() << " vs " << b.size();
+    return os.str();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) continue;
+    std::ostringstream os;
+    os << "query " << i << ": steps " << a[i].steps << "/" << b[i].steps
+       << " acc0 " << a[i].acc0 << "/" << b[i].acc0 << " acc1 " << a[i].acc1
+       << "/" << b[i].acc1 << " result " << a[i].result << "/" << b[i].result;
+    return os.str();
+  }
+  return "";
+}
+
+}  // namespace meshsearch::msearch

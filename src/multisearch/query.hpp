@@ -1,0 +1,33 @@
+// Query-set helpers: construction, comparison against an oracle run, and
+// simple workload generators shared by tests and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "multisearch/types.hpp"
+#include "util/rng.hpp"
+
+namespace meshsearch::msearch {
+
+/// m blank queries with qids 0..m-1.
+std::vector<Query> make_queries(std::size_t m);
+
+/// Outcome fields of a finished query, for oracle comparison.
+struct QueryOutcome {
+  std::int32_t steps = 0;
+  std::int64_t acc0 = 0;
+  std::int64_t acc1 = 0;
+  std::int32_t result = kNoVertex;
+  friend bool operator==(const QueryOutcome&, const QueryOutcome&) = default;
+};
+
+std::vector<QueryOutcome> outcomes(const std::vector<Query>& queries);
+
+/// Human-readable first difference between two outcome vectors, or "" if
+/// equal. Used by tests to report oracle mismatches precisely.
+std::string diff_outcomes(const std::vector<QueryOutcome>& a,
+                          const std::vector<QueryOutcome>& b);
+
+}  // namespace meshsearch::msearch

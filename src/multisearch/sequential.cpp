@@ -1,0 +1,3 @@
+#include "multisearch/sequential.hpp"
+
+namespace meshsearch::msearch {}

@@ -1,0 +1,36 @@
+// Sequential reference implementation ("oracle"): runs every search process
+// to completion on a single processor. Used (a) for correctness checking of
+// every mesh algorithm, and (b) as the 1-processor baseline in the
+// benchmarks. Its "cost" is total work — the sum of all visits — since one
+// processor performs them one after another.
+#pragma once
+
+#include <vector>
+
+#include "mesh/cost.hpp"
+#include "multisearch/graph.hpp"
+
+namespace meshsearch::msearch {
+
+struct SequentialResult {
+  std::size_t total_visits = 0;  ///< sum over queries of path length executed
+  mesh::Cost cost;               ///< = total_visits steps (1 visit = 1 step)
+};
+
+template <SearchProgram P>
+SequentialResult sequential_multisearch(const DistributedGraph& g,
+                                        const P& prog,
+                                        std::vector<Query>& queries,
+                                        std::int32_t step_limit = -1) {
+  SequentialResult res;
+  for (auto& q : queries) {
+    while (!q.done && (step_limit < 0 || q.steps < step_limit)) {
+      if (!advance_one(g, prog, q)) break;
+      ++res.total_visits;
+    }
+  }
+  res.cost = mesh::Cost{static_cast<double>(res.total_visits)};
+  return res;
+}
+
+}  // namespace meshsearch::msearch

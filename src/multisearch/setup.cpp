@@ -1,0 +1,82 @@
+#include "multisearch/setup.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace meshsearch::msearch {
+
+mesh::Cost distribute_initial(const DistributedGraph& g, std::size_t queries,
+                              const mesh::CostModel& m,
+                              mesh::MeshShape shape) {
+  MS_CHECK(g.vertex_count() <= shape.size() && queries <= shape.size());
+  const double p = static_cast<double>(shape.size());
+  mesh::Cost cost;
+  // Sort vertices by id to their home processors, then one routing per
+  // adjacency slot to deliver neighbour addresses (degree is O(1)), then
+  // one routing for the queries.
+  cost += m.sort(p);
+  cost += static_cast<double>(std::max<std::size_t>(1, g.max_degree())) *
+          m.route(p);
+  cost += m.route(p);
+  return cost;
+}
+
+LevelIndexResult compute_level_indices(const DistributedGraph& g,
+                                       const mesh::CostModel& m,
+                                       mesh::MeshShape shape) {
+  LevelIndexResult res;
+  const std::size_t n = g.vertex_count();
+  res.level.assign(n, -1);
+
+  // In-degrees of the reversed peel: a vertex is removable once all of its
+  // out-neighbours are labelled.
+  std::vector<std::uint8_t> labelled(n, 0);
+  std::vector<std::int32_t> unlabelled_succ(n, 0);
+  std::vector<std::vector<Vid>> preds(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto& rec = g.vert(static_cast<Vid>(v));
+    unlabelled_succ[v] = rec.degree;
+    for (std::uint8_t d = 0; d < rec.degree; ++d)
+      preds[static_cast<std::size_t>(rec.nbr[d])].push_back(
+          static_cast<Vid>(v));
+  }
+
+  // Peel from the sinks (level h) upward, assigning DESCENDING tags; a
+  // final global subtract-from-max flips them into level indices.
+  std::vector<Vid> frontier;
+  for (std::size_t v = 0; v < n; ++v)
+    if (unlabelled_succ[v] == 0) frontier.push_back(static_cast<Vid>(v));
+  std::size_t remaining = n;
+  std::int32_t tag = 0;
+  while (!frontier.empty()) {
+    // Charge this round on the subsquare holding the remaining vertices:
+    // identify the current frontier (a reduction + compress) and update
+    // predecessor counters (one RAW within the subsquare).
+    const double sub = static_cast<double>(
+        mesh::MeshShape::for_elements(std::max<std::size_t>(1, remaining))
+            .size());
+    res.cost += m.compress(sub) + m.raw(sub) + m.scan(sub);
+    ++res.rounds;
+    std::vector<Vid> next;
+    for (const auto v : frontier) {
+      res.level[static_cast<std::size_t>(v)] = tag;
+      labelled[static_cast<std::size_t>(v)] = 1;
+      --remaining;
+      for (const auto u : preds[static_cast<std::size_t>(v)])
+        if (--unlabelled_succ[static_cast<std::size_t>(u)] == 0)
+          next.push_back(u);
+    }
+    ++tag;
+    frontier = std::move(next);
+  }
+  MS_CHECK_MSG(remaining == 0, "level peel stalled (graph is not a "
+                               "sink-reachable hierarchical DAG)");
+  // Flip tags: level = (rounds - 1) - tag. One broadcast + local update.
+  res.cost += m.broadcast(static_cast<double>(shape.size()));
+  const auto h = static_cast<std::int32_t>(res.rounds) - 1;
+  for (auto& l : res.level) l = h - l;
+  return res;
+}
+
+}  // namespace meshsearch::msearch

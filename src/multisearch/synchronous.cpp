@@ -1,0 +1,3 @@
+#include "multisearch/synchronous.hpp"
+
+namespace meshsearch::msearch {}

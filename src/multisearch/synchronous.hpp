@@ -1,0 +1,44 @@
+// Synchronous multistep baseline — the [DR90] hypercube strategy
+// transplanted to the mesh, which the paper's introduction argues is "not
+// viable": every multistep advances all live queries by one node via a
+// full-mesh random access read, so each of the r steps of the longest path
+// costs Theta(sqrt n), for a total of Theta(r * sqrt n). The paper's
+// algorithms beat this by a log n factor in the r-dependent term; the
+// benchmark suite measures exactly that gap.
+#pragma once
+
+#include <vector>
+
+#include "mesh/cost.hpp"
+#include "mesh/ops.hpp"
+#include "multisearch/graph.hpp"
+
+namespace meshsearch::msearch {
+
+struct SynchronousResult {
+  mesh::Cost cost;
+  std::size_t multisteps = 0;
+};
+
+template <SearchProgram P>
+SynchronousResult synchronous_multisearch(const DistributedGraph& g,
+                                          const P& prog,
+                                          std::vector<Query>& queries,
+                                          const mesh::CostModel& m,
+                                          mesh::MeshShape shape) {
+  SynchronousResult res;
+  const double p = static_cast<double>(shape.size());
+  for (;;) {
+    bool any = false;
+    // One multistep: every live query fetches the record of its next vertex
+    // (one concurrent-read RAR over the whole mesh) and applies f.
+    for (auto& q : queries) any |= advance_one(g, prog, q);
+    if (!any) break;
+    ++res.multisteps;
+    res.cost += mesh::ops::broadcast(m, p);  // "anyone still live?" check
+    res.cost += m.rar(p);                    // the fetch itself
+  }
+  return res;
+}
+
+}  // namespace meshsearch::msearch

@@ -1,0 +1,68 @@
+// Core vocabulary of the multisearch problem (paper §2).
+//
+// A search structure is a constant-degree graph G distributed over the mesh
+// with one vertex per processor (the vertex id IS the snake address of the
+// processor that owns the master copy, paper Appendix "initial
+// configuration"). A query's search path is produced on-line by a successor
+// function f — modelled by the SearchProgram concept below. A query visits a
+// vertex when a processor holds both the query and (a copy of) the vertex's
+// record; programs receive the record, mutate their per-query accumulators,
+// and name the next vertex.
+#pragma once
+
+#include <array>
+#include <concepts>
+#include <cstdint>
+
+namespace meshsearch::msearch {
+
+/// Vertex id == snake address of the owning processor. kNoVertex terminates
+/// a search path.
+using Vid = std::int32_t;
+inline constexpr Vid kNoVertex = -1;
+
+/// Constant degree bound of the graph classes considered (paper §2 assumes
+/// O(1) out-degree / degree; applications in §5-6 stay well under this).
+inline constexpr std::size_t kMaxDegree = 16;
+
+/// Number of 64-bit payload words a vertex carries (split keys, interval
+/// endpoints, triangle corners, ...). Applications interpret them.
+inline constexpr std::size_t kMaxKeys = 8;
+
+struct VertexRecord {
+  Vid id = kNoVertex;
+  std::uint8_t degree = 0;
+  std::int32_t level = -1;  ///< level index for hierarchical DAGs (§3)
+  std::array<Vid, kMaxDegree> nbr{};  ///< adjacency: processor addresses
+  std::array<std::int64_t, kMaxKeys> key{};  ///< application payload
+};
+
+/// State of one search process. `current` is the vertex being visited,
+/// `next` the successor determined at visit time (f applied on arrival),
+/// so "advancing one step" never needs the old vertex's record again.
+struct Query {
+  std::int32_t qid = -1;
+  Vid current = kNoVertex;
+  Vid next = kNoVertex;   ///< successor; kNoVertex = path ends after current
+  std::int32_t steps = 0;  ///< vertices visited so far
+  bool done = false;
+  std::array<std::int64_t, 3> key{};  ///< search key payload
+  std::int64_t acc0 = 0;  ///< program accumulator (e.g. hit count)
+  std::int64_t acc1 = 0;  ///< program accumulator (e.g. order-free checksum)
+  std::int32_t state = 0; ///< program-defined automaton state
+  Vid prev = kNoVertex;   ///< previously visited vertex (traversal programs)
+  std::int32_t result = kNoVertex;  ///< program-defined answer vertex
+};
+
+/// The successor function f of paper §2, plus the start map.
+/// `start(q)` gives the first vertex of q's search path; `next(v, q)` is
+/// called exactly once per visit (when q holds v's record), may update q's
+/// accumulators/state/result, and returns the next vertex (a neighbour of v,
+/// in edge direction for directed G) or kNoVertex to terminate.
+template <typename P>
+concept SearchProgram = requires(const P& p, const VertexRecord& v, Query& q) {
+  { p.start(q) } -> std::same_as<Vid>;
+  { p.next(v, q) } -> std::same_as<Vid>;
+};
+
+}  // namespace meshsearch::msearch

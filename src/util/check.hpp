@@ -1,0 +1,41 @@
+// Lightweight invariant checking used across meshsearch.
+//
+// MS_CHECK is active in all build types: the simulator is a measuring
+// instrument, and a silently-corrupt measurement is worse than a crash.
+// MS_DCHECK compiles away in NDEBUG builds and is used in per-element
+// hot loops of the simulator engines.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace meshsearch {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace meshsearch
+
+#define MS_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::meshsearch::check_failed(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define MS_CHECK_MSG(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::meshsearch::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+#ifdef NDEBUG
+#define MS_DCHECK(expr) ((void)0)
+#else
+#define MS_DCHECK(expr) MS_CHECK(expr)
+#endif

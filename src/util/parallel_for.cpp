@@ -1,0 +1,109 @@
+#include "util/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.hpp"
+
+namespace meshsearch::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads ? threads : std::max(1u, std::thread::hardware_concurrency());
+  // n total participants: n-1 pool workers + the calling thread.
+  errors_.resize(n);
+  workers_.reserve(n - 1);
+  for (unsigned id = 1; id < n; ++id)
+    workers_.emplace_back([this, id] { worker_loop(id); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunks(const Job& job, unsigned id, unsigned nparticipants) {
+  // Static assignment: participant `id` owns chunks id, id+P, id+2P, ...
+  try {
+    for (std::size_t c = id; c < job.nchunks; c += nparticipants) {
+      const std::size_t lo = job.begin + c * job.chunk;
+      const std::size_t hi = std::min(job.end, lo + job.chunk);
+      for (std::size_t i = lo; i < hi; ++i) (*job.body)(i);
+    }
+  } catch (...) {
+    errors_[id] = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    run_chunks(job, id, thread_count());
+    {
+      std::lock_guard lock(mu_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const unsigned p = thread_count();
+  if (p == 1 || count <= grain) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t chunk = std::max<std::size_t>(grain, (count + 4 * p - 1) / (4 * p));
+  Job job;
+  job.begin = begin;
+  job.end = end;
+  job.chunk = chunk;
+  job.nchunks = (count + chunk - 1) / chunk;
+  job.body = &body;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& e : errors_) e = nullptr;
+    job_ = job;
+    remaining_ = static_cast<unsigned>(workers_.size());
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  run_chunks(job, 0, p);  // the calling thread participates as id 0
+  {
+    std::unique_lock lock(mu_);
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  }
+  for (auto& e : errors_)
+    if (e) std::rethrow_exception(e);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  if (end - begin < 2 * grain) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  ThreadPool::global().parallel_for(begin, end, body, grain);
+}
+
+}  // namespace meshsearch::util

@@ -1,0 +1,69 @@
+// Host-side data parallelism for the simulator.
+//
+// The mesh algorithms frequently say "independently and in parallel on each
+// submesh"; the simulator exploits that real concurrency with a small
+// persistent thread pool. Static chunking keeps the simulation bit-exact
+// regardless of thread count: the partition of indices across workers never
+// depends on timing, and workers never share mutable state.
+//
+// NOTE: parallel_for accelerates wall-clock time only. Simulated mesh step
+// counts are computed analytically and are identical with 1 or N threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace meshsearch::util {
+
+/// Persistent thread pool executing [begin, end) index ranges.
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Run body(i) for i in [begin, end), statically chunked across workers.
+  /// Blocks until all iterations complete. Exceptions from body propagate
+  /// (the first one thrown, by worker index order).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Process-wide pool, created on first use.
+  static ThreadPool& global();
+
+ private:
+  struct Job {
+    std::size_t begin = 0, end = 0, chunk = 0, nchunks = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+  };
+
+  void worker_loop(unsigned id);
+  void run_chunks(const Job& job, unsigned id, unsigned nparticipants);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_, cv_done_;
+  Job job_;
+  std::uint64_t epoch_ = 0;       // incremented per parallel_for call
+  unsigned remaining_ = 0;        // workers still running current epoch
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;
+};
+
+/// Convenience: run body(i) over [begin, end) on the global pool.
+/// Falls back to a serial loop for tiny ranges.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+}  // namespace meshsearch::util

@@ -1,0 +1,85 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace meshsearch::util {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0;
+  for (double x : sorted) sum += x;
+  s.mean = sum / static_cast<double>(sorted.size());
+  double var = 0;
+  for (double x : sorted) var += (x - s.mean) * (x - s.mean);
+  s.stddev = sorted.size() > 1
+                 ? std::sqrt(var / static_cast<double>(sorted.size() - 1))
+                 : 0.0;
+  const std::size_t mid = sorted.size() / 2;
+  s.median = sorted.size() % 2 == 1
+                 ? sorted[mid]
+                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  MS_CHECK(xs.size() == ys.size());
+  MS_CHECK(xs.size() >= 2);
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  LinearFit f;
+  const double denom = n * sxx - sx * sx;
+  MS_CHECK_MSG(denom != 0, "degenerate x values in fit_linear");
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (f.intercept + f.slope * xs[i]);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+PowerFit fit_power(std::span<const double> xs, std::span<const double> ys) {
+  MS_CHECK(xs.size() == ys.size());
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    MS_CHECK_MSG(xs[i] > 0 && ys[i] > 0, "fit_power requires positive data");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  const LinearFit lf = fit_linear(lx, ly);
+  return PowerFit{lf.intercept, lf.slope, lf.r2};
+}
+
+std::vector<std::size_t> geometric_sizes(std::size_t base, double ratio,
+                                         std::size_t count) {
+  MS_CHECK(base > 0 && ratio > 1.0);
+  std::vector<std::size_t> sizes;
+  sizes.reserve(count);
+  double n = static_cast<double>(base);
+  for (std::size_t i = 0; i < count; ++i) {
+    sizes.push_back(static_cast<std::size_t>(n));
+    n *= ratio;
+  }
+  return sizes;
+}
+
+}  // namespace meshsearch::util

@@ -1,0 +1,42 @@
+// Small statistics toolkit for the benchmark harness: summary statistics
+// and ordinary-least-squares fits, notably the log-log power-law fit used
+// to verify the paper's growth-rate claims (e.g. slope ~ 0.5 for O(sqrt n)).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace meshsearch::util {
+
+struct Summary {
+  double min = 0, max = 0, mean = 0, stddev = 0, median = 0;
+  std::size_t count = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Ordinary least squares y = a + b*x. Returns {a, b, r2}.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+  double r2 = 0;
+};
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// Power-law fit y = c * x^e via OLS in log-log space. Returns
+/// {log(c), e, r2}; `exponent()` is the quantity the experiments check.
+struct PowerFit {
+  double log_coeff = 0;
+  double exponent = 0;
+  double r2 = 0;
+};
+
+PowerFit fit_power(std::span<const double> xs, std::span<const double> ys);
+
+/// Geometric sequence of problem sizes n = base * ratio^i, i in [0, count).
+std::vector<std::size_t> geometric_sizes(std::size_t base, double ratio,
+                                         std::size_t count);
+
+}  // namespace meshsearch::util

@@ -1,0 +1,90 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace meshsearch::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MS_CHECK(!headers_.empty());
+}
+
+Table& Table::add_row(std::vector<Cell> cells) {
+  MS_CHECK_MSG(cells.size() == headers_.size(), "row width != header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::render(const Cell& c) {
+  if (std::holds_alternative<std::string>(c)) return std::get<std::string>(c);
+  if (std::holds_alternative<std::int64_t>(c))
+    return std::to_string(std::get<std::int64_t>(c));
+  const double v = std::get<double>(c);
+  std::ostringstream os;
+  if (v != 0 && (std::fabs(v) >= 1e7 || std::fabs(v) < 1e-3))
+    os << std::scientific << std::setprecision(3) << v;
+  else
+    os << std::fixed << std::setprecision(3) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(render(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << (c ? "  " : "") << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    os << '\n';
+  };
+  line(headers_);
+  std::vector<std::string> rule;
+  for (auto w : widths) rule.push_back(std::string(w, '-'));
+  line(rule);
+  for (const auto& r : rendered) line(r);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto esc = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << (c ? "," : "") << esc(headers_[c]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << esc(render(row[c]));
+    os << '\n';
+  }
+}
+
+void Table::write_csv_file(const std::string& path) const {
+  std::ofstream f(path);
+  MS_CHECK_MSG(f.good(), "cannot open " + path);
+  write_csv(f);
+}
+
+}  // namespace meshsearch::util

@@ -1,0 +1,35 @@
+// Table/CSV emitter used by the benchmark harness to print paper-style
+// result tables (aligned text on stdout, optional CSV mirror on disk).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace meshsearch::util {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<Cell> cells);
+
+  /// Render as an aligned text table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV.
+  void write_csv(std::ostream& os) const;
+  void write_csv_file(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  static std::string render(const Cell& c);
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace meshsearch::util

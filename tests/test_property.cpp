@@ -1,0 +1,157 @@
+// Seed-parameterized property suite: for many random instances, all
+// execution engines must produce identical outcomes, and structural
+// invariants must hold. These sweeps are the repository's fuzzing layer —
+// every seed builds a different structure and workload.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datastruct/interval_tree.hpp"
+#include "datastruct/kary_tree.hpp"
+#include "datastruct/segment_tree.hpp"
+#include "datastruct/twothree_tree.hpp"
+#include "datastruct/workloads.hpp"
+#include "geometry/dk_polygon.hpp"
+#include "geometry/hull2d.hpp"
+#include "multisearch/hierarchical.hpp"
+#include "multisearch/partitioned.hpp"
+#include "multisearch/query.hpp"
+#include "multisearch/sequential.hpp"
+#include "multisearch/synchronous.hpp"
+
+namespace {
+
+using namespace meshsearch;
+using namespace meshsearch::msearch;
+
+class SeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// All four execution strategies agree on a random k-ary tree workload of a
+// random size, fan-out and key skew.
+TEST_P(SeedTest, AllEnginesAgreeOnKaryRank) {
+  util::Rng rng(GetParam() * 7919 + 1);
+  const std::size_t nkeys = 2 + rng.uniform(3000);
+  const unsigned k = 2 + static_cast<unsigned>(rng.uniform(5));
+  ds::KaryTree tree(ds::iota_keys(nkeys), k, ds::TreeMode::kDirected);
+  auto qs = rng.bernoulli(0.5)
+                ? ds::uniform_key_queries(nkeys, nkeys + 10, rng)
+                : ds::zipf_key_queries(nkeys, nkeys, 1.0, rng);
+  auto q_seq = qs;
+  sequential_multisearch(tree.graph(), tree.rank_count(), q_seq);
+  const mesh::CostModel m;
+  const auto shape = tree.graph().shape_for(qs.size());
+  auto q_sync = qs;
+  reset_queries(q_sync);
+  synchronous_multisearch(tree.graph(), tree.rank_count(), q_sync, m, shape);
+  auto q_on = qs;
+  multisearch_alpha(tree.graph(), tree.alpha_splitting(), tree.rank_count(),
+                    q_on, m, shape, true);
+  auto q_off = qs;
+  multisearch_alpha(tree.graph(), tree.alpha_splitting(), tree.rank_count(),
+                    q_off, m, shape, false);
+  EXPECT_EQ(diff_outcomes(outcomes(q_seq), outcomes(q_sync)), "");
+  EXPECT_EQ(diff_outcomes(outcomes(q_seq), outcomes(q_on)), "");
+  EXPECT_EQ(diff_outcomes(outcomes(q_seq), outcomes(q_off)), "");
+}
+
+// Interval tree (Alg 3) and segment tree (Alg 2) agree with the oracle on
+// random interval sets of random density.
+TEST_P(SeedTest, StabbingStructuresAgree) {
+  util::Rng rng(GetParam() * 104729 + 2);
+  const std::size_t n = 1 + rng.uniform(600);
+  const std::int64_t span = 1 + static_cast<std::int64_t>(rng.uniform(2000));
+  const std::int64_t maxlen = static_cast<std::int64_t>(rng.uniform(400));
+  std::vector<ds::Interval> ivs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t lo = rng.uniform_range(-span, span);
+    ivs[i] = ds::Interval{lo, lo + rng.uniform_range(0, maxlen),
+                          static_cast<std::int32_t>(i)};
+  }
+  ds::IntervalTree it(ivs);
+  ds::SegmentTree st(ivs);
+  auto qs = make_queries(200);
+  for (auto& q : qs) q.key[0] = rng.uniform_range(-span - 50, span + 450);
+  auto q_it = qs, q_st = qs;
+  sequential_multisearch(it.graph(), it.stabbing_program(), q_it);
+  sequential_multisearch(st.graph(), st.stab_count(), q_st);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto [cnt, sum] = ds::IntervalTree::stab_oracle(ivs, qs[i].key[0]);
+    EXPECT_EQ(q_it[i].acc0, cnt);
+    EXPECT_EQ(q_it[i].acc1, sum);
+    EXPECT_EQ(q_st[i].acc0, cnt);
+  }
+}
+
+// 2-3 tree and k-ary (k=2..3 equivalent class) agree on membership.
+TEST_P(SeedTest, TwoThreeLookupMatchesOracle) {
+  util::Rng rng(GetParam() * 1299709 + 3);
+  const std::size_t n = 1 + rng.uniform(2000);
+  std::vector<std::int64_t> keys;
+  std::int64_t cur = rng.uniform_range(-100, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    cur += 1 + static_cast<std::int64_t>(rng.uniform(4));
+    keys.push_back(cur);
+  }
+  ds::TwoThreeTree t(keys);
+  auto qs = make_queries(300);
+  for (auto& q : qs) q.key[0] = rng.uniform_range(-120, cur + 20);
+  // Through Algorithm 2, not just sequentially.
+  const mesh::CostModel m;
+  const auto shape = t.graph().shape_for(qs.size());
+  multisearch_alpha(t.graph(), t.alpha_splitting(), t.lookup(), qs, m, shape);
+  for (const auto& q : qs) {
+    const bool member = std::binary_search(keys.begin(), keys.end(), q.key[0]);
+    EXPECT_EQ(q.acc0, member ? 1 : 0);
+  }
+}
+
+// Random hierarchical DAGs: both plan kinds equal the oracle; cost positive.
+TEST_P(SeedTest, HierarchicalPlansAgree) {
+  util::Rng rng(GetParam() * 15485863 + 4);
+  const double mu = 1.5 + rng.uniform_real() * 2.5;
+  const std::size_t n = 64 + rng.uniform(40000);
+  const auto g = ds::build_hierarchical_dag(n, mu, 2 + rng.uniform(3), rng);
+  const HierarchicalDag dag(g, mu);
+  auto qs = make_queries(std::min<std::size_t>(g.vertex_count(), 4000));
+  for (auto& q : qs) q.key[0] = static_cast<std::int64_t>(rng.uniform(1u << 31));
+  auto q_seq = qs;
+  const ds::HashWalk prog{0};
+  sequential_multisearch(g, prog, q_seq);
+  const mesh::CostModel m;
+  const auto shape = g.shape_for(g.vertex_count());
+  auto q_p = qs;
+  const auto rp = hierarchical_multisearch(dag, prog, q_p, m, shape,
+                                           PlanKind::kPaper);
+  auto q_g = qs;
+  const auto rg = hierarchical_multisearch(dag, prog, q_g, m, shape,
+                                           PlanKind::kGeometric);
+  EXPECT_EQ(diff_outcomes(outcomes(q_seq), outcomes(q_p)), "");
+  EXPECT_EQ(diff_outcomes(outcomes(q_seq), outcomes(q_g)), "");
+  EXPECT_GT(rp.cost.steps, 0.0);
+  EXPECT_GT(rg.cost.steps, 0.0);
+}
+
+// DK polygon hierarchy: extreme values equal brute force for random convex
+// polygons and directions.
+TEST_P(SeedTest, PolygonExtremesMatchBrute) {
+  util::Rng rng(GetParam() * 32452843 + 5);
+  const auto poly =
+      geom::random_convex_polygon(3 + rng.uniform(400), 50000, rng);
+  geom::DKPolygon dk(poly);
+  auto qs = make_queries(100);
+  for (auto& q : qs) {
+    do {
+      q.key[0] = rng.uniform_range(-500, 500);
+      q.key[1] = rng.uniform_range(-500, 500);
+    } while (q.key[0] == 0 && q.key[1] == 0);
+  }
+  sequential_multisearch(dk.extreme_dag().dag, dk.extreme_program(), qs);
+  for (const auto& q : qs)
+    EXPECT_EQ(q.acc0,
+              dk.extreme_dot_brute(geom::Point2{q.key[0], q.key[1]}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace

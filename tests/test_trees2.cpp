@@ -1,0 +1,201 @@
+// Tests for the additional tree structures: segment trees (stabbing counts
+// by a second, independent decomposition) and 2-3 trees (the [PVS83]
+// reference structure), both as Theorem-5 multisearch inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datastruct/interval_tree.hpp"
+#include "datastruct/segment_tree.hpp"
+#include "datastruct/twothree_tree.hpp"
+#include "datastruct/workloads.hpp"
+#include "multisearch/partitioned.hpp"
+#include "multisearch/query.hpp"
+#include "multisearch/sequential.hpp"
+
+namespace {
+
+using namespace meshsearch;
+using namespace meshsearch::msearch;
+using ds::Interval;
+using ds::SegmentTree;
+using ds::TwoThreeTree;
+
+std::vector<Interval> random_intervals(std::size_t n, std::int64_t span,
+                                       std::int64_t max_len, util::Rng& rng) {
+  std::vector<Interval> ivs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t lo = rng.uniform_range(-span, span);
+    ivs[i] = Interval{lo, lo + rng.uniform_range(0, max_len),
+                      static_cast<std::int32_t>(i)};
+  }
+  return ivs;
+}
+
+// ---------------------------------------------------------------------------
+// segment tree
+// ---------------------------------------------------------------------------
+
+TEST(SegmentTree, SingleInterval) {
+  SegmentTree t({{10, 20, 0}});
+  auto qs = make_queries(5);
+  qs[0].key[0] = 9;
+  qs[1].key[0] = 10;
+  qs[2].key[0] = 15;
+  qs[3].key[0] = 20;
+  qs[4].key[0] = 21;
+  sequential_multisearch(t.graph(), t.stab_count(), qs);
+  EXPECT_EQ(qs[0].acc0, 0);
+  EXPECT_EQ(qs[1].acc0, 1);
+  EXPECT_EQ(qs[2].acc0, 1);
+  EXPECT_EQ(qs[3].acc0, 1);
+  EXPECT_EQ(qs[4].acc0, 0);
+}
+
+TEST(SegmentTree, PointIntervalsAndTouching) {
+  SegmentTree t({{5, 5, 0}, {5, 9, 1}, {9, 12, 2}});
+  auto qs = make_queries(4);
+  qs[0].key[0] = 5;
+  qs[1].key[0] = 7;
+  qs[2].key[0] = 9;
+  qs[3].key[0] = 12;
+  sequential_multisearch(t.graph(), t.stab_count(), qs);
+  EXPECT_EQ(qs[0].acc0, 2);
+  EXPECT_EQ(qs[1].acc0, 1);
+  EXPECT_EQ(qs[2].acc0, 2);
+  EXPECT_EQ(qs[3].acc0, 1);
+}
+
+class SegmentTreeTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(SegmentTreeTest, MatchesOracleAndIntervalTree) {
+  const auto [n, maxlen] = GetParam();
+  util::Rng rng(600 + n + maxlen);
+  const auto ivs =
+      random_intervals(static_cast<std::size_t>(n), 400, maxlen, rng);
+  SegmentTree st(ivs);
+  ds::IntervalTree it(ivs);
+  auto qs = make_queries(300);
+  for (auto& q : qs) q.key[0] = rng.uniform_range(-450, 450);
+  auto q_st = qs;
+  sequential_multisearch(st.graph(), st.stab_count(), q_st);
+  auto q_it = qs;
+  sequential_multisearch(it.graph(), it.stabbing_program(), q_it);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto [cnt, sum] = ds::IntervalTree::stab_oracle(ivs, qs[i].key[0]);
+    (void)sum;
+    EXPECT_EQ(q_st[i].acc0, cnt) << "x=" << qs[i].key[0];
+    // Two totally different decompositions agree.
+    EXPECT_EQ(q_st[i].acc0, q_it[i].acc0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, SegmentTreeTest,
+    ::testing::Combine(::testing::Values(1, 9, 77, 400),
+                       ::testing::Values(0, 3, 50, 900)));
+
+TEST(SegmentTree, ViaAlgorithm2) {
+  util::Rng rng(601);
+  const auto ivs = random_intervals(500, 3000, 120, rng);
+  SegmentTree st(ivs);
+  const auto psi = st.alpha_splitting();
+  validate_alpha_splitting(st.graph(), psi);
+  auto qs = make_queries(500);
+  for (auto& q : qs) q.key[0] = rng.uniform_range(-3200, 3200);
+  auto qseq = qs;
+  sequential_multisearch(st.graph(), st.stab_count(), qseq);
+  auto qalg = qs;
+  const mesh::CostModel m;
+  const auto shape = st.graph().shape_for(qs.size());
+  multisearch_alpha(st.graph(), psi, st.stab_count(), qalg, m, shape);
+  EXPECT_EQ(diff_outcomes(outcomes(qseq), outcomes(qalg)), "");
+}
+
+TEST(SegmentTree, DescentLengthIsHeight) {
+  util::Rng rng(602);
+  const auto ivs = random_intervals(1000, 5000, 100, rng);
+  SegmentTree st(ivs);
+  auto qs = make_queries(50);
+  for (auto& q : qs) q.key[0] = rng.uniform_range(-5200, 5200);
+  sequential_multisearch(st.graph(), st.stab_count(), qs);
+  for (const auto& q : qs) EXPECT_EQ(q.steps, st.height() + 1);
+}
+
+// ---------------------------------------------------------------------------
+// 2-3 tree
+// ---------------------------------------------------------------------------
+
+TEST(TwoThreeTree, StructureInvariants) {
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 5u, 17u, 100u, 1000u}) {
+    std::vector<std::int64_t> keys(n);
+    for (std::size_t i = 0; i < n; ++i) keys[i] = static_cast<std::int64_t>(3 * i);
+    TwoThreeTree t(keys);
+    // Every internal node has 2 or 3 children; every leaf at depth height.
+    std::size_t leaves = 0;
+    for (const auto& v : t.graph().verts()) {
+      if (v.key[6] == 0) {
+        ++leaves;
+        EXPECT_EQ(v.level, t.height());
+      } else {
+        EXPECT_TRUE(v.key[6] == 2 || v.key[6] == 3) << v.key[6];
+        EXPECT_EQ(static_cast<unsigned>(v.degree),
+                  static_cast<unsigned>(v.key[6]));
+      }
+    }
+    EXPECT_EQ(leaves, n);
+    // Height within the 2-3 bounds.
+    if (n > 1) {
+      EXPECT_LE(std::pow(2.0, t.height()), static_cast<double>(n));
+      EXPECT_GE(std::pow(3.0, t.height()), static_cast<double>(n));
+    }
+  }
+}
+
+TEST(TwoThreeTree, LookupAgainstBinarySearch) {
+  util::Rng rng(603);
+  std::vector<std::int64_t> keys;
+  std::int64_t cur = 0;
+  for (int i = 0; i < 500; ++i) {
+    cur += 1 + static_cast<std::int64_t>(rng.uniform(7));
+    keys.push_back(cur);
+  }
+  TwoThreeTree t(keys);
+  auto qs = make_queries(800);
+  for (auto& q : qs)
+    q.key[0] = rng.uniform_range(-5, cur + 5);
+  sequential_multisearch(t.graph(), t.lookup(), qs);
+  for (const auto& q : qs) {
+    const bool member =
+        std::binary_search(keys.begin(), keys.end(), q.key[0]);
+    EXPECT_EQ(q.acc0, member ? 1 : 0) << "x=" << q.key[0];
+    auto it = std::upper_bound(keys.begin(), keys.end(), q.key[0]);
+    const std::int64_t pred = it == keys.begin()
+                                  ? std::numeric_limits<std::int64_t>::min()
+                                  : *std::prev(it);
+    EXPECT_EQ(q.acc1, pred) << "x=" << q.key[0];
+  }
+}
+
+TEST(TwoThreeTree, ViaAlgorithm2) {
+  util::Rng rng(604);
+  std::vector<std::int64_t> keys(3000);
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    keys[i] = static_cast<std::int64_t>(2 * i);
+  TwoThreeTree t(keys);
+  const auto psi = t.alpha_splitting();
+  validate_alpha_splitting(t.graph(), psi);
+  auto qs = make_queries(2000);
+  for (auto& q : qs) q.key[0] = rng.uniform_range(-3, 6003);
+  auto qseq = qs;
+  sequential_multisearch(t.graph(), t.lookup(), qseq);
+  auto qalg = qs;
+  const mesh::CostModel m;
+  const auto shape = t.graph().shape_for(qs.size());
+  const auto res = multisearch_alpha(t.graph(), psi, t.lookup(), qalg, m, shape);
+  EXPECT_EQ(diff_outcomes(outcomes(qseq), outcomes(qalg)), "");
+  EXPECT_GE(res.log_phases, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,223 @@
+// Unit tests for the utility layer: deterministic RNG, statistics fits,
+// the thread pool, and the table writer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/parallel_for.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace meshsearch;
+
+TEST(Rng, DeterministicForSeed) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInBounds) {
+  util::Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform(bound), bound);
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  util::Rng rng(7);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  util::Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform_real();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  util::Rng rng(5);
+  std::array<int, 10> buckets{};
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++buckets[rng.uniform(10)];
+  for (int b : buckets) {
+    EXPECT_GT(b, draws / 10 * 0.9);
+    EXPECT_LT(b, draws / 10 * 1.1);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  util::Rng a(9);
+  util::Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, Mix64AvalanchesLowBits) {
+  // Consecutive inputs must produce well-spread outputs.
+  std::array<int, 16> buckets{};
+  for (std::uint64_t i = 0; i < 1600; ++i) ++buckets[util::mix64(i) % 16];
+  for (int b : buckets) EXPECT_GT(b, 50);
+}
+
+TEST(Zipf, SkewsTowardLowRanks) {
+  util::Rng rng(3);
+  util::Zipf zipf(1000, 1.2);
+  std::size_t low = 0, draws = 20000;
+  for (std::size_t i = 0; i < draws; ++i) low += zipf(rng) < 10;
+  // With s=1.2 the top-10 ranks carry a large constant fraction.
+  EXPECT_GT(low, draws / 4);
+}
+
+TEST(Zipf, ZeroSkewIsUniform) {
+  util::Rng rng(3);
+  util::Zipf zipf(10, 0.0);
+  std::array<int, 10> buckets{};
+  for (int i = 0; i < 50000; ++i) ++buckets[zipf(rng)];
+  for (int b : buckets) {
+    EXPECT_GT(b, 4200);
+    EXPECT_LT(b, 5800);
+  }
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+  util::Rng rng(13);
+  const auto perm = util::random_permutation(257, rng);
+  std::vector<bool> seen(257, false);
+  for (auto v : perm) {
+    ASSERT_LT(v, 257u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Stats, SummaryBasics) {
+  const std::vector<double> xs{3, 1, 2, 5, 4};
+  const auto s = util::summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.5 * i - 2.0);
+  }
+  const auto f = util::fit_linear(xs, ys);
+  EXPECT_NEAR(f.slope, 3.5, 1e-9);
+  EXPECT_NEAR(f.intercept, -2.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, PowerFitRecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x = 64; x <= 1 << 20; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(7.0 * std::pow(x, 0.5));
+  }
+  const auto f = util::fit_power(xs, ys);
+  EXPECT_NEAR(f.exponent, 0.5, 1e-9);
+  EXPECT_NEAR(std::exp(f.log_coeff), 7.0, 1e-6);
+}
+
+TEST(Stats, GeometricSizes) {
+  const auto sizes = util::geometric_sizes(64, 4.0, 4);
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0], 64u);
+  EXPECT_EQ(sizes[3], 4096u);
+}
+
+TEST(ParallelFor, ComputesAllIndices) {
+  std::vector<std::atomic<int>> hits(10000);
+  util::parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  int count = 0;
+  util::parallel_for(5, 5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  std::atomic<int> c2{0};
+  util::parallel_for(0, 3, [&](std::size_t) { ++c2; });
+  EXPECT_EQ(c2.load(), 3);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      util::ThreadPool::global().parallel_for(
+          0, 10000,
+          [](std::size_t i) {
+            if (i == 4321) throw std::runtime_error("boom");
+          }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, PoolIsReusableAfterException) {
+  auto& pool = util::ThreadPool::global();
+  try {
+    pool.parallel_for(0, 100, [](std::size_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> c{0};
+  pool.parallel_for(0, 1000, [&](std::size_t) { ++c; });
+  EXPECT_EQ(c.load(), 1000);
+}
+
+TEST(ParallelFor, DeterministicResults) {
+  std::vector<double> slot(1 << 16), slot2(1 << 16);
+  util::parallel_for(0, slot.size(),
+                     [&](std::size_t i) { slot[i] = std::sqrt(double(i)); });
+  util::parallel_for(0, slot2.size(),
+                     [&](std::size_t i) { slot2[i] = std::sqrt(double(i)); });
+  const double a = std::accumulate(slot.begin(), slot.end(), 0.0);
+  const double b = std::accumulate(slot2.begin(), slot2.end(), 0.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Table, PrintsAlignedAndCsv) {
+  util::Table t({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("b,c"), std::int64_t{42}});
+  std::ostringstream text, csv;
+  t.print(text);
+  t.write_csv(csv);
+  EXPECT_NE(text.str().find("alpha"), std::string::npos);
+  EXPECT_NE(csv.str().find("\"b,c\",42"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  util::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), std::logic_error);
+}
+
+}  // namespace
