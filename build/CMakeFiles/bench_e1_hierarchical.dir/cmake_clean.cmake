@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_hierarchical.dir/bench/bench_e1_hierarchical.cpp.o"
+  "CMakeFiles/bench_e1_hierarchical.dir/bench/bench_e1_hierarchical.cpp.o.d"
+  "bench/bench_e1_hierarchical"
+  "bench/bench_e1_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_constrained.dir/bench/bench_e2_constrained.cpp.o"
+  "CMakeFiles/bench_e2_constrained.dir/bench/bench_e2_constrained.cpp.o.d"
+  "bench/bench_e2_constrained"
+  "bench/bench_e2_constrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_constrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

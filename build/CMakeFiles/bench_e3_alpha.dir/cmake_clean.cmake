@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_alpha.dir/bench/bench_e3_alpha.cpp.o"
+  "CMakeFiles/bench_e3_alpha.dir/bench/bench_e3_alpha.cpp.o.d"
+  "bench/bench_e3_alpha"
+  "bench/bench_e3_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

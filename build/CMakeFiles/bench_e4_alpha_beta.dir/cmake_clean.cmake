@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_alpha_beta.dir/bench/bench_e4_alpha_beta.cpp.o"
+  "CMakeFiles/bench_e4_alpha_beta.dir/bench/bench_e4_alpha_beta.cpp.o.d"
+  "bench/bench_e4_alpha_beta"
+  "bench/bench_e4_alpha_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_alpha_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

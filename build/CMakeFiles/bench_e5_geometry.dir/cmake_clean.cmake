@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_geometry.dir/bench/bench_e5_geometry.cpp.o"
+  "CMakeFiles/bench_e5_geometry.dir/bench/bench_e5_geometry.cpp.o.d"
+  "bench/bench_e5_geometry"
+  "bench/bench_e5_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

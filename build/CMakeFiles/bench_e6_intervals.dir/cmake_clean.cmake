@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_intervals.dir/bench/bench_e6_intervals.cpp.o"
+  "CMakeFiles/bench_e6_intervals.dir/bench/bench_e6_intervals.cpp.o.d"
+  "bench/bench_e6_intervals"
+  "bench/bench_e6_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_v1_engines.dir/bench/bench_v1_engines.cpp.o"
+  "CMakeFiles/bench_v1_engines.dir/bench/bench_v1_engines.cpp.o.d"
+  "bench/bench_v1_engines"
+  "bench/bench_v1_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_v1_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_v1_engines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_interval_stabbing.dir/interval_stabbing.cpp.o"
+  "CMakeFiles/example_interval_stabbing.dir/interval_stabbing.cpp.o.d"
+  "example_interval_stabbing"
+  "example_interval_stabbing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_interval_stabbing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mesh_machine.dir/mesh_machine.cpp.o"
+  "CMakeFiles/example_mesh_machine.dir/mesh_machine.cpp.o.d"
+  "example_mesh_machine"
+  "example_mesh_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mesh_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_point_location.dir/point_location.cpp.o"
+  "CMakeFiles/example_point_location.dir/point_location.cpp.o.d"
+  "example_point_location"
+  "example_point_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_point_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_point_location.
+# This may be replaced when dependencies are built.

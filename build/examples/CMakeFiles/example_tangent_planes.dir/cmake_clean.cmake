@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tangent_planes.dir/tangent_planes.cpp.o"
+  "CMakeFiles/example_tangent_planes.dir/tangent_planes.cpp.o.d"
+  "example_tangent_planes"
+  "example_tangent_planes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tangent_planes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

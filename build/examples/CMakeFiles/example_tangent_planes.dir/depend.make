@@ -1,0 +1,2 @@
+# Empty dependencies file for example_tangent_planes.
+# This may be replaced when dependencies are built.

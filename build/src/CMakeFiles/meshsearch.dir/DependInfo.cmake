@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datastruct/interval_tree.cpp" "src/CMakeFiles/meshsearch.dir/datastruct/interval_tree.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/datastruct/interval_tree.cpp.o.d"
+  "/root/repo/src/datastruct/kary_tree.cpp" "src/CMakeFiles/meshsearch.dir/datastruct/kary_tree.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/datastruct/kary_tree.cpp.o.d"
+  "/root/repo/src/datastruct/segment_tree.cpp" "src/CMakeFiles/meshsearch.dir/datastruct/segment_tree.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/datastruct/segment_tree.cpp.o.d"
+  "/root/repo/src/datastruct/twothree_tree.cpp" "src/CMakeFiles/meshsearch.dir/datastruct/twothree_tree.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/datastruct/twothree_tree.cpp.o.d"
+  "/root/repo/src/datastruct/workloads.cpp" "src/CMakeFiles/meshsearch.dir/datastruct/workloads.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/datastruct/workloads.cpp.o.d"
+  "/root/repo/src/geometry/dk_hierarchy.cpp" "src/CMakeFiles/meshsearch.dir/geometry/dk_hierarchy.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/geometry/dk_hierarchy.cpp.o.d"
+  "/root/repo/src/geometry/dk_polygon.cpp" "src/CMakeFiles/meshsearch.dir/geometry/dk_polygon.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/geometry/dk_polygon.cpp.o.d"
+  "/root/repo/src/geometry/hull2d.cpp" "src/CMakeFiles/meshsearch.dir/geometry/hull2d.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/geometry/hull2d.cpp.o.d"
+  "/root/repo/src/geometry/hull3d.cpp" "src/CMakeFiles/meshsearch.dir/geometry/hull3d.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/geometry/hull3d.cpp.o.d"
+  "/root/repo/src/geometry/kirkpatrick.cpp" "src/CMakeFiles/meshsearch.dir/geometry/kirkpatrick.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/geometry/kirkpatrick.cpp.o.d"
+  "/root/repo/src/geometry/predicates.cpp" "src/CMakeFiles/meshsearch.dir/geometry/predicates.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/geometry/predicates.cpp.o.d"
+  "/root/repo/src/geometry/triangulate.cpp" "src/CMakeFiles/meshsearch.dir/geometry/triangulate.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/geometry/triangulate.cpp.o.d"
+  "/root/repo/src/mesh/cost.cpp" "src/CMakeFiles/meshsearch.dir/mesh/cost.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/mesh/cost.cpp.o.d"
+  "/root/repo/src/mesh/cycle_ops.cpp" "src/CMakeFiles/meshsearch.dir/mesh/cycle_ops.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/mesh/cycle_ops.cpp.o.d"
+  "/root/repo/src/mesh/grid.cpp" "src/CMakeFiles/meshsearch.dir/mesh/grid.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/mesh/grid.cpp.o.d"
+  "/root/repo/src/mesh/ops.cpp" "src/CMakeFiles/meshsearch.dir/mesh/ops.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/mesh/ops.cpp.o.d"
+  "/root/repo/src/mesh/snake.cpp" "src/CMakeFiles/meshsearch.dir/mesh/snake.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/mesh/snake.cpp.o.d"
+  "/root/repo/src/mesh/submesh.cpp" "src/CMakeFiles/meshsearch.dir/mesh/submesh.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/mesh/submesh.cpp.o.d"
+  "/root/repo/src/multisearch/constrained.cpp" "src/CMakeFiles/meshsearch.dir/multisearch/constrained.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/multisearch/constrained.cpp.o.d"
+  "/root/repo/src/multisearch/graph.cpp" "src/CMakeFiles/meshsearch.dir/multisearch/graph.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/multisearch/graph.cpp.o.d"
+  "/root/repo/src/multisearch/hierarchical.cpp" "src/CMakeFiles/meshsearch.dir/multisearch/hierarchical.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/multisearch/hierarchical.cpp.o.d"
+  "/root/repo/src/multisearch/partitioned.cpp" "src/CMakeFiles/meshsearch.dir/multisearch/partitioned.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/multisearch/partitioned.cpp.o.d"
+  "/root/repo/src/multisearch/query.cpp" "src/CMakeFiles/meshsearch.dir/multisearch/query.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/multisearch/query.cpp.o.d"
+  "/root/repo/src/multisearch/sequential.cpp" "src/CMakeFiles/meshsearch.dir/multisearch/sequential.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/multisearch/sequential.cpp.o.d"
+  "/root/repo/src/multisearch/setup.cpp" "src/CMakeFiles/meshsearch.dir/multisearch/setup.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/multisearch/setup.cpp.o.d"
+  "/root/repo/src/multisearch/splitter.cpp" "src/CMakeFiles/meshsearch.dir/multisearch/splitter.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/multisearch/splitter.cpp.o.d"
+  "/root/repo/src/multisearch/synchronous.cpp" "src/CMakeFiles/meshsearch.dir/multisearch/synchronous.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/multisearch/synchronous.cpp.o.d"
+  "/root/repo/src/util/parallel_for.cpp" "src/CMakeFiles/meshsearch.dir/util/parallel_for.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/util/parallel_for.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/meshsearch.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/meshsearch.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/meshsearch.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/meshsearch.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

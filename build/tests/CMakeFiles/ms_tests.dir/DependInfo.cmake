@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cycle_ops.cpp" "tests/CMakeFiles/ms_tests.dir/test_cycle_ops.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_cycle_ops.cpp.o.d"
+  "/root/repo/tests/test_datastruct.cpp" "tests/CMakeFiles/ms_tests.dir/test_datastruct.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_datastruct.cpp.o.d"
+  "/root/repo/tests/test_geometry.cpp" "tests/CMakeFiles/ms_tests.dir/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_geometry.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/ms_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_hierarchies.cpp" "tests/CMakeFiles/ms_tests.dir/test_hierarchies.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_hierarchies.cpp.o.d"
+  "/root/repo/tests/test_mesh.cpp" "tests/CMakeFiles/ms_tests.dir/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_mesh.cpp.o.d"
+  "/root/repo/tests/test_multisearch.cpp" "tests/CMakeFiles/ms_tests.dir/test_multisearch.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_multisearch.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/ms_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_trees2.cpp" "tests/CMakeFiles/ms_tests.dir/test_trees2.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_trees2.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/ms_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/meshsearch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

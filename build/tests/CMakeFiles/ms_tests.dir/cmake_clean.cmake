@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_tests.dir/test_cycle_ops.cpp.o"
+  "CMakeFiles/ms_tests.dir/test_cycle_ops.cpp.o.d"
+  "CMakeFiles/ms_tests.dir/test_datastruct.cpp.o"
+  "CMakeFiles/ms_tests.dir/test_datastruct.cpp.o.d"
+  "CMakeFiles/ms_tests.dir/test_geometry.cpp.o"
+  "CMakeFiles/ms_tests.dir/test_geometry.cpp.o.d"
+  "CMakeFiles/ms_tests.dir/test_grid.cpp.o"
+  "CMakeFiles/ms_tests.dir/test_grid.cpp.o.d"
+  "CMakeFiles/ms_tests.dir/test_hierarchies.cpp.o"
+  "CMakeFiles/ms_tests.dir/test_hierarchies.cpp.o.d"
+  "CMakeFiles/ms_tests.dir/test_mesh.cpp.o"
+  "CMakeFiles/ms_tests.dir/test_mesh.cpp.o.d"
+  "CMakeFiles/ms_tests.dir/test_multisearch.cpp.o"
+  "CMakeFiles/ms_tests.dir/test_multisearch.cpp.o.d"
+  "CMakeFiles/ms_tests.dir/test_property.cpp.o"
+  "CMakeFiles/ms_tests.dir/test_property.cpp.o.d"
+  "CMakeFiles/ms_tests.dir/test_trees2.cpp.o"
+  "CMakeFiles/ms_tests.dir/test_trees2.cpp.o.d"
+  "CMakeFiles/ms_tests.dir/test_util.cpp.o"
+  "CMakeFiles/ms_tests.dir/test_util.cpp.o.d"
+  "ms_tests"
+  "ms_tests.pdb"
+  "ms_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
