@@ -3,13 +3,22 @@
 // bench_out/ when writable), then a log-log power fit of the measured
 // simulated mesh time against the problem size, so EXPERIMENTS.md can quote
 // "claimed exponent vs measured exponent" directly.
+//
+// Observability: pass `--trace <prefix>` (or `--trace=<prefix>`) to any bench
+// binary to dump one Chrome/Perfetto trace-event JSON plus one flat metrics
+// JSON per sweep point, named `<prefix>.<point>.trace.json` and
+// `<prefix>.<point>.metrics.json`, and to print the per-primitive cost
+// attribution table to stdout. Load the trace JSON at https://ui.perfetto.dev.
 #pragma once
 
+#include <cctype>
 #include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -19,16 +28,41 @@ inline void section(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
 }
 
+/// Make a string safe as a file name: every char outside [A-Za-z0-9._-]
+/// becomes '_', runs collapse to one '_', and trailing '_' are stripped.
+/// "e2_zipf(1.1)" -> "e2_zipf_1.1".
+inline std::string sanitize_csv_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '.' || c == '_' || c == '-';
+    if (ok) {
+      out.push_back(c);
+    } else if (!out.empty() && out.back() != '_') {
+      out.push_back('_');
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  if (out.empty()) out = "unnamed";
+  return out;
+}
+
 inline void emit(const util::Table& t, const std::string& csv_name) {
   t.print(std::cout);
   std::error_code ec;
   std::filesystem::create_directories("bench_out", ec);
-  if (!ec) {
-    try {
-      t.write_csv_file("bench_out/" + csv_name + ".csv");
-    } catch (const std::exception&) {
-      // CSV mirroring is best-effort (read-only working directories).
-    }
+  if (ec) {
+    std::cerr << "warning: cannot create bench_out/ (" << ec.message()
+              << "); skipping CSV mirror for " << csv_name << "\n";
+    return;
+  }
+  const std::string path = "bench_out/" + sanitize_csv_name(csv_name) + ".csv";
+  try {
+    t.write_csv_file(path);
+  } catch (const std::exception& e) {
+    std::cerr << "warning: CSV write failed for " << path << ": " << e.what()
+              << "\n";
   }
 }
 
@@ -46,6 +80,49 @@ inline std::vector<std::size_t> pow2_sweep(unsigned lo, unsigned hi) {
   std::vector<std::size_t> out;
   for (unsigned e = lo; e <= hi; ++e) out.push_back(std::size_t{1} << e);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Trace wiring.
+
+struct TraceOptions {
+  bool enabled = false;
+  std::string prefix = "bench_out/trace";
+};
+
+/// Parse `--trace <prefix>` / `--trace=<prefix>` / bare `--trace`.
+/// Unknown arguments are ignored so benches stay forward-compatible.
+inline TraceOptions parse_trace_flag(int argc, char** argv) {
+  TraceOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace") {
+      opt.enabled = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') opt.prefix = argv[++i];
+    } else if (a.rfind("--trace=", 0) == 0) {
+      opt.enabled = true;
+      if (a.size() > 8) opt.prefix = a.substr(8);
+    }
+  }
+  return opt;
+}
+
+/// Write `<prefix>.<point>.trace.json` + `<prefix>.<point>.metrics.json` for
+/// one sweep point and print the per-primitive attribution table. No-op when
+/// tracing is disabled.
+inline void emit_trace(const trace::TraceRecorder& rec, const TraceOptions& opt,
+                       const std::string& point) {
+  if (!opt.enabled) return;
+  const std::string stem = opt.prefix + "." + sanitize_csv_name(point);
+  std::error_code ec;
+  const auto dir = std::filesystem::path(stem).parent_path();
+  if (!dir.empty()) std::filesystem::create_directories(dir, ec);
+  trace::write_trace_json_file(rec, stem + ".trace.json");
+  trace::write_metrics_json_file(rec, stem + ".metrics.json");
+  std::cout << "\n-- cost attribution: " << point << " (" << rec.engine()
+            << " engine, total " << rec.total_steps() << " steps) --\n";
+  trace::metrics_table(rec).print(std::cout);
+  std::cout << "trace: " << stem << ".trace.json\n";
 }
 
 }  // namespace meshsearch::bench

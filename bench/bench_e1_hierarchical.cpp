@@ -23,7 +23,8 @@ using namespace meshsearch::msearch;
 
 namespace {
 
-void sweep(double mu, unsigned fanout, unsigned lo, unsigned hi) {
+void sweep(double mu, unsigned fanout, unsigned lo, unsigned hi,
+           const bench::TraceOptions& topt) {
   bench::section("E1: Theorem 2 sweep (mu=" + std::to_string(mu) + ")");
   util::Table t({"n(mesh)", "h", "bands", "paper steps", "geom steps",
                  "sync steps", "sync/paper", "paper/sqrt(n)"});
@@ -33,7 +34,9 @@ void sweep(double mu, unsigned fanout, unsigned lo, unsigned hi) {
     const auto g = ds::build_hierarchical_dag(n, mu, fanout, rng);
     const HierarchicalDag dag(g, mu);
     const auto shape = g.shape_for(g.vertex_count());
-    const mesh::CostModel m;
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    if (topt.enabled) m.trace = &rec;
     auto qs = make_queries(g.vertex_count());
     util::Rng qrng(n);
     for (auto& q : qs)
@@ -61,6 +64,11 @@ void sweep(double mu, unsigned fanout, unsigned lo, unsigned hi) {
     hier_steps.push_back(hier.cost.steps);
     geom_steps.push_back(geom.cost.steps);
     sync_steps.push_back(sync.cost.steps);
+    // Keyed by the DAG size parameter n: distinct sweep points can share a
+    // mesh size (shape_for rounds up), so p alone would collide.
+    bench::emit_trace(rec, topt,
+                      "e1_mu" + std::to_string(static_cast<int>(mu)) + "_n" +
+                          std::to_string(n));
   }
   bench::emit(t, "e1_mu" + std::to_string(static_cast<int>(mu)));
   bench::report_fit("E1 Algorithm 1, paper plan (claim O(sqrt n))", ns,
@@ -71,13 +79,15 @@ void sweep(double mu, unsigned fanout, unsigned lo, unsigned hi) {
                     sync_steps, 0.5);
 }
 
-void band_report(std::size_t n, double mu) {
+void band_report(std::size_t n, double mu, const bench::TraceOptions& topt) {
   bench::section("E1b: Lemma 1 band breakdown (n~" + std::to_string(n) + ")");
   util::Rng rng(9);
   const auto g = ds::build_hierarchical_dag(n, mu, 3, rng);
   const HierarchicalDag dag(g, mu);
   const auto shape = g.shape_for(g.vertex_count());
-  const mesh::CostModel m;
+  trace::TraceRecorder rec("counting");
+  mesh::CostModel m;
+  if (topt.enabled) m.trace = &rec;
   const auto plan = make_hierarchical_plan(dag, shape);
   const auto cost = hierarchical_cost(dag, plan, shape, m);
   util::Table t({"band", "levels", "|B_i|", "grid", "setup steps",
@@ -100,13 +110,15 @@ void band_report(std::size_t n, double mu) {
   std::cout << "total steps " << cost.cost.steps << " = "
             << cost.cost.steps / std::sqrt(double(shape.size()))
             << " * sqrt(n); B* levels = " << cost.bstar_levels << "\n";
+  bench::emit_trace(rec, topt, "e1b_bands");
 }
 
 }  // namespace
 
-int main() {
-  sweep(2.0, 3, 12, 20);
-  sweep(4.0, 4, 12, 20);
-  band_report(std::size_t{1} << 20, 2.0);
+int main(int argc, char** argv) {
+  const auto topt = bench::parse_trace_flag(argc, argv);
+  sweep(2.0, 3, 12, 20, topt);
+  sweep(4.0, 4, 12, 20, topt);
+  band_report(std::size_t{1} << 20, 2.0, topt);
   return 0;
 }

@@ -37,7 +37,9 @@ struct RunResult {
   double p;
 };
 
-RunResult run_one(std::size_t nkeys, Load load, std::int32_t cut_depth) {
+RunResult run_one(std::size_t nkeys, Load load, std::int32_t cut_depth,
+                  const bench::TraceOptions& topt = {},
+                  const std::string& point = "") {
   KaryTree tree(ds::iota_keys(nkeys), 2, ds::TreeMode::kDirected);
   const auto psi = cut_depth < 0 ? tree.alpha_splitting()
                                  : tree.alpha_splitting_at(cut_depth);
@@ -63,15 +65,19 @@ RunResult run_one(std::size_t nkeys, Load load, std::int32_t cut_depth) {
                          : cut_depth;
   for (std::int32_t i = 0; i <= depth; ++i)
     global_multistep(tree.graph(), prog, qs);
-  const mesh::CostModel m;
+  trace::TraceRecorder rec("counting");
+  mesh::CostModel m;
+  if (topt.enabled) m.trace = &rec;
   const auto shape = tree.graph().shape_for(qs.size());
   const auto st = constrained_multisearch(tree.graph(), psi, prog, qs, m, shape);
+  if (!point.empty()) bench::emit_trace(rec, topt, point);
   return {st, static_cast<double>(shape.size())};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto topt = bench::parse_trace_flag(argc, argv);
   // Part 1: n sweep per load shape.
   for (const Load load : {Load::kUniform, Load::kZipf, Load::kPoint}) {
     bench::section(std::string("E2: Lemma 3, n sweep, load = ") +
@@ -80,7 +86,9 @@ int main() {
                    "steps", "steps/sqrt(n)"});
     std::vector<double> ns, steps;
     for (const auto nkeys : bench::pow2_sweep(10, 19)) {
-      const auto r = run_one(nkeys, load, -1);
+      const auto r = run_one(nkeys, load, -1, topt,
+                             std::string("e2_") + load_name(load) + "_n" +
+                                 std::to_string(nkeys));
       t.add_row({static_cast<std::int64_t>(r.p),
                  static_cast<std::int64_t>(r.stats.marked),
                  static_cast<std::int64_t>(r.stats.copies),
@@ -102,7 +110,8 @@ int main() {
   const std::size_t nkeys = std::size_t{1} << 18;
   KaryTree probe(ds::iota_keys(nkeys), 2, ds::TreeMode::kDirected);
   for (std::int32_t d = 4; d < probe.height(); d += 3) {
-    const auto r = run_one(nkeys, Load::kUniform, d);
+    const auto r = run_one(nkeys, Load::kUniform, d, topt,
+                           "e2_delta_d" + std::to_string(d));
     KaryTree tree(ds::iota_keys(nkeys), 2, ds::TreeMode::kDirected);
     const auto psi = tree.alpha_splitting_at(d);
     t.add_row({static_cast<std::int64_t>(d), psi.delta,

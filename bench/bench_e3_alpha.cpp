@@ -29,7 +29,9 @@ struct ComboResult {
 };
 
 ComboResult run(std::size_t teeth, std::size_t tooth_len, std::size_t m_q,
-                std::int64_t depth, std::uint64_t seed) {
+                std::int64_t depth, std::uint64_t seed,
+                const bench::TraceOptions& topt = {},
+                const std::string& point = "") {
   const auto comb = ds::build_comb(teeth, tooth_len);
   auto qs = make_queries(m_q);
   util::Rng rng(seed);
@@ -38,7 +40,9 @@ ComboResult run(std::size_t teeth, std::size_t tooth_len, std::size_t m_q,
     q.key[1] = depth;
   }
   const ds::CombWalk prog{comb.root};
-  const mesh::CostModel m;
+  trace::TraceRecorder rec("counting");
+  mesh::CostModel m;
+  if (topt.enabled) m.trace = &rec;
   const auto shape = comb.graph.shape_for(qs.size());
   ComboResult res;
   res.p = static_cast<double>(shape.size());
@@ -48,6 +52,7 @@ ComboResult run(std::size_t teeth, std::size_t tooth_len, std::size_t m_q,
   res.alg_steps = alg.cost.steps;
   res.phases = alg.log_phases;
   res.r = alg.longest_path;
+  if (!point.empty()) bench::emit_trace(rec, topt, point);
   auto qb = qs;
   reset_queries(qb);
   res.sync_steps = synchronous_multisearch(comb.graph, prog, qb, m, shape)
@@ -57,7 +62,8 @@ ComboResult run(std::size_t teeth, std::size_t tooth_len, std::size_t m_q,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto topt = bench::parse_trace_flag(argc, argv);
   // (a) r sweep at fixed n ~ 2^18.
   bench::section("E3: Theorem 5, r sweep at n ~ 2^18");
   const std::size_t teeth = 1 << 9, tooth_len = 1 << 9;  // ~2^18 vertices
@@ -65,7 +71,8 @@ int main() {
                  "sync/alg", "alg steps/sqrt(n)"});
   std::vector<double> rs, steps;
   for (const std::int64_t depth : {0L, 8L, 32L, 64L, 128L, 256L, 480L}) {
-    const auto res = run(teeth, tooth_len, teeth * 64, depth, 11);
+    const auto res = run(teeth, tooth_len, teeth * 64, depth, 11, topt,
+                         "e3_r" + std::to_string(depth));
     const double logn = std::log2(res.p);
     t.add_row({static_cast<std::int64_t>(res.r), res.r / logn,
                static_cast<std::int64_t>(res.phases), res.alg_steps,
@@ -93,7 +100,8 @@ int main() {
     const std::size_t half = std::size_t{1} << (e / 2);
     const double logn = static_cast<double>(e);
     const auto res = run(half, half, half * half / 4,
-                         static_cast<std::int64_t>(8 * logn), 13 + e);
+                         static_cast<std::int64_t>(8 * logn), 13 + e, topt,
+                         "e3_n2e" + std::to_string(e));
     t2.add_row({static_cast<std::int64_t>(res.p),
                 static_cast<std::int64_t>(res.r),
                 static_cast<std::int64_t>(res.phases), res.alg_steps,

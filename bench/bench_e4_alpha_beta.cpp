@@ -27,7 +27,9 @@ struct RunOut {
   std::size_t phases = 0;
 };
 
-RunOut run(std::size_t nkeys, std::int64_t width, std::uint64_t seed) {
+RunOut run(std::size_t nkeys, std::int64_t width, std::uint64_t seed,
+           const bench::TraceOptions& topt = {},
+           const std::string& point = "") {
   KaryTree tree(ds::iota_keys(nkeys), 2, ds::TreeMode::kUndirected);
   auto qs = make_queries(nkeys / 2);
   util::Rng rng(seed);
@@ -37,7 +39,9 @@ RunOut run(std::size_t nkeys, std::int64_t width, std::uint64_t seed) {
     q.key[1] = static_cast<std::int64_t>(lo) + width;
   }
   const auto [s1, s2] = tree.alpha_beta_splittings();
-  const mesh::CostModel m;
+  trace::TraceRecorder rec("counting");
+  mesh::CostModel m;
+  if (topt.enabled) m.trace = &rec;
   const auto shape = tree.graph().shape_for(qs.size());
   RunOut out;
   out.p = static_cast<double>(shape.size());
@@ -47,6 +51,7 @@ RunOut run(std::size_t nkeys, std::int64_t width, std::uint64_t seed) {
   out.alg = alg.cost.steps;
   out.r = alg.longest_path;
   out.phases = alg.log_phases;
+  if (!point.empty()) bench::emit_trace(rec, topt, point);
   auto qb = qs;
   reset_queries(qb);
   out.sync =
@@ -57,14 +62,16 @@ RunOut run(std::size_t nkeys, std::int64_t width, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto topt = bench::parse_trace_flag(argc, argv);
   bench::section("E4: Theorem 7, excursion-width sweep at n = 2^17 keys");
   util::Table t({"range width", "r", "log-phases", "alg steps", "sync steps",
                  "sync/alg", "alg/sqrt(n)"});
   std::vector<double> rs, steps;
   const std::size_t nkeys = std::size_t{1} << 17;
   for (const std::int64_t width : {0L, 4L, 16L, 64L, 128L, 256L}) {
-    const auto res = run(nkeys, width, 21);
+    const auto res = run(nkeys, width, 21, topt,
+                         "e4_w" + std::to_string(width));
     t.add_row({width, static_cast<std::int64_t>(res.r),
                static_cast<std::int64_t>(res.phases), res.alg, res.sync,
                res.sync / res.alg, res.alg / std::sqrt(res.p)});
@@ -82,7 +89,8 @@ int main() {
                   "sync/alg", "alg/sqrt(n)"});
   std::vector<double> ns, alg_steps;
   for (unsigned e = 10; e <= 18; e += 2) {
-    const auto res = run(std::size_t{1} << e, 32, 23 + e);
+    const auto res = run(std::size_t{1} << e, 32, 23 + e, topt,
+                         "e4_n2e" + std::to_string(e));
     t2.add_row({static_cast<std::int64_t>(res.p),
                 static_cast<std::int64_t>(res.r),
                 static_cast<std::int64_t>(res.phases), res.alg, res.sync,

@@ -34,7 +34,7 @@ std::vector<Point2> dedup(std::vector<Point2> pts) {
   return pts;
 }
 
-void kirkpatrick_sweep() {
+void kirkpatrick_sweep(const bench::TraceOptions& topt) {
   bench::section("E5a: multiple planar point location (Kirkpatrick)");
   util::Table t({"points", "n(mesh)", "hier levels", "paper-plan steps",
                  "geom-plan steps", "sync steps", "sync/geom",
@@ -53,7 +53,9 @@ void kirkpatrick_sweep() {
       q.key[0] = rng.uniform_range(-radius / 2, radius / 2);
       q.key[1] = rng.uniform_range(-radius / 2, radius / 2);
     }
-    const mesh::CostModel m;
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    if (topt.enabled) m.trace = &rec;
     auto qh = qs;
     const auto paper =
         msearch::hierarchical_multisearch(dag, kp.locate_program(), qh, m, shape);
@@ -75,6 +77,7 @@ void kirkpatrick_sweep() {
     ns.push_back(p);
     steps.push_back(geom.cost.steps);
     paper_steps.push_back(paper.cost.steps);
+    bench::emit_trace(rec, topt, "e5a_n2e" + std::to_string(e));
   }
   bench::emit(t, "e5a_kirkpatrick");
   bench::report_fit("E5a geometric-plan (claim O(sqrt n))", ns, steps, 0.5);
@@ -83,7 +86,7 @@ void kirkpatrick_sweep() {
       paper_steps, 0.5);
 }
 
-void dk3_sweep() {
+void dk3_sweep(const bench::TraceOptions& topt) {
   bench::section("E5b: multiple tangent planes (3-d DK hierarchy)");
   util::Table t({"hull verts", "n(mesh)", "levels", "paper-plan steps",
                  "geom-plan steps", "sync steps", "sync/geom",
@@ -105,7 +108,9 @@ void dk3_sweep() {
         q.key[2] = rng.uniform_range(-1000, 1000);
       } while (q.key[0] == 0 && q.key[1] == 0 && q.key[2] == 0);
     }
-    const mesh::CostModel m;
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    if (topt.enabled) m.trace = &rec;
     auto qh = qs;
     const auto paper = msearch::hierarchical_multisearch(
         dag, dk.extreme_program(), qh, m, shape);
@@ -126,13 +131,14 @@ void dk3_sweep() {
                geom.cost.steps / std::sqrt(p)});
     ns.push_back(p);
     steps.push_back(geom.cost.steps);
+    bench::emit_trace(rec, topt, "e5b_n2e" + std::to_string(e));
   }
   bench::emit(t, "e5b_dk3");
   bench::report_fit("E5b tangent planes, geometric plan (claim O(sqrt n))",
                     ns, steps, 0.5);
 }
 
-void polygon_lines() {
+void polygon_lines(const bench::TraceOptions& topt) {
   bench::section("E5c: multiple line-polygon intersection (2-d DK)");
   util::Table t({"polygon verts", "lines", "n(mesh)", "hier steps",
                  "hier/sqrt(n)", "hit fraction"});
@@ -153,10 +159,13 @@ void polygon_lines() {
     const auto& ed = dk.extreme_dag();
     const auto dag = ed.hierarchical_dag();
     const auto shape = ed.dag.shape_for(qs.size());
-    const mesh::CostModel m;
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    if (topt.enabled) m.trace = &rec;
     const auto hier = msearch::hierarchical_multisearch(
         dag, dk.extreme_program(), qs, m, shape,
         msearch::PlanKind::kGeometric);
+    bench::emit_trace(rec, topt, "e5c_n2e" + std::to_string(e));
     const auto hit = DKPolygon::combine_line_answers(lines, qs);
     double frac = 0;
     for (const auto h : hit) frac += h;
@@ -173,7 +182,7 @@ void polygon_lines() {
   bench::report_fit("E5c line-polygon (claim O(sqrt n))", ns, steps, 0.5);
 }
 
-void polygon_tangents() {
+void polygon_tangents(const bench::TraceOptions& topt) {
   bench::section("E5d: multiple tangent lines from external points (2-d DK)");
   util::Table t({"polygon verts", "queries", "n(mesh)", "hier steps",
                  "hier/sqrt(n)", "verified"});
@@ -197,10 +206,13 @@ void polygon_tangents() {
     const auto& ed = dk.extreme_dag();
     const auto dag = ed.hierarchical_dag();
     const auto shape = ed.dag.shape_for(qs.size());
-    const mesh::CostModel m;
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    if (topt.enabled) m.trace = &rec;
     const auto hier = msearch::hierarchical_multisearch(
         dag, dk.tangent_program(), qs, m, shape,
         msearch::PlanKind::kGeometric);
+    bench::emit_trace(rec, topt, "e5d_n2e" + std::to_string(e));
     std::size_t verified = 0, checked = 0;
     for (std::size_t i = 0; i < qs.size(); i += 17) {
       ++checked;
@@ -223,10 +235,11 @@ void polygon_tangents() {
 
 }  // namespace
 
-int main() {
-  kirkpatrick_sweep();
-  dk3_sweep();
-  polygon_lines();
-  polygon_tangents();
+int main(int argc, char** argv) {
+  const auto topt = bench::parse_trace_flag(argc, argv);
+  kirkpatrick_sweep(topt);
+  dk3_sweep(topt);
+  polygon_lines(topt);
+  polygon_tangents(topt);
   return 0;
 }

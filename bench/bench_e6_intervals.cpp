@@ -56,7 +56,8 @@ KaryTree endpoint_tree(const std::vector<Interval>& ivs, bool left) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto topt = bench::parse_trace_flag(argc, argv);
   // (a) counting sweep over n.
   bench::section("E6a: multiple interval intersection counting (Alg 2 x2)");
   util::Table t({"intervals", "n(mesh)", "mesh steps", "steps/sqrt(n)",
@@ -77,12 +78,15 @@ int main() {
       qa[i].key[0] = a - 1;
       qb[i].key[0] = b;
     }
-    const mesh::CostModel m;
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    if (topt.enabled) m.trace = &rec;
     const auto shape = rtree.graph().shape_for(n);
     auto res1 = multisearch_alpha(rtree.graph(), rtree.alpha_splitting(),
                                   rtree.rank_count(), qa, m, shape);
     auto res2 = multisearch_alpha(ltree.graph(), ltree.alpha_splitting(),
                                   ltree.rank_count(), qb, m, shape);
+    bench::emit_trace(rec, topt, "e6a_n2e" + std::to_string(e));
     // Sequential baseline work.
     auto sa = qa, sb = qb;
     reset_queries(sa);
@@ -128,11 +132,14 @@ int main() {
     for (auto& q : qs)
       q.key[0] = rng.uniform_range(0, static_cast<std::int64_t>(2 * n));
     const auto [s1, s2] = tree.alpha_beta_splittings();
-    const mesh::CostModel m;
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    if (topt.enabled) m.trace = &rec;
     const auto shape = tree.graph().shape_for(qs.size());
     const auto res = multisearch_alpha_beta(tree.graph(), s1, s2,
                                             tree.stabbing_program(), qs, m,
                                             shape);
+    bench::emit_trace(rec, topt, "e6b_len" + std::to_string(maxlen));
     double mean_k = 0;
     for (const auto& q : qs) mean_k += static_cast<double>(q.acc0);
     mean_k /= static_cast<double>(qs.size());
@@ -159,7 +166,9 @@ int main() {
     auto qs = make_queries(nn);
     for (auto& q : qs)
       q.key[0] = rng.uniform_range(0, static_cast<std::int64_t>(2 * nn));
-    const mesh::CostModel m;
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    if (topt.enabled) m.trace = &rec;
     auto q_st = qs;
     const auto st_res = multisearch_alpha(
         st.graph(), st.alpha_splitting(), st.stab_count(), q_st, m,
@@ -169,6 +178,7 @@ int main() {
     const auto it_res = multisearch_alpha_beta(
         it.graph(), s1, s2, it.stabbing_program(), q_it, m,
         it.graph().shape_for(qs.size()));
+    bench::emit_trace(rec, topt, "e6c_n2e" + std::to_string(e));
     bool agree = true;
     for (std::size_t i = 0; i < qs.size(); ++i)
       agree &= q_st[i].acc0 == q_it[i].acc0;

@@ -25,7 +25,8 @@ using namespace meshsearch;
 using namespace meshsearch::msearch;
 using ds::KaryTree;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto topt = bench::parse_trace_flag(argc, argv);
   // (i) duplication on/off under point congestion.
   bench::section("E7i: copy duplication under point-congested load");
   util::Table t({"n(mesh)", "steps (dup ON)", "steps (dup OFF)",
@@ -36,11 +37,14 @@ int main() {
     KaryTree tree(ds::iota_keys(nkeys), 2, ds::TreeMode::kDirected);
     auto qs = make_queries(nkeys);
     for (auto& q : qs) q.key[0] = static_cast<std::int64_t>(nkeys / 2);
-    const mesh::CostModel m;
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    if (topt.enabled) m.trace = &rec;
     const auto shape = tree.graph().shape_for(qs.size());
     auto q1 = qs;
     const auto on = multisearch_alpha(tree.graph(), tree.alpha_splitting(),
                                       tree.rank_count(), q1, m, shape, true);
+    bench::emit_trace(rec, topt, "e7i_n2e" + std::to_string(e));
     auto q2 = qs;
     const auto off = multisearch_alpha(tree.graph(), tree.alpha_splitting(),
                                        tree.rank_count(), q2, m, shape, false);

@@ -82,7 +82,7 @@ void BM_CountingSort(benchmark::State& state) {
 }
 BENCHMARK(BM_CountingSort)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
 
-void cross_engine_table() {
+void cross_engine_table(const bench::TraceOptions& topt) {
   bench::section("V1: measured cycle-engine steps vs charged costs");
   util::Table t({"side", "p", "shear steps", "charged sort", "ratio(sort)",
                  "scan steps", "charged scan", "ratio(scan)", "route steps",
@@ -92,16 +92,21 @@ void cross_engine_table() {
   phys.physical_sort = true;
   for (std::uint32_t side : {8u, 16u, 32u, 64u, 128u}) {
     const MeshShape s(side);
+    trace::TraceRecorder rec("cycle");
+    trace::TraceRecorder* tr = topt.enabled ? &rec : nullptr;
     const auto vals = random_values(s.size(), side);
     auto g1 = Grid<std::int64_t>::from_snake(s, vals);
+    g1.set_trace(tr);
     const double shear = static_cast<double>(g1.shearsort());
     auto g2 = Grid<std::int64_t>::from_snake(s, vals);
+    g2.set_trace(tr);
     const double scan =
         static_cast<double>(g2.snake_scan(std::plus<std::int64_t>{}));
     util::Rng rng(side);
     const auto perm = util::random_permutation(s.size(), rng);
     const std::vector<std::uint32_t> dest(perm.begin(), perm.end());
     auto g3 = Grid<std::int64_t>::from_snake(s, vals);
+    g3.set_trace(tr);
     const double route = static_cast<double>(g3.route_permutation(dest));
     // Physical random access read with a skewed request pattern.
     std::vector<std::int64_t> addr(s.size(), mesh::kNoAddr);
@@ -109,13 +114,14 @@ void cross_engine_table() {
       if (rng.uniform(10) < 7)
         addr[i] = static_cast<std::int64_t>(
             rng.bernoulli(0.5) ? rng.uniform(4) : rng.uniform(s.size()));
-    const auto rar = mesh::cycle_random_access_read(s, vals, addr);
+    const auto rar = mesh::cycle_random_access_read(s, vals, addr, 0, tr);
     const double p = static_cast<double>(s.size());
     t.add_row({static_cast<std::int64_t>(side), static_cast<std::int64_t>(p),
                shear, m.sort(p).steps, shear / m.sort(p).steps, scan,
                m.scan(p).steps, scan / m.scan(p).steps, route,
                m.route(p).steps, static_cast<double>(rar.steps),
                phys.rar(p).steps});
+    bench::emit_trace(rec, topt, "v1_cycle_side" + std::to_string(side));
   }
   bench::emit(t, "v1_cross_engine");
 }
@@ -123,8 +129,22 @@ void cross_engine_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  cross_engine_table();
-  benchmark::Initialize(&argc, argv);
+  const auto topt = bench::parse_trace_flag(argc, argv);
+  cross_engine_table(topt);
+  // Strip --trace before handing argv to google-benchmark, which rejects
+  // flags it does not know.
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace") {
+      if (i + 1 < argc && argv[i + 1][0] != '-') ++i;
+      continue;
+    }
+    if (a.rfind("--trace=", 0) == 0) continue;
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

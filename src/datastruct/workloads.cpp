@@ -163,7 +163,9 @@ RandomPartitionable build_random_partitionable(std::size_t k1, std::size_t k2,
     const std::size_t cross = 1 + rng.uniform(piece_size / 2);
     for (std::size_t c = 0; c < cross; ++c) {
       const Vid u = static_cast<Vid>(base(pc) + rng.uniform(piece_size));
-      if (out.graph.vert(u).degree + 1 > msearch::kMaxDegree) continue;
+      if (static_cast<std::size_t>(out.graph.vert(u).degree) + 1 >
+          msearch::kMaxDegree)
+        continue;
       const std::size_t tpc = k1 + rng.uniform(k2);
       const Vid w = static_cast<Vid>(base(tpc) + rng.uniform(piece_size / 2));
       if (!out.graph.has_edge(u, w)) out.graph.add_edge(u, w);

@@ -21,7 +21,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <initializer_list>
+
+#include "trace/trace.hpp"
 
 namespace meshsearch::mesh {
 
@@ -67,6 +70,17 @@ class ParAccumulator {
 };
 
 /// Charged step constants for the counting engine's primitives.
+///
+/// Every primitive takes an optional `times` — "this primitive runs `times`
+/// times back to back" — so call sites that sweep a level k times charge
+/// (and attribute, see below) all k executions in one call.
+///
+/// When `trace` is set, each charge is also recorded into the
+/// trace::TraceRecorder under its primitive label, giving per-primitive
+/// cost attribution for free at every call site that charges through the
+/// model. Composite primitives (rar/raw/compress/route) record only
+/// themselves, never their building blocks, so attributed steps sum exactly
+/// to the charged total. A null sink costs one pointer test.
 struct CostModel {
   double sort_c = 3.0;    ///< optimal mesh sort: sort_c * sqrt(p)
   double scan_c = 2.0;    ///< snake prefix scan (row scan + column scan + fix)
@@ -74,32 +88,63 @@ struct CostModel {
   double bcast_c = 2.0;   ///< broadcast from one processor (row then columns)
   double reduce_c = 2.0;  ///< semigroup reduction to one processor
   bool physical_sort = false;  ///< charge shearsort O(sqrt(p) log p) instead
+  trace::TraceRecorder* trace = nullptr;  ///< optional attribution sink (not owned)
 
   double sqrt_p(double p) const { return std::sqrt(std::max(1.0, p)); }
 
-  Cost sort(double p) const {
-    if (physical_sort)
-      return Cost{sqrt_p(p) * (std::log2(std::max(2.0, p)) + 1.0)};
-    return Cost{sort_c * sqrt_p(p)};
+  Cost sort(double p, double times = 1.0) const {
+    return charge(trace::Primitive::kSort, p, times, sort_steps(p));
   }
-  Cost scan(double p) const { return Cost{scan_c * sqrt_p(p)}; }
-  Cost route(double p) const {
-    // Sort-based routing inherits the sort bound plus one traversal.
-    return sort(p) + Cost{sqrt_p(p)};
+  Cost scan(double p, double times = 1.0) const {
+    return charge(trace::Primitive::kScan, p, times, scan_steps(p));
   }
-  Cost broadcast(double p) const { return Cost{bcast_c * sqrt_p(p)}; }
-  Cost reduce(double p) const { return Cost{reduce_c * sqrt_p(p)}; }
+  Cost route(double p, double times = 1.0) const {
+    return charge(trace::Primitive::kRoute, p, times, route_steps(p));
+  }
+  Cost broadcast(double p, double times = 1.0) const {
+    return charge(trace::Primitive::kBroadcast, p, times, bcast_c * sqrt_p(p));
+  }
+  Cost reduce(double p, double times = 1.0) const {
+    return charge(trace::Primitive::kReduce, p, times, reduce_c * sqrt_p(p));
+  }
 
   /// Random access read: sort requests by address, rank, fetch via one
   /// routing, segmented broadcast for concurrent reads, route answers back.
   /// (A constant number of sorts/scans/routes — the standard construction.)
-  Cost rar(double p) const {
-    return 2.0 * sort(p) + 2.0 * scan(p) + 2.0 * route(p);
+  Cost rar(double p, double times = 1.0) const {
+    return charge(trace::Primitive::kRar, p, times,
+                  2.0 * sort_steps(p) + 2.0 * scan_steps(p) +
+                      2.0 * route_steps(p));
   }
   /// Random access write with combining; same skeleton minus the return trip.
-  Cost raw(double p) const { return sort(p) + scan(p) + route(p); }
+  Cost raw(double p, double times = 1.0) const {
+    return charge(trace::Primitive::kRaw, p, times,
+                  sort_steps(p) + scan_steps(p) + route_steps(p));
+  }
   /// Compress marked records to a prefix: scan + route.
-  Cost compress(double p) const { return scan(p) + route(p); }
+  Cost compress(double p, double times = 1.0) const {
+    return charge(trace::Primitive::kCompress, p, times,
+                  scan_steps(p) + route_steps(p));
+  }
+
+ private:
+  double sort_steps(double p) const {
+    if (physical_sort) return sqrt_p(p) * (std::log2(std::max(2.0, p)) + 1.0);
+    return sort_c * sqrt_p(p);
+  }
+  double scan_steps(double p) const { return scan_c * sqrt_p(p); }
+  // Sort-based routing inherits the sort bound plus one traversal.
+  double route_steps(double p) const { return sort_steps(p) + sqrt_p(p); }
+
+  Cost charge(trace::Primitive prim, double p, double times,
+              double steps) const {
+    if (times <= 0) return Cost{};
+    if (trace != nullptr)
+      trace->count(prim, p, times * steps,
+                   static_cast<std::uint64_t>(
+                       std::llround(std::max(1.0, times))));
+    return Cost{times * steps};
+  }
 };
 
 }  // namespace meshsearch::mesh

@@ -131,9 +131,20 @@ std::size_t route_partial_generic(MeshShape shape,
 
 }  // namespace
 
+namespace {
+
+void record(trace::TraceRecorder* trace, trace::Primitive prim,
+            MeshShape shape, std::size_t steps) {
+  if (trace != nullptr)
+    trace->count(prim, static_cast<double>(shape.size()),
+                 static_cast<double>(steps));
+}
+
+}  // namespace
+
 std::size_t route_partial(Grid<std::int64_t>& g,
                           const std::vector<std::int64_t>& dest_rm,
-                          std::int64_t fill) {
+                          std::int64_t fill, trace::TraceRecorder* trace) {
   const MeshShape shape = g.shape();
   std::vector<std::int64_t> payload(shape.size());
   for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = g.at_rm(i);
@@ -141,12 +152,13 @@ std::size_t route_partial(Grid<std::int64_t>& g,
   const std::size_t steps =
       route_partial_generic(shape, payload, dest_rm, out, fill);
   for (std::size_t i = 0; i < out.size(); ++i) g.at_rm(i) = out[i];
+  record(trace, trace::Primitive::kRoute, shape, steps);
   return steps;
 }
 
 std::size_t segmented_snake_broadcast(
     MeshShape shape, std::vector<std::int64_t>& values,
-    const std::vector<std::uint8_t>& seg_start) {
+    const std::vector<std::uint8_t>& seg_start, trace::TraceRecorder* trace) {
   MS_CHECK(values.size() == shape.size() && seg_start.size() == shape.size());
   using Pair = std::array<std::int64_t, 2>;  // {is_leader, value}
   std::vector<Pair> packed(shape.size());
@@ -157,13 +169,15 @@ std::size_t segmented_snake_broadcast(
       [](const Pair& a, const Pair& b) { return b[0] ? b : a; });
   const auto out = g.to_snake();
   for (std::size_t i = 0; i < out.size(); ++i) values[i] = out[i][1];
+  record(trace, trace::Primitive::kBroadcast, shape, steps);
   return steps;
 }
 
 CycleRarResult cycle_random_access_read(MeshShape shape,
                                         const std::vector<std::int64_t>& table,
                                         const std::vector<std::int64_t>& addr,
-                                        std::int64_t fill) {
+                                        std::int64_t fill,
+                                        trace::TraceRecorder* trace) {
   const std::size_t p = shape.size();
   MS_CHECK(table.size() == p && addr.size() == p);
   CycleRarResult res;
@@ -247,13 +261,14 @@ CycleRarResult cycle_random_access_read(MeshShape shape,
     if (addr[i] == kNoAddr) continue;
     res.out[i] = answers_rm[shape.snake_to_rowmajor(i)];
   }
+  record(trace, trace::Primitive::kRar, shape, res.steps);
   return res;
 }
 
 CycleRawResult cycle_random_access_write(
     MeshShape shape, std::vector<std::int64_t> table,
     const std::vector<std::int64_t>& addr,
-    const std::vector<std::int64_t>& value) {
+    const std::vector<std::int64_t>& value, trace::TraceRecorder* trace) {
   const std::size_t p = shape.size();
   MS_CHECK(table.size() == p && addr.size() == p && value.size() == p);
   CycleRawResult res;
@@ -314,6 +329,7 @@ CycleRawResult cycle_random_access_write(
     if (!got[rm]) continue;
     res.table[shape.rowmajor_to_snake(rm)] += totals_rm[rm];
   }
+  record(trace, trace::Primitive::kRaw, shape, res.steps);
   return res;
 }
 

@@ -22,15 +22,22 @@
 
 #include "mesh/grid.hpp"
 #include "mesh/snake.hpp"
+#include "trace/trace.hpp"
 
 namespace meshsearch::mesh {
+
+// Every composite operation takes an optional trace sink and records its
+// MEASURED step count under the same primitive label the counting engine
+// charges (kRoute / kBroadcast / kRar / kRaw), so one workload run through
+// both engines yields directly comparable traces.
 
 /// Partial permutation routing on a value grid: packet i (row-major) goes
 /// to row-major dest_rm[i]; entries < 0 carry no packet. Destinations must
 /// be distinct. Cells that receive no packet keep `fill`. Returns steps.
 std::size_t route_partial(Grid<std::int64_t>& g,
                           const std::vector<std::int64_t>& dest_rm,
-                          std::int64_t fill);
+                          std::int64_t fill,
+                          trace::TraceRecorder* trace = nullptr);
 
 /// Segmented broadcast along the snake: positions where seg_start is true
 /// keep their value; every other position copies the nearest seg_start
@@ -38,7 +45,8 @@ std::size_t route_partial(Grid<std::int64_t>& g,
 /// (flag, value) pairs. Returns steps (~3 * side).
 std::size_t segmented_snake_broadcast(MeshShape shape,
                                       std::vector<std::int64_t>& values,
-                                      const std::vector<std::uint8_t>& seg_start);
+                                      const std::vector<std::uint8_t>& seg_start,
+                                      trace::TraceRecorder* trace = nullptr);
 
 struct CycleRarResult {
   std::vector<std::int64_t> out;  ///< out[i] = table[addr[i]] or `fill`
@@ -53,7 +61,8 @@ inline constexpr std::int64_t kNoAddr = -1;
 CycleRarResult cycle_random_access_read(MeshShape shape,
                                         const std::vector<std::int64_t>& table,
                                         const std::vector<std::int64_t>& addr,
-                                        std::int64_t fill = 0);
+                                        std::int64_t fill = 0,
+                                        trace::TraceRecorder* trace = nullptr);
 
 struct CycleRawResult {
   std::vector<std::int64_t> table;  ///< updated table
@@ -68,6 +77,7 @@ struct CycleRawResult {
 CycleRawResult cycle_random_access_write(MeshShape shape,
                                          std::vector<std::int64_t> table,
                                          const std::vector<std::int64_t>& addr,
-                                         const std::vector<std::int64_t>& value);
+                                         const std::vector<std::int64_t>& value,
+                                         trace::TraceRecorder* trace = nullptr);
 
 }  // namespace meshsearch::mesh

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "mesh/snake.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace meshsearch::mesh {
@@ -44,6 +45,13 @@ class Grid {
 
   MeshShape shape() const { return shape_; }
   std::uint32_t side() const { return shape_.side(); }
+
+  /// Attach an optional trace sink: composite operations (shearsort,
+  /// snake_scan, broadcast, route_permutation) record their MEASURED step
+  /// counts under the same primitive labels the counting engine charges,
+  /// so cross-engine divergence is a queryable metric. Not owned.
+  void set_trace(trace::TraceRecorder* t) { trace_ = t; }
+  trace::TraceRecorder* trace() const { return trace_; }
 
   T& at(std::uint32_t r, std::uint32_t c) {
     MS_DCHECK(r < side() && c < side());
@@ -116,6 +124,7 @@ class Grid {
       steps += sort_cols(cmp);
     }
     steps += sort_rows(cmp, /*snake_direction=*/true);
+    record(trace::Primitive::kSort, steps);
     return steps;
   }
 
@@ -149,7 +158,9 @@ class Grid {
     // 3) Broadcast offsets across rows and combine: s-1 steps.
     for (std::uint32_t r = 1; r < s; ++r)
       for (std::uint32_t c = 0; c < s; ++c) at(r, c) = op(offset[r], at(r, c));
-    return 3 * static_cast<std::size_t>(s);
+    const std::size_t steps = 3 * static_cast<std::size_t>(s);
+    record(trace::Primitive::kScan, steps);
+    return steps;
   }
 
   /// Broadcast the value at (0,0) to every processor: 2(s-1) steps.
@@ -158,7 +169,9 @@ class Grid {
     for (std::uint32_t c = 1; c < s; ++c) at(0, c) = at(0, 0);
     for (std::uint32_t r = 1; r < s; ++r)
       for (std::uint32_t c = 0; c < s; ++c) at(r, c) = at(0, c);
-    return 2 * static_cast<std::size_t>(s - 1);
+    const std::size_t steps = 2 * static_cast<std::size_t>(s - 1);
+    record(trace::Primitive::kBroadcast, steps);
+    return steps;
   }
 
   // -------------------------------------------------------------------------
@@ -172,8 +185,15 @@ class Grid {
   std::size_t route_permutation(const std::vector<std::uint32_t>& dest_rm);
 
  private:
+  void record(trace::Primitive prim, std::size_t steps) const {
+    if (trace_ != nullptr)
+      trace_->count(prim, static_cast<double>(shape_.size()),
+                    static_cast<double>(steps));
+  }
+
   MeshShape shape_;
   std::vector<T> cells_;
+  trace::TraceRecorder* trace_ = nullptr;
 };
 
 template <typename T>
@@ -283,6 +303,7 @@ std::size_t Grid<T>::route_permutation(const std::vector<std::uint32_t>& dest_rm
       }
     }
   }
+  record(trace::Primitive::kRoute, steps);
   return steps;
 }
 

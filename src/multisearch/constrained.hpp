@@ -32,6 +32,7 @@
 #include "mesh/snake.hpp"
 #include "multisearch/graph.hpp"
 #include "multisearch/splitter.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/parallel_for.hpp"
 
@@ -66,49 +67,64 @@ ConstrainedStats constrained_multisearch(const DistributedGraph& g,
   const double s_sub =
       static_cast<double>(mesh::MeshShape::for_elements(cap).size());
 
+  TRACE_SPAN(m.trace, "constrained-multisearch");
+
   // Step 1: mark. Fetching piece(v(q)) is one RAR over the whole mesh.
-  st.cost += m.rar(p);
   std::vector<std::uint32_t> marked_idx;
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    const Query& q = queries[i];
-    if (q.done || q.current == kNoVertex) continue;
-    if (psi.piece[static_cast<std::size_t>(q.current)] < 0) continue;
-    marked_idx.push_back(static_cast<std::uint32_t>(i));
+  {
+    TRACE_SPAN(m.trace, "cm.step1: mark queries");
+    st.cost += m.rar(p);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const Query& q = queries[i];
+      if (q.done || q.current == kNoVertex) continue;
+      if (psi.piece[static_cast<std::size_t>(q.current)] < 0) continue;
+      marked_idx.push_back(static_cast<std::uint32_t>(i));
+    }
   }
   st.marked = marked_idx.size();
 
   // Step 2: Gamma_i = ceil(#queries in G_i / n^delta). RAW + scan.
-  st.cost += m.raw(p) + m.scan(p);
-  std::vector<std::size_t> load(psi.num_pieces(), 0);
-  for (const auto i : marked_idx)
-    ++load[static_cast<std::size_t>(
-        psi.piece[static_cast<std::size_t>(queries[i].current)])];
   std::vector<std::size_t> gamma(psi.num_pieces(), 0);
   std::size_t total_copies = 0;
-  for (std::size_t pc = 0; pc < gamma.size(); ++pc) {
-    gamma[pc] = duplicate_copies ? (load[pc] + cap - 1) / cap
-                                 : (load[pc] > 0 ? 1 : 0);
-    total_copies += gamma[pc];
+  {
+    TRACE_SPAN(m.trace, "cm.step2: compute Gamma");
+    st.cost += m.raw(p) + m.scan(p);
+    std::vector<std::size_t> load(psi.num_pieces(), 0);
+    for (const auto i : marked_idx)
+      ++load[static_cast<std::size_t>(
+          psi.piece[static_cast<std::size_t>(queries[i].current)])];
+    for (std::size_t pc = 0; pc < gamma.size(); ++pc) {
+      gamma[pc] = duplicate_copies ? (load[pc] + cap - 1) / cap
+                                   : (load[pc] > 0 ? 1 : 0);
+      total_copies += gamma[pc];
+    }
   }
   st.copies = total_copies;
 
   // Step 3: emptiness test (reduction).
-  st.cost += m.reduce(p);
+  {
+    TRACE_SPAN(m.trace, "cm.step3: emptiness test");
+    st.cost += m.reduce(p);
+  }
   if (total_copies == 0) return st;
 
   // Step 4: create the copies and place them in delta-submeshes — a constant
   // number of standard mesh operations (Lemma 3 proof).
-  st.cost += m.sort(p) + m.route(p);
+  {
+    TRACE_SPAN(m.trace, "cm.step4: create copies");
+    st.cost += m.sort(p) + m.route(p);
+  }
 
   // Step 5: move marked queries to copies, <= cap queries per copy.
-  st.cost += m.sort(p) + m.scan(p) + m.route(p);
-  // Assignment: queries of piece i round-robin over its gamma_i copies.
-  // copy_base[pc] = id of the first copy of piece pc.
-  std::vector<std::size_t> copy_base(psi.num_pieces() + 1, 0);
-  for (std::size_t pc = 0; pc < psi.num_pieces(); ++pc)
-    copy_base[pc + 1] = copy_base[pc] + gamma[pc];
   std::vector<std::vector<std::uint32_t>> copy_queries(total_copies);
   {
+    TRACE_SPAN(m.trace, "cm.step5: distribute queries");
+    st.cost += m.sort(p) + m.scan(p) + m.route(p);
+    // Assignment: queries of piece i round-robin over its gamma_i copies.
+    // copy_base[pc] = id of the first copy of piece pc.
+    std::vector<std::size_t> copy_base(psi.num_pieces() + 1, 0);
+    for (std::size_t pc = 0; pc < psi.num_pieces(); ++pc)
+      copy_base[pc + 1] = copy_base[pc] + gamma[pc];
     std::vector<std::size_t> next_copy(psi.num_pieces(), 0);
     for (const auto i : marked_idx) {
       const auto pc = static_cast<std::size_t>(
@@ -159,7 +175,10 @@ ConstrainedStats constrained_multisearch(const DistributedGraph& g,
     st.advanced += visits[c];
   }
   st.rounds = worst;
-  st.cost += static_cast<double>(worst) * m.rar(s_sub);
+  {
+    TRACE_SPAN(m.trace, "cm.step6: local advancement rounds");
+    st.cost += m.rar(s_sub, static_cast<double>(worst));
+  }
 
   // Step 7: discard copies — no mesh time.
   return st;

@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace meshsearch::msearch {
@@ -276,6 +278,15 @@ HierarchicalRunResult hierarchical_cost(
     mesh::MeshShape shape, const mesh::CostModel& m,
     const std::vector<std::int32_t>* sweeps) {
   HierarchicalRunResult res;
+  // Every charge goes through a TraceRecorder and the per-band report is
+  // read back out of it (span deltas), so BandCostReport is a view over
+  // the same data a --trace export sees. When the caller attached no sink,
+  // a local recorder keeps the view available.
+  trace::TraceRecorder local_rec("counting");
+  mesh::CostModel mt = m;
+  if (mt.trace == nullptr) mt.trace = &local_rec;
+  trace::TraceRecorder* rec = mt.trace;
+
   const double p = static_cast<double>(shape.size());
   // Sweeps per level: measured if provided, else the static bound.
   auto sweeps_at = [&](std::int32_t level) {
@@ -288,8 +299,13 @@ HierarchicalRunResult hierarchical_cost(
     res.level_sweeps[static_cast<std::size_t>(l)] =
         static_cast<std::int32_t>(sweeps_at(l));
 
-  // Initial multistep: every query visits the first node of its path.
-  res.cost += m.rar(p);
+  TRACE_SPAN(rec, "algorithm1");
+
+  {
+    // Initial multistep: every query visits the first node of its path.
+    TRACE_SPAN(rec, "alg1.step0: initial multistep");
+    res.cost += mt.rar(p);
+  }
 
   for (std::size_t i = 0; i < plan.bands.size(); ++i) {
     const Band& band = plan.bands[i];
@@ -298,6 +314,9 @@ HierarchicalRunResult hierarchical_cost(
     rep.hi = band.hi;
     rep.vertices = band.vertices;
     rep.grid = band.grid;
+    trace::SpanScope band_span(
+        rec, "band " + std::to_string(i) + " [L" + std::to_string(band.lo) +
+                 "..L" + std::to_string(band.hi) + "]");
 
     // Parent submesh size s_{i+1}: the next band's submesh (the full mesh
     // for the last band) — Algorithm 1 steps 1, 2 and 3(a) all run at the
@@ -306,31 +325,37 @@ HierarchicalRunResult hierarchical_cost(
                               ? static_cast<double>(
                                     plan.bands[i + 1].submesh_elems)
                               : p;
-    mesh::Cost setup;
-    setup += m.sort(s_next) + m.route(s_next);  // steps 1-2 (labels, spread)
-    setup += m.route(s_next);                   // step 3(a): duplicate B_i
-    rep.setup_steps = setup.steps;
-    res.cost += setup;
+    {
+      trace::SpanScope setup_span(rec, "alg1.steps1-3a: band setup");
+      res.cost += mt.sort(s_next) + mt.route(s_next);  // steps 1-2
+      res.cost += mt.route(s_next);  // step 3(a): duplicate B_i
+      rep.setup_steps = setup_span.sim_elapsed();
+    }
 
     // Step 3(b): Lemma 1 on every B_i-submesh, independently in parallel —
     // all submeshes run the same lockstep sweeps, so max == one submesh.
     const double s_i = static_cast<double>(band.submesh_elems);
-    mesh::Cost solve;
-    const std::int32_t b1_levels = band.split - band.lo;
-    if (b1_levels > 0) {
-      // Phase 1: replicate B_i^1 into inner sub-submeshes, then walk its
-      // levels locally (sweeps_at(l) RAR sweeps per level).
-      const double s_inner =
-          s_i / (static_cast<double>(band.inner_grid) * band.inner_grid);
-      solve += m.route(s_i);
-      for (std::int32_t l = band.lo; l < band.split; ++l)
-        solve += sweeps_at(l) * m.rar(s_inner);
+    {
+      trace::SpanScope solve_span(rec, "alg1.step3b: lemma1 solve");
+      const std::int32_t b1_levels = band.split - band.lo;
+      if (b1_levels > 0) {
+        // Phase 1: replicate B_i^1 into inner sub-submeshes, then walk its
+        // levels locally (sweeps_at(l) RAR sweeps per level).
+        TRACE_SPAN(rec, "lemma1.B1: replicate + local sweeps");
+        const double s_inner =
+            s_i / (static_cast<double>(band.inner_grid) * band.inner_grid);
+        res.cost += mt.route(s_i);
+        for (std::int32_t l = band.lo; l < band.split; ++l)
+          res.cost += mt.rar(s_inner, sweeps_at(l));
+      }
+      {
+        // Phase 2: walk B_i^2 level-by-level at submesh scale.
+        TRACE_SPAN(rec, "lemma1.B2: submesh level sweeps");
+        for (std::int32_t l = band.split; l <= band.hi; ++l)
+          res.cost += mt.rar(s_i, sweeps_at(l));
+      }
+      rep.solve_steps = solve_span.sim_elapsed();
     }
-    // Phase 2: walk B_i^2 level-by-level at submesh scale.
-    for (std::int32_t l = band.split; l <= band.hi; ++l)
-      solve += sweeps_at(l) * m.rar(s_i);
-    rep.solve_steps = solve.steps;
-    res.cost += solve;
 
     const double dh = static_cast<double>(band.hi - band.lo + 1);
     rep.lemma1_bound =
@@ -339,13 +364,14 @@ HierarchicalRunResult hierarchical_cost(
     res.bands.push_back(rep);
   }
 
-  // Step 4: B* level-by-level on the whole mesh (O(1) levels).
-  res.bstar_levels = dag.height() - plan.bstar_lo + 1;
-  mesh::Cost bstar;
-  for (std::int32_t l = plan.bstar_lo; l <= dag.height(); ++l)
-    bstar += sweeps_at(l) * m.rar(p);
-  res.bstar_steps = bstar.steps;
-  res.cost += bstar;
+  {
+    // Step 4: B* level-by-level on the whole mesh (O(1) levels).
+    trace::SpanScope bstar_span(rec, "alg1.step4: B* level sweeps");
+    res.bstar_levels = dag.height() - plan.bstar_lo + 1;
+    for (std::int32_t l = plan.bstar_lo; l <= dag.height(); ++l)
+      res.cost += mt.rar(p, sweeps_at(l));
+    res.bstar_steps = bstar_span.sim_elapsed();
+  }
   return res;
 }
 

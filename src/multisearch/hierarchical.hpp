@@ -236,16 +236,20 @@ HierarchicalRunResult hierarchical_multisearch(
       static_cast<std::size_t>(4 * dag.level_work() + 8);
   // Data pass, band by band, measuring the realized per-level sweep counts
   // (the lockstep machine repeats each level sweep until every query has
-  // advanced past the level).
+  // advanced past the level). Charges no simulated steps; the span records
+  // its wall-clock time for the host-side profile.
   std::vector<std::int32_t> sweeps(static_cast<std::size_t>(dag.height()) + 1,
                                    0);
   std::size_t total_visits = 0;
-  for (const auto& band : plan.bands)
-    total_visits += detail::advance_through_levels(g, prog, queries, band.hi,
-                                                   visit_cap, sweeps);
-  total_visits += detail::advance_through_levels(g, prog, queries,
-                                                 dag.height(), visit_cap,
-                                                 sweeps);
+  {
+    TRACE_SPAN(m.trace, "alg1.data pass (host)");
+    for (const auto& band : plan.bands)
+      total_visits += detail::advance_through_levels(g, prog, queries, band.hi,
+                                                     visit_cap, sweeps);
+    total_visits += detail::advance_through_levels(g, prog, queries,
+                                                   dag.height(), visit_cap,
+                                                   sweeps);
+  }
   for (auto& s : sweeps) s = std::max(s, 1);
   HierarchicalRunResult res = hierarchical_cost(dag, plan, shape, m, &sweeps);
   res.total_visits = total_visits;

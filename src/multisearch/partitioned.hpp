@@ -13,9 +13,11 @@
 // ceil(r / log n) times for longest path r (Theorems 5 and 7).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "multisearch/constrained.hpp"
+#include "trace/trace.hpp"
 
 namespace meshsearch::msearch {
 
@@ -45,23 +47,38 @@ PartitionedRunResult multisearch_partitioned(
   PartitionedRunResult res;
   const double p = static_cast<double>(shape.size());
   reset_queries(queries);
+  TRACE_SPAN(m.trace, "partitioned multisearch");
   while (!all_done(queries)) {
-    // Step 1: visit first/next node.
-    res.total_visits += global_multistep(g, prog, queries);
-    res.cost += m.rar(p);
-    // Step 2.
-    const auto s2 = constrained_multisearch(g, psi_a, prog, queries, m, shape,
-                                            duplicate_copies);
-    res.cost += s2.cost;
-    res.total_visits += s2.advanced;
-    // Step 3.
-    res.total_visits += global_multistep(g, prog, queries);
-    res.cost += m.rar(p);
-    // Step 4.
-    const auto s4 = constrained_multisearch(g, psi_b, prog, queries, m, shape,
-                                            duplicate_copies);
-    res.cost += s4.cost;
-    res.total_visits += s4.advanced;
+    trace::SpanScope phase_span(
+        m.trace, "log-phase " + std::to_string(res.log_phases));
+    {
+      // Step 1: visit first/next node.
+      trace::SpanScope s(m.trace, "phase.step1: global multistep");
+      res.total_visits += global_multistep(g, prog, queries);
+      res.cost += m.rar(p);
+    }
+    {
+      // Step 2.
+      trace::SpanScope s(m.trace, "phase.step2: constrained(Psi_A)");
+      const auto s2 = constrained_multisearch(g, psi_a, prog, queries, m,
+                                              shape, duplicate_copies);
+      res.cost += s2.cost;
+      res.total_visits += s2.advanced;
+    }
+    {
+      // Step 3.
+      trace::SpanScope s(m.trace, "phase.step3: global multistep");
+      res.total_visits += global_multistep(g, prog, queries);
+      res.cost += m.rar(p);
+    }
+    {
+      // Step 4.
+      trace::SpanScope s(m.trace, "phase.step4: constrained(Psi_B)");
+      const auto s4 = constrained_multisearch(g, psi_b, prog, queries, m,
+                                              shape, duplicate_copies);
+      res.cost += s4.cost;
+      res.total_visits += s4.advanced;
+    }
     res.constrained_calls += 2;
     ++res.log_phases;
     // Termination check: a reduction over query flags.

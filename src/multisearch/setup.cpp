@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace meshsearch::msearch {
@@ -15,9 +16,10 @@ mesh::Cost distribute_initial(const DistributedGraph& g, std::size_t queries,
   // Sort vertices by id to their home processors, then one routing per
   // adjacency slot to deliver neighbour addresses (degree is O(1)), then
   // one routing for the queries.
+  TRACE_SPAN(m.trace, "setup: distribute data + queries");
   cost += m.sort(p);
-  cost += static_cast<double>(std::max<std::size_t>(1, g.max_degree())) *
-          m.route(p);
+  cost += m.route(
+      p, static_cast<double>(std::max<std::size_t>(1, g.max_degree())));
   cost += m.route(p);
   return cost;
 }
@@ -26,6 +28,7 @@ LevelIndexResult compute_level_indices(const DistributedGraph& g,
                                        const mesh::CostModel& m,
                                        mesh::MeshShape shape) {
   LevelIndexResult res;
+  TRACE_SPAN(m.trace, "setup: level indices (peel)");
   const std::size_t n = g.vertex_count();
   res.level.assign(n, -1);
 

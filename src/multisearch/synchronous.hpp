@@ -12,6 +12,7 @@
 #include "mesh/cost.hpp"
 #include "mesh/ops.hpp"
 #include "multisearch/graph.hpp"
+#include "trace/trace.hpp"
 
 namespace meshsearch::msearch {
 
@@ -28,6 +29,7 @@ SynchronousResult synchronous_multisearch(const DistributedGraph& g,
                                           mesh::MeshShape shape) {
   SynchronousResult res;
   const double p = static_cast<double>(shape.size());
+  TRACE_SPAN(m.trace, "synchronous multisearch");
   for (;;) {
     bool any = false;
     // One multistep: every live query fetches the record of its next vertex

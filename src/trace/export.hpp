@@ -1,0 +1,39 @@
+// Exporters for TraceRecorder: Chrome/Perfetto trace-event JSON for the
+// timeline view, and a flat metrics summary (JSON or util::Table -> CSV)
+// for cost attribution.
+//
+// The Perfetto timeline uses SIMULATED time: one mesh step is rendered as
+// one microsecond, so a span's extent on screen is its share of the run's
+// simulated cost (the quantity the paper's theorems bound). Wall-clock
+// durations ride along as span args. Load the file at https://ui.perfetto.dev
+// or chrome://tracing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+#include "util/table.hpp"
+
+namespace meshsearch::trace {
+
+/// Chrome trace-event JSON (the "JSON Object Format": {"traceEvents": [...]})
+/// with phase spans on one track and individual primitive executions on a
+/// second track.
+void write_trace_json(const TraceRecorder& rec, std::ostream& os);
+
+/// Same, to a file. Warns to stderr and returns false on I/O failure.
+bool write_trace_json_file(const TraceRecorder& rec, const std::string& path);
+
+/// Flat metrics summary: engine, total steps, the per-(primitive, p)
+/// histogram, and every span with simulated + wall durations.
+void write_metrics_json(const TraceRecorder& rec, std::ostream& os);
+
+/// Same, to a file. Warns to stderr and returns false on I/O failure.
+bool write_metrics_json_file(const TraceRecorder& rec, const std::string& path);
+
+/// Per-primitive cost-attribution table (primitive, submesh size, calls,
+/// steps, share of total). Print it or mirror it to CSV via util::Table.
+util::Table metrics_table(const TraceRecorder& rec);
+
+}  // namespace meshsearch::trace

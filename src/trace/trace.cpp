@@ -1,0 +1,89 @@
+#include "trace/trace.hpp"
+
+#include "util/check.hpp"
+
+namespace meshsearch::trace {
+
+const char* primitive_name(Primitive p) {
+  switch (p) {
+    case Primitive::kSort: return "sort";
+    case Primitive::kScan: return "scan";
+    case Primitive::kRoute: return "route";
+    case Primitive::kBroadcast: return "broadcast";
+    case Primitive::kReduce: return "reduce";
+    case Primitive::kRar: return "rar";
+    case Primitive::kRaw: return "raw";
+    case Primitive::kCompress: return "compress";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(std::string engine)
+    : engine_(std::move(engine)), epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceRecorder::wall_now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::count(Primitive prim, double p, double steps,
+                          std::uint64_t calls) {
+  if (calls == 0) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& stat = counters_[PrimitiveKey{prim, p}];
+  stat.calls += calls;
+  stat.steps += steps;
+  events_.push_back(Event{prim, p, steps, calls, sim_now_});
+  sim_now_ += steps;
+}
+
+void TraceRecorder::begin_span(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Span s;
+  s.name = std::string(name);
+  s.depth = static_cast<std::int32_t>(open_.size());
+  s.sim_begin = sim_now_;
+  s.wall_begin_us = wall_now_us();
+  open_.push_back(spans_.size());
+  spans_.push_back(std::move(s));
+}
+
+void TraceRecorder::end_span() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MS_CHECK_MSG(!open_.empty(), "end_span without a matching begin_span");
+  Span& s = spans_[open_.back()];
+  open_.pop_back();
+  s.sim_end = sim_now_;
+  s.wall_end_us = wall_now_us();
+  s.closed = true;
+}
+
+double TraceRecorder::total_steps() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sim_now_;
+}
+
+std::map<PrimitiveKey, PrimitiveStat> TraceRecorder::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::vector<Event> TraceRecorder::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<Span> TraceRecorder::spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out = spans_;
+  const double wall = wall_now_us();
+  for (auto& s : out) {
+    if (s.closed) continue;
+    s.sim_end = sim_now_;
+    s.wall_end_us = wall;
+  }
+  return out;
+}
+
+}  // namespace meshsearch::trace

@@ -1,0 +1,175 @@
+// Observability layer: per-primitive cost attribution and hierarchical
+// phase spans, shared by both engines.
+//
+// The paper's bounds are time decompositions — Theorem 2's O(sqrt n) is the
+// sum/max of band setup, Lemma-1 solves, and the B* sweep — so a single
+// opaque Cost total cannot explain where simulated time goes. A
+// TraceRecorder captures that decomposition as it happens:
+//
+//   * per-primitive counters: every charged (counting engine) or measured
+//     (cycle engine) primitive execution is recorded as
+//     (primitive, submesh size p, steps, calls), aggregated into a
+//     histogram keyed by (primitive, p);
+//   * an ordered event log of the same records, so two engines running one
+//     workload can be compared operation by operation (cross-engine
+//     divergence becomes a queryable sequence diff);
+//   * hierarchical phase spans (TRACE_SPAN) carrying both simulated-step
+//     and wall-clock durations, matching the paper's step numbering.
+//
+// The recorder is a passive sink: CostModel (mesh/cost.hpp) and the cycle
+// engine (mesh/grid.hpp, mesh/cycle_ops.hpp) each take an optional
+// TraceRecorder* and record into it when non-null — a null sink costs one
+// pointer test per primitive. Exporters for Chrome/Perfetto trace-event
+// JSON and flat metrics JSON/CSV live in trace/export.hpp.
+//
+// Thread-safety: count() may be called from any thread (host-side
+// parallel_for regions); spans must be begun/ended from one thread at a
+// time (the algorithms drive them from the simulation thread).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace meshsearch::trace {
+
+/// The mesh primitives both engines account for. The counting engine
+/// charges closed-form bounds per primitive; the cycle engine records
+/// measured step counts under the same labels.
+enum class Primitive : std::uint8_t {
+  kSort = 0,
+  kScan,
+  kRoute,
+  kBroadcast,
+  kReduce,
+  kRar,       ///< random access read (concurrent-read construction)
+  kRaw,       ///< random access write with combining
+  kCompress,
+};
+inline constexpr std::size_t kPrimitiveCount = 8;
+
+const char* primitive_name(Primitive p);
+
+/// Histogram key: which primitive, on how large a (sub)mesh.
+struct PrimitiveKey {
+  Primitive prim = Primitive::kSort;
+  double p = 0;  ///< processors of the charged/measured (sub)mesh
+
+  friend bool operator<(const PrimitiveKey& a, const PrimitiveKey& b) {
+    if (a.prim != b.prim) return a.prim < b.prim;
+    return a.p < b.p;
+  }
+  friend bool operator==(const PrimitiveKey&, const PrimitiveKey&) = default;
+};
+
+struct PrimitiveStat {
+  std::uint64_t calls = 0;
+  double steps = 0;  ///< total simulated steps attributed to this key
+};
+
+/// One recorded primitive execution, in call order.
+struct Event {
+  Primitive prim = Primitive::kSort;
+  double p = 0;
+  double steps = 0;
+  std::uint64_t calls = 1;
+  double sim_begin = 0;  ///< cumulative recorded steps before this event
+};
+
+/// One phase span. sim_* are cumulative recorded simulated steps at
+/// begin/end (so sim_end - sim_begin is the span's simulated duration under
+/// sequential composition); wall_* are microseconds since the recorder was
+/// constructed.
+struct Span {
+  std::string name;
+  std::int32_t depth = 0;  ///< nesting depth (0 = top level)
+  double sim_begin = 0;
+  double sim_end = 0;
+  double wall_begin_us = 0;
+  double wall_end_us = 0;
+  bool closed = false;
+};
+
+class TraceRecorder {
+ public:
+  /// `engine` tags the trace ("counting" / "cycle") in every export.
+  explicit TraceRecorder(std::string engine = "counting");
+
+  /// Record `calls` back-to-back executions of `prim` on a p-processor
+  /// (sub)mesh costing `steps` simulated steps in total. Thread-safe.
+  void count(Primitive prim, double p, double steps, std::uint64_t calls = 1);
+
+  /// Open / close a phase span. Spans nest (LIFO). Prefer TRACE_SPAN /
+  /// SpanScope, which pair these calls by scope.
+  void begin_span(std::string_view name);
+  void end_span();
+
+  const std::string& engine() const { return engine_; }
+
+  /// Cumulative simulated steps recorded so far (all primitives).
+  double total_steps() const;
+
+  /// Snapshot of the per-(primitive, p) histogram.
+  std::map<PrimitiveKey, PrimitiveStat> counters() const;
+
+  /// Snapshot of the ordered event log.
+  std::vector<Event> events() const;
+
+  /// Snapshot of all spans in begin order. Spans still open are reported
+  /// with closed == false and sim_end/wall_end_us frozen at "now".
+  std::vector<Span> spans() const;
+
+ private:
+  double wall_now_us() const;
+
+  std::string engine_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  double sim_now_ = 0;
+  std::map<PrimitiveKey, PrimitiveStat> counters_;
+  std::vector<Event> events_;
+  std::vector<Span> spans_;
+  std::vector<std::size_t> open_;  ///< stack of indices into spans_
+};
+
+/// RAII span guard. A null recorder makes every operation a no-op, so call
+/// sites need no branching.
+class SpanScope {
+ public:
+  SpanScope(TraceRecorder* rec, std::string_view name) : rec_(rec) {
+    if (rec_ != nullptr) {
+      sim_begin_ = rec_->total_steps();
+      rec_->begin_span(name);
+    }
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  ~SpanScope() {
+    if (rec_ != nullptr) rec_->end_span();
+  }
+
+  /// Simulated steps recorded since this span opened — lets reports (e.g.
+  /// BandCostReport) read their numbers back out of the trace.
+  double sim_elapsed() const {
+    return rec_ != nullptr ? rec_->total_steps() - sim_begin_ : 0.0;
+  }
+
+ private:
+  TraceRecorder* rec_;
+  double sim_begin_ = 0;
+};
+
+}  // namespace meshsearch::trace
+
+#define MS_TRACE_CAT_IMPL(a, b) a##b
+#define MS_TRACE_CAT(a, b) MS_TRACE_CAT_IMPL(a, b)
+
+/// Open a phase span on `rec` (a TraceRecorder*, may be null) lasting until
+/// the end of the enclosing scope: TRACE_SPAN(m.trace, "band_setup");
+#define TRACE_SPAN(rec, name)                                     \
+  ::meshsearch::trace::SpanScope MS_TRACE_CAT(ms_trace_span_,     \
+                                              __LINE__)((rec), (name))

@@ -1,0 +1,140 @@
+// Unit tests for the Cost algebra and the CostModel charge formulas
+// (mesh/cost.hpp): sequential/parallel composition, the physical_sort
+// switch, the `times` multiplier, and charge attribution into a trace sink.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/cost.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace meshsearch;
+using mesh::Cost;
+using mesh::CostModel;
+using mesh::par;
+using mesh::ParAccumulator;
+
+TEST(Cost, DefaultsToZeroSteps) {
+  EXPECT_EQ(Cost{}.steps, 0.0);
+  EXPECT_EQ(Cost{}, Cost{0.0});
+}
+
+TEST(Cost, SequentialCompositionAdds) {
+  const Cost a{3.0}, b{4.5};
+  EXPECT_EQ((a + b).steps, 7.5);
+  Cost c;
+  c += a;
+  c += b;
+  EXPECT_EQ(c, a + b);
+}
+
+TEST(Cost, ScalarMultiplyScalesSteps) {
+  EXPECT_EQ((2.0 * Cost{3.0}).steps, 6.0);
+  EXPECT_EQ((0.0 * Cost{3.0}).steps, 0.0);
+}
+
+TEST(Cost, ComparesBySteps) {
+  EXPECT_LT(Cost{1.0}, Cost{2.0});
+  EXPECT_FALSE(Cost{2.0} < Cost{2.0});
+}
+
+TEST(Cost, ParallelCompositionIsMax) {
+  EXPECT_EQ(par(Cost{3.0}, Cost{7.0}).steps, 7.0);
+  EXPECT_EQ(par(Cost{7.0}, Cost{3.0}).steps, 7.0);
+  EXPECT_EQ(par({Cost{1.0}, Cost{9.0}, Cost{4.0}}).steps, 9.0);
+  EXPECT_EQ(par({}).steps, 0.0);
+}
+
+TEST(Cost, ParAccumulatorTracksRunningMax) {
+  ParAccumulator acc;
+  EXPECT_EQ(acc.total().steps, 0.0);
+  acc.add(Cost{5.0});
+  acc.add(Cost{2.0});
+  acc.add(Cost{8.0});
+  EXPECT_EQ(acc.total().steps, 8.0);
+}
+
+TEST(CostModel, OptimalSortChargesThreeSqrtP) {
+  const CostModel m;
+  const double p = 4096;
+  EXPECT_DOUBLE_EQ(m.sort(p).steps, 3.0 * std::sqrt(p));
+  EXPECT_DOUBLE_EQ(m.scan(p).steps, 2.0 * std::sqrt(p));
+  EXPECT_DOUBLE_EQ(m.broadcast(p).steps, 2.0 * std::sqrt(p));
+  EXPECT_DOUBLE_EQ(m.reduce(p).steps, 2.0 * std::sqrt(p));
+  // Routing is sort-based: sort + one traversal.
+  EXPECT_DOUBLE_EQ(m.route(p).steps, m.sort(p).steps + std::sqrt(p));
+}
+
+TEST(CostModel, PhysicalSortChargesShearsortBound) {
+  CostModel m;
+  m.physical_sort = true;
+  const double p = 4096;
+  EXPECT_DOUBLE_EQ(m.sort(p).steps, std::sqrt(p) * (std::log2(p) + 1.0));
+  // The route/rar/raw composites inherit the switched sort bound.
+  EXPECT_DOUBLE_EQ(m.route(p).steps, m.sort(p).steps + std::sqrt(p));
+  EXPECT_GT(m.rar(p).steps, CostModel{}.rar(p).steps);
+}
+
+TEST(CostModel, CompositesDecomposeIntoBuildingBlocks) {
+  const CostModel m;
+  const double p = 1024;
+  EXPECT_DOUBLE_EQ(m.rar(p).steps, 2.0 * m.sort(p).steps +
+                                       2.0 * m.scan(p).steps +
+                                       2.0 * m.route(p).steps);
+  EXPECT_DOUBLE_EQ(m.raw(p).steps,
+                   m.sort(p).steps + m.scan(p).steps + m.route(p).steps);
+  EXPECT_DOUBLE_EQ(m.compress(p).steps, m.scan(p).steps + m.route(p).steps);
+}
+
+TEST(CostModel, SmallMeshesClampToOneProcessor) {
+  const CostModel m;
+  EXPECT_DOUBLE_EQ(m.sort(0).steps, 3.0);
+  EXPECT_DOUBLE_EQ(m.sort(1).steps, 3.0);
+  EXPECT_DOUBLE_EQ(m.scan(0.25).steps, 2.0);
+}
+
+TEST(CostModel, TimesMultiplierMatchesRepeatedCharges) {
+  const CostModel m;
+  const double p = 256;
+  EXPECT_DOUBLE_EQ(m.rar(p, 7.0).steps, 7.0 * m.rar(p).steps);
+  EXPECT_DOUBLE_EQ(m.sort(p, 3.0).steps, (3.0 * m.sort(p)).steps);
+  EXPECT_EQ(m.scan(p, 0.0).steps, 0.0);
+  EXPECT_EQ(m.scan(p, -1.0).steps, 0.0);
+}
+
+TEST(CostModel, ChargesRecordIntoAttachedTrace) {
+  trace::TraceRecorder rec("counting");
+  CostModel m;
+  m.trace = &rec;
+  const double p = 64;
+  const Cost total = m.sort(p) + m.rar(p, 3.0) + m.scan(p, 0.0);
+  EXPECT_DOUBLE_EQ(rec.total_steps(), total.steps);
+
+  const auto counters = rec.counters();
+  ASSERT_EQ(counters.size(), 2u);  // zero-times scan records nothing
+  const auto sort_it =
+      counters.find(trace::PrimitiveKey{trace::Primitive::kSort, p});
+  ASSERT_NE(sort_it, counters.end());
+  EXPECT_EQ(sort_it->second.calls, 1u);
+  const auto rar_it =
+      counters.find(trace::PrimitiveKey{trace::Primitive::kRar, p});
+  ASSERT_NE(rar_it, counters.end());
+  EXPECT_EQ(rar_it->second.calls, 3u);
+  EXPECT_DOUBLE_EQ(rar_it->second.steps, 3.0 * m.rar(p).steps);
+}
+
+TEST(CostModel, CompositeChargesAttributeOnlyThemselves) {
+  // rar must not also show up as sort/scan/route in the histogram —
+  // otherwise per-primitive attribution would double count.
+  trace::TraceRecorder rec("counting");
+  CostModel m;
+  m.trace = &rec;
+  m.rar(64);
+  const auto counters = rec.counters();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters.begin()->first.prim, trace::Primitive::kRar);
+}
+
+}  // namespace
