@@ -8,13 +8,20 @@
 // charges the optimal bound — see DESIGN.md §2).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "datastruct/workloads.hpp"
 #include "mesh/cycle_ops.hpp"
 #include "mesh/grid.hpp"
 #include "mesh/ops.hpp"
+#include "multisearch/hierarchical.hpp"
+#include "multisearch/query.hpp"
+#include "util/check.hpp"
+#include "util/parallel_for.hpp"
 #include "util/rng.hpp"
 
 using namespace meshsearch;
@@ -116,31 +123,131 @@ void cross_engine_table(const bench::TraceOptions& topt) {
             rng.bernoulli(0.5) ? rng.uniform(4) : rng.uniform(s.size()));
     const auto rar = mesh::cycle_random_access_read(s, vals, addr, 0, tr);
     const double p = static_cast<double>(s.size());
-    t.add_row({static_cast<std::int64_t>(side), static_cast<std::int64_t>(p),
-               shear, m.sort(p).steps, shear / m.sort(p).steps, scan,
-               m.scan(p).steps, scan / m.scan(p).steps, route,
-               m.route(p).steps, static_cast<double>(rar.steps),
-               phys.rar(p).steps});
+    // Build the row in a named vector: a brace-init list of variant
+    // temporaries trips a gcc-12 maybe-uninitialized false positive here.
+    std::vector<util::Table::Cell> row;
+    row.emplace_back(static_cast<std::int64_t>(side));
+    row.emplace_back(static_cast<std::int64_t>(p));
+    row.emplace_back(shear);
+    row.emplace_back(m.sort(p).steps);
+    row.emplace_back(shear / m.sort(p).steps);
+    row.emplace_back(scan);
+    row.emplace_back(m.scan(p).steps);
+    row.emplace_back(scan / m.scan(p).steps);
+    row.emplace_back(route);
+    row.emplace_back(m.route(p).steps);
+    row.emplace_back(static_cast<double>(rar.steps));
+    row.emplace_back(phys.rar(p).steps);
+    t.add_row(std::move(row));
     bench::emit_trace(rec, topt, "v1_cycle_side" + std::to_string(side));
   }
   bench::emit(t, "v1_cross_engine");
+}
+
+/// Parse `--threads <list>` / `--threads=<list>` where <list> is a comma
+/// separated set of host thread counts, e.g. `--threads 1,2,4,8`. Bare
+/// `--threads` uses the default sweep {1, 2, 4, 8}. Empty when absent.
+std::vector<unsigned> parse_threads_flag(int argc, char** argv) {
+  std::string spec;
+  bool enabled = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threads") {
+      enabled = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') spec = argv[++i];
+    } else if (a.rfind("--threads=", 0) == 0) {
+      enabled = true;
+      spec = a.substr(10);
+    }
+  }
+  if (!enabled) return {};
+  if (spec.empty()) return {1, 2, 4, 8};
+  std::vector<unsigned> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const unsigned long v = std::strtoul(tok.c_str(), nullptr, 10);
+    if (v > 0 && v <= 4096) out.push_back(static_cast<unsigned>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Host-parallelism wall-clock sweep: Algorithm 1 (paper plan) on a
+/// hierarchical DAG at n = 2^20, once per requested thread count. The
+/// determinism contract demands bit-identical simulated step counts and
+/// query outcomes at every thread count — checked here, not just in tests.
+void thread_sweep(const std::vector<unsigned>& threads) {
+  using namespace meshsearch::msearch;
+  if (threads.empty()) return;
+  bench::section("V1t: host-thread wall-clock sweep (Alg 1, n=2^20)");
+  util::Rng rng(7);
+  const std::size_t n = std::size_t{1} << 20;
+  const auto g = ds::build_hierarchical_dag(n, 2.0, 3, rng);
+  const HierarchicalDag dag(g, 2.0);
+  const auto shape = g.shape_for(g.vertex_count());
+  const mesh::CostModel m;
+  auto qs = make_queries(g.vertex_count());
+  util::Rng qrng(n);
+  for (auto& q : qs)
+    q.key[0] = static_cast<std::int64_t>(qrng.uniform(1ull << 40));
+  const ds::HashWalk prog{0};
+
+  util::Table t({"threads", "wall ms", "speedup", "sim steps"});
+  double base_ms = 0.0;
+  double ref_steps = 0.0;
+  std::vector<QueryOutcome> ref_outcomes;
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    util::ThreadPool::set_global_threads(threads[i]);
+    auto q = qs;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = hierarchical_multisearch(dag, prog, q, m, shape);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (i == 0) {
+      base_ms = ms;
+      ref_steps = res.cost.steps;
+      ref_outcomes = outcomes(q);
+    } else {
+      MS_CHECK_MSG(res.cost.steps == ref_steps,
+                   "thread sweep: simulated step counts diverged "
+                   "(determinism contract violated)");
+      MS_CHECK_MSG(outcomes(q) == ref_outcomes,
+                   "thread sweep: query outcomes diverged "
+                   "(determinism contract violated)");
+    }
+    std::vector<util::Table::Cell> row;
+    row.emplace_back(static_cast<std::int64_t>(threads[i]));
+    row.emplace_back(ms);
+    row.emplace_back(base_ms / ms);
+    row.emplace_back(res.cost.steps);
+    t.add_row(std::move(row));
+  }
+  util::ThreadPool::set_global_threads(0);  // back to the env/default pool
+  bench::emit(t, "v1_threads");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto topt = bench::parse_trace_flag(argc, argv);
+  const auto threads = parse_threads_flag(argc, argv);
   cross_engine_table(topt);
-  // Strip --trace before handing argv to google-benchmark, which rejects
-  // flags it does not know.
+  thread_sweep(threads);
+  // Strip --trace/--threads before handing argv to google-benchmark, which
+  // rejects flags it does not know.
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--trace") {
+    if (a == "--trace" || a == "--threads") {
       if (i + 1 < argc && argv[i + 1][0] != '-') ++i;
       continue;
     }
-    if (a.rfind("--trace=", 0) == 0) continue;
+    if (a.rfind("--trace=", 0) == 0 || a.rfind("--threads=", 0) == 0) continue;
     bench_argv.push_back(argv[i]);
   }
   int bench_argc = static_cast<int>(bench_argv.size());

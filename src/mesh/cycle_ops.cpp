@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/parallel_for.hpp"
 
 namespace meshsearch::mesh {
 
@@ -71,44 +72,55 @@ std::size_t route_partial_generic(MeshShape shape,
       std::size_t to_cell;
       bool to_horiz;
     };
+    // Same scheme as Grid::route_permutation: read-only move generation
+    // runs host-parallel over rows; per-row lists concatenate in row order
+    // so the (order-sensitive) apply phase sees the serial sweep order.
+    std::vector<std::vector<Move>> row_moves(s);
+    util::parallel_for(
+        std::size_t{0}, s,
+        [&](std::size_t row) {
+          const auto r = static_cast<std::uint32_t>(row);
+          auto& moves = row_moves[row];
+          for (std::uint32_t c = 0; c < s; ++c) {
+            const std::size_t cell = static_cast<std::size_t>(r) * s + c;
+            auto& hq = state[cell].horiz;
+            int east = 0, west = 0;
+            for (std::size_t k = 0; k < hq.size();) {
+              const bool go_east = hq[k].dc > c;
+              if (go_east && east == 0) {
+                moves.push_back({cell, true, cell + 1, hq[k].dc != c + 1});
+                ++east;
+                ++k;
+              } else if (!go_east && west == 0) {
+                moves.push_back({cell, true, cell - 1, hq[k].dc != c - 1});
+                ++west;
+                ++k;
+              } else {
+                break;
+              }
+            }
+            auto& vq = state[cell].vert;
+            int south = 0, north = 0;
+            for (std::size_t k = 0; k < vq.size();) {
+              const bool go_south = vq[k].dr > r;
+              if (go_south && south == 0) {
+                moves.push_back({cell, false, cell + s, false});
+                ++south;
+                ++k;
+              } else if (!go_south && north == 0) {
+                moves.push_back({cell, false, cell - s, false});
+                ++north;
+                ++k;
+              } else {
+                break;
+              }
+            }
+          }
+        },
+        /*grain=*/16);
     std::vector<Move> moves;
-    for (std::uint32_t r = 0; r < s; ++r) {
-      for (std::uint32_t c = 0; c < s; ++c) {
-        const std::size_t cell = static_cast<std::size_t>(r) * s + c;
-        auto& hq = state[cell].horiz;
-        int east = 0, west = 0;
-        for (std::size_t k = 0; k < hq.size();) {
-          const bool go_east = hq[k].dc > c;
-          if (go_east && east == 0) {
-            moves.push_back({cell, true, cell + 1, hq[k].dc != c + 1});
-            ++east;
-            ++k;
-          } else if (!go_east && west == 0) {
-            moves.push_back({cell, true, cell - 1, hq[k].dc != c - 1});
-            ++west;
-            ++k;
-          } else {
-            break;
-          }
-        }
-        auto& vq = state[cell].vert;
-        int south = 0, north = 0;
-        for (std::size_t k = 0; k < vq.size();) {
-          const bool go_south = vq[k].dr > r;
-          if (go_south && south == 0) {
-            moves.push_back({cell, false, cell + s, false});
-            ++south;
-            ++k;
-          } else if (!go_south && north == 0) {
-            moves.push_back({cell, false, cell - s, false});
-            ++north;
-            ++k;
-          } else {
-            break;
-          }
-        }
-      }
-    }
+    for (const auto& rm : row_moves)
+      moves.insert(moves.end(), rm.begin(), rm.end());
     for (const auto& mv : moves) {
       auto& q = mv.from_horiz ? state[mv.from_cell].horiz
                               : state[mv.from_cell].vert;

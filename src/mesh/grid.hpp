@@ -26,6 +26,7 @@
 #include "mesh/snake.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
+#include "util/parallel_for.hpp"
 
 namespace meshsearch::mesh {
 
@@ -78,35 +79,47 @@ class Grid {
   /// One odd-even transposition sort of every row in parallel. Rows with
   /// `snake_direction` sort even rows ascending and odd rows descending
   /// (the shearsort row phase); otherwise all rows ascend. Returns steps.
+  /// Each phase runs host-parallel over rows: rows touch disjoint cells, so
+  /// the result is bit-identical at any thread count; small grids fall back
+  /// to the serial path via the grain (see DESIGN.md §5.6).
   template <typename Cmp>
   std::size_t sort_rows(Cmp cmp, bool snake_direction) {
     const std::uint32_t s = side();
     for (std::uint32_t phase = 0; phase < s; ++phase) {
-      for (std::uint32_t r = 0; r < s; ++r) {
-        const bool descending = snake_direction && (r & 1u);
-        for (std::uint32_t c = phase & 1u; c + 1 < s; c += 2) {
-          T& a = at(r, c);
-          T& b = at(r, c + 1);
-          const bool out_of_order = descending ? cmp(a, b) : cmp(b, a);
-          if (out_of_order) std::swap(a, b);
-        }
-      }
+      util::parallel_for(
+          std::size_t{0}, s,
+          [&](std::size_t row) {
+            const auto r = static_cast<std::uint32_t>(row);
+            const bool descending = snake_direction && (r & 1u);
+            for (std::uint32_t c = phase & 1u; c + 1 < s; c += 2) {
+              T& a = at(r, c);
+              T& b = at(r, c + 1);
+              const bool out_of_order = descending ? cmp(a, b) : cmp(b, a);
+              if (out_of_order) std::swap(a, b);
+            }
+          },
+          /*grain=*/16);
     }
     return s;
   }
 
   /// Odd-even transposition sort of every column (ascending top->bottom).
+  /// Host-parallel over columns per phase (disjoint cells per column).
   template <typename Cmp>
   std::size_t sort_cols(Cmp cmp) {
     const std::uint32_t s = side();
     for (std::uint32_t phase = 0; phase < s; ++phase) {
-      for (std::uint32_t c = 0; c < s; ++c) {
-        for (std::uint32_t r = phase & 1u; r + 1 < s; r += 2) {
-          T& a = at(r, c);
-          T& b = at(r + 1, c);
-          if (cmp(b, a)) std::swap(a, b);
-        }
-      }
+      util::parallel_for(
+          std::size_t{0}, s,
+          [&](std::size_t col) {
+            const auto c = static_cast<std::uint32_t>(col);
+            for (std::uint32_t r = phase & 1u; r + 1 < s; r += 2) {
+              T& a = at(r, c);
+              T& b = at(r + 1, c);
+              if (cmp(b, a)) std::swap(a, b);
+            }
+          },
+          /*grain=*/16);
     }
     return s;
   }
@@ -138,13 +151,20 @@ class Grid {
   template <typename Op>
   std::size_t snake_scan(Op op) {
     const std::uint32_t s = side();
-    // 1) Each row scans in its snake direction: s-1 steps.
-    for (std::uint32_t r = 0; r < s; ++r) {
-      if ((r & 1u) == 0)
-        for (std::uint32_t c = 1; c < s; ++c) at(r, c) = op(at(r, c - 1), at(r, c));
-      else
-        for (std::uint32_t c = s - 1; c-- > 0;) at(r, c) = op(at(r, c + 1), at(r, c));
-    }
+    // 1) Each row scans in its snake direction: s-1 steps. Rows are
+    //    independent — host-parallel over rows.
+    util::parallel_for(
+        std::size_t{0}, s,
+        [&](std::size_t row) {
+          const auto r = static_cast<std::uint32_t>(row);
+          if ((r & 1u) == 0)
+            for (std::uint32_t c = 1; c < s; ++c)
+              at(r, c) = op(at(r, c - 1), at(r, c));
+          else
+            for (std::uint32_t c = s - 1; c-- > 0;)
+              at(r, c) = op(at(r, c + 1), at(r, c));
+        },
+        /*grain=*/16);
     // 2) Row totals live at the snake-exit end of each row. Scan them down
     //    a single column: s-1 steps to collect + s-1 to scan == modelled as
     //    s steps (totals hop to the exit column first is free: they are
@@ -155,9 +175,16 @@ class Grid {
     std::vector<T> offset(s);  // offset[r] = combined totals of rows < r
     for (std::uint32_t r = 1; r < s; ++r)
       offset[r] = r == 1 ? row_total[0] : op(offset[r - 1], row_total[r - 1]);
-    // 3) Broadcast offsets across rows and combine: s-1 steps.
-    for (std::uint32_t r = 1; r < s; ++r)
-      for (std::uint32_t c = 0; c < s; ++c) at(r, c) = op(offset[r], at(r, c));
+    // 3) Broadcast offsets across rows and combine: s-1 steps. Each row
+    //    combines its own offset — host-parallel over rows.
+    util::parallel_for(
+        std::size_t{1}, s,
+        [&](std::size_t row) {
+          const auto r = static_cast<std::uint32_t>(row);
+          for (std::uint32_t c = 0; c < s; ++c)
+            at(r, c) = op(offset[r], at(r, c));
+        },
+        /*grain=*/16);
     const std::size_t steps = 3 * static_cast<std::size_t>(s);
     record(trace::Primitive::kScan, steps);
     return steps;
@@ -167,8 +194,14 @@ class Grid {
   std::size_t broadcast_from_origin() {
     const std::uint32_t s = side();
     for (std::uint32_t c = 1; c < s; ++c) at(0, c) = at(0, 0);
-    for (std::uint32_t r = 1; r < s; ++r)
-      for (std::uint32_t c = 0; c < s; ++c) at(r, c) = at(0, c);
+    // Row 0 is read-only below — the per-row fill parallelizes cleanly.
+    util::parallel_for(
+        std::size_t{1}, s,
+        [&](std::size_t row) {
+          const auto r = static_cast<std::uint32_t>(row);
+          for (std::uint32_t c = 0; c < s; ++c) at(r, c) = at(0, c);
+        },
+        /*grain=*/16);
     const std::size_t steps = 2 * static_cast<std::size_t>(s - 1);
     record(trace::Primitive::kBroadcast, steps);
     return steps;
@@ -241,51 +274,64 @@ std::size_t Grid<T>::route_permutation(const std::vector<std::uint32_t>& dest_rm
       std::size_t to_cell;
       bool to_horiz;  // which queue it joins (false = vertical/done)
     };
+    // Move generation only READS the pre-step queues, so rows can be
+    // scanned host-parallel; per-row move lists are concatenated in row
+    // order, which reproduces the serial sweep order exactly (the apply
+    // phase below is order-sensitive: pops are FIFO per queue).
+    std::vector<std::vector<Move>> row_moves(s);
+    util::parallel_for(
+        std::size_t{0}, s,
+        [&](std::size_t row) {
+          const auto r = static_cast<std::uint32_t>(row);
+          auto& moves = row_moves[row];
+          for (std::uint32_t c = 0; c < s; ++c) {
+            const std::size_t cell = static_cast<std::size_t>(r) * s + c;
+            // One horizontal departure per step (east or west link — a
+            // packet uses only one, and all packets in this queue share the
+            // row direction decision individually; we allow one east + one
+            // west).
+            auto& hq = state[cell].horiz;
+            int sent_east = 0, sent_west = 0;
+            for (std::size_t k = 0; k < hq.size();) {
+              const Packet& pk = hq[k];
+              const bool east = pk.dc > c;
+              if (east && sent_east == 0) {
+                moves.push_back({cell, true, cell + 1, pk.dc != c + 1});
+                ++sent_east;
+                ++k;
+              } else if (!east && sent_west == 0) {
+                moves.push_back({cell, true, cell - 1, pk.dc != c - 1});
+                ++sent_west;
+                ++k;
+              } else {
+                break;  // FIFO: head blocked means the rest of the queue waits
+              }
+            }
+            // One vertical departure per step per direction.
+            auto& vq = state[cell].vert;
+            int sent_south = 0, sent_north = 0;
+            for (std::size_t k = 0; k < vq.size();) {
+              const Packet& pk = vq[k];
+              const bool south = pk.dr > r;
+              if (south && sent_south == 0) {
+                moves.push_back({cell, false, cell + s, false});
+                ++sent_south;
+                ++k;
+              } else if (!south && sent_north == 0) {
+                moves.push_back({cell, false, cell - s, false});
+                ++sent_north;
+                ++k;
+              } else {
+                break;
+              }
+            }
+          }
+        },
+        /*grain=*/16);
     std::vector<Move> moves;
     moves.reserve(p);
-    for (std::uint32_t r = 0; r < s; ++r) {
-      for (std::uint32_t c = 0; c < s; ++c) {
-        const std::size_t cell = static_cast<std::size_t>(r) * s + c;
-        // One horizontal departure per step (east or west link — a packet
-        // uses only one, and all packets in this queue share the row
-        // direction decision individually; we allow one east + one west).
-        auto& hq = state[cell].horiz;
-        int sent_east = 0, sent_west = 0;
-        for (std::size_t k = 0; k < hq.size();) {
-          const Packet& pk = hq[k];
-          const bool east = pk.dc > c;
-          if (east && sent_east == 0) {
-            moves.push_back({cell, true, cell + 1, pk.dc != c + 1});
-            ++sent_east;
-            ++k;
-          } else if (!east && sent_west == 0) {
-            moves.push_back({cell, true, cell - 1, pk.dc != c - 1});
-            ++sent_west;
-            ++k;
-          } else {
-            break;  // FIFO: head blocked means the rest of the queue waits
-          }
-        }
-        // One vertical departure per step per direction.
-        auto& vq = state[cell].vert;
-        int sent_south = 0, sent_north = 0;
-        for (std::size_t k = 0; k < vq.size();) {
-          const Packet& pk = vq[k];
-          const bool south = pk.dr > r;
-          if (south && sent_south == 0) {
-            moves.push_back({cell, false, cell + s, false});
-            ++sent_south;
-            ++k;
-          } else if (!south && sent_north == 0) {
-            moves.push_back({cell, false, cell - s, false});
-            ++sent_north;
-            ++k;
-          } else {
-            break;
-          }
-        }
-      }
-    }
+    for (const auto& rm : row_moves)
+      moves.insert(moves.end(), rm.begin(), rm.end());
     // Apply moves: pop in order recorded (heads first), push to targets.
     for (const Move& mv : moves) {
       auto& q = mv.from_horiz ? state[mv.from_cell].horiz : state[mv.from_cell].vert;

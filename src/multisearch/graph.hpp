@@ -6,12 +6,14 @@
 // the degree constant.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "mesh/snake.hpp"
 #include "multisearch/types.hpp"
 #include "util/check.hpp"
+#include "util/parallel_for.hpp"
 
 namespace meshsearch::msearch {
 
@@ -73,6 +75,33 @@ bool advance_one(const DistributedGraph& g, const P& prog, Query& q) {
   ++q.steps;
   q.next = prog.next(g.vert(v), q);
   return true;
+}
+
+/// Advance every query by one visit (the body of a full-mesh multistep):
+/// host-parallel over fixed query chunks — each query is touched by exactly
+/// one chunk, and the advanced-count reduction merges per-chunk totals in
+/// chunk order, so the result is bit-identical at any thread count. Returns
+/// the number of queries that advanced.
+template <SearchProgram P>
+std::size_t advance_all(const DistributedGraph& g, const P& prog,
+                        std::vector<Query>& queries) {
+  // Fixed chunking (not thread-count-derived): see DESIGN.md §5.6.
+  constexpr std::size_t kChunks = 64;
+  const std::size_t chunk =
+      std::max<std::size_t>(1, (queries.size() + kChunks - 1) / kChunks);
+  const std::size_t nchunks = (queries.size() + chunk - 1) / chunk;
+  std::vector<std::size_t> advanced(nchunks, 0);
+  util::parallel_for(std::size_t{0}, nchunks, [&](std::size_t c) {
+    std::size_t local = 0;
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(queries.size(), lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i)
+      local += advance_one(g, prog, queries[i]) ? 1 : 0;
+    advanced[c] = local;
+  });
+  std::size_t total = 0;
+  for (const auto a : advanced) total += a;
+  return total;
 }
 
 /// Initialize query engine state (does not touch application payload).

@@ -236,14 +236,19 @@ std::vector<std::int32_t> band_labels(const HierarchicalPlan& plan,
     const std::uint32_t ratio = g_i / std::max<std::uint32_t>(1, g_next);
     if (ratio == 0) continue;
     // Top-left B_i-block of every B_{i+1}-block: block coordinates that are
-    // multiples of `ratio` in both directions.
-    for (std::size_t idx = 0; idx < shape.size(); ++idx) {
-      const auto block = part_i.block_of(idx);
-      const std::uint32_t br = block / g_i, bc = block % g_i;
-      if (br % ratio == 0 && bc % ratio == 0 && (br / ratio) < g_next &&
-          (bc / ratio) < g_next)
-        labels[idx] = static_cast<std::int32_t>(bi);
-    }
+    // multiples of `ratio` in both directions. Processors are independent,
+    // so the pass runs host-parallel; bands stay sequential because later
+    // (smaller-index) bands overwrite.
+    util::parallel_for(
+        std::size_t{0}, shape.size(),
+        [&](std::size_t idx) {
+          const auto block = part_i.block_of(idx);
+          const std::uint32_t br = block / g_i, bc = block % g_i;
+          if (br % ratio == 0 && bc % ratio == 0 && (br / ratio) < g_next &&
+              (bc / ratio) < g_next)
+            labels[idx] = static_cast<std::int32_t>(bi);
+        },
+        /*grain=*/4096);
   }
   return labels;
 }
@@ -257,10 +262,18 @@ void verify_label_capacity(const HierarchicalPlan& plan,
     const std::uint32_t g_next =
         bi + 1 < plan.bands.size() ? plan.bands[bi + 1].grid : 1;
     const mesh::Partition part_next(shape, std::max<std::uint32_t>(1, g_next));
+    // Count label-i processors per B_{i+1}-block, one block per task: each
+    // block owns a disjoint index set, so the counts are race-free and
+    // identical at any thread count.
     std::vector<std::size_t> count(part_next.block_count(), 0);
-    for (std::size_t idx = 0; idx < shape.size(); ++idx)
-      if (labels[idx] == static_cast<std::int32_t>(bi))
-        ++count[part_next.block_of(idx)];
+    util::parallel_for(std::size_t{0}, count.size(), [&](std::size_t b) {
+      std::size_t c = 0;
+      for (std::size_t local = 0; local < part_next.block_size(); ++local)
+        if (labels[part_next.global_of(static_cast<std::uint32_t>(b), local)] ==
+            static_cast<std::int32_t>(bi))
+          ++c;
+      count[b] = c;
+    });
     for (const auto c : count) {
       // Theta(|B_i|) with explicit constants: at least a third of the
       // B_i-submesh survives the overwrites, and the copy of B_i fits with

@@ -180,15 +180,21 @@ std::size_t advance_through_levels(const DistributedGraph& g, const P& prog,
                                    std::vector<Query>& queries,
                                    std::int32_t hi, std::size_t visit_cap,
                                    std::vector<std::int32_t>& sweeps) {
+  // Chunking is FIXED (kChunks, not thread-count-derived) so the per-chunk
+  // reductions below are bit-identical at any MESHSEARCH_THREADS value.
   constexpr std::size_t kChunks = 64;
   const std::size_t chunk =
       std::max<std::size_t>(1, (queries.size() + kChunks - 1) / kChunks);
   const std::size_t nchunks = (queries.size() + chunk - 1) / chunk;
   std::vector<std::size_t> totals(nchunks, 0);
-  std::vector<std::vector<std::int32_t>> maxima(
-      nchunks, std::vector<std::int32_t>(sweeps.size(), 0));
-  util::parallel_for(0, nchunks, [&](std::size_t c) {
+  std::vector<std::vector<std::int32_t>> maxima(nchunks);
+  util::parallel_for(std::size_t{0}, nchunks, [&](std::size_t c) {
+    // Accumulate into chunk-locals and store once at the end: totals and
+    // maxima rows of adjacent chunks share cache lines, and this loop is
+    // the hottest in the simulator (false sharing showed up as a top cost).
     std::vector<std::int32_t> per_level(sweeps.size(), 0);
+    std::vector<std::int32_t> chunk_max(sweeps.size(), 0);
+    std::size_t chunk_total = 0;
     const std::size_t lo_q = c * chunk;
     const std::size_t hi_q = std::min(queries.size(), lo_q + chunk);
     for (std::size_t i = lo_q; i < hi_q; ++i) {
@@ -208,11 +214,13 @@ std::size_t advance_through_levels(const DistributedGraph& g, const P& prog,
         if (lvl > hi) break;  // belongs to a later band
         if (!advance_one(g, prog, q)) break;
         ++per_level[static_cast<std::size_t>(lvl)];
-        ++totals[c];
+        ++chunk_total;
       }
       for (std::size_t l = 0; l < per_level.size(); ++l)
-        maxima[c][l] = std::max(maxima[c][l], per_level[l]);
+        chunk_max[l] = std::max(chunk_max[l], per_level[l]);
     }
+    totals[c] = chunk_total;
+    maxima[c] = std::move(chunk_max);
   });
   std::size_t total = 0;
   for (std::size_t c = 0; c < nchunks; ++c) {

@@ -30,13 +30,12 @@ struct PartitionedRunResult {
 };
 
 /// One global multistep: every live query visits the next node in its path
-/// (one full-mesh RAR). Returns the number of queries that advanced.
+/// (one full-mesh RAR, host-parallel over query chunks). Returns the number
+/// of queries that advanced.
 template <SearchProgram P>
 std::size_t global_multistep(const DistributedGraph& g, const P& prog,
                              std::vector<Query>& queries) {
-  std::size_t advanced = 0;
-  for (auto& q : queries) advanced += advance_one(g, prog, q) ? 1 : 0;
-  return advanced;
+  return advance_all(g, prog, queries);
 }
 
 template <SearchProgram P>

@@ -4,6 +4,7 @@
 
 #include "trace/trace.hpp"
 #include "util/check.hpp"
+#include "util/parallel_for.hpp"
 
 namespace meshsearch::msearch {
 
@@ -33,23 +34,43 @@ LevelIndexResult compute_level_indices(const DistributedGraph& g,
   res.level.assign(n, -1);
 
   // In-degrees of the reversed peel: a vertex is removable once all of its
-  // out-neighbours are labelled.
-  std::vector<std::uint8_t> labelled(n, 0);
+  // out-neighbours are labelled. The degree init is pure per-vertex; the
+  // predecessor-list build stays serial (concurrent push_back would race and
+  // reorder adjacency, breaking the determinism contract).
   std::vector<std::int32_t> unlabelled_succ(n, 0);
+  util::parallel_for(
+      std::size_t{0}, n,
+      [&](std::size_t v) {
+        unlabelled_succ[v] = g.vert(static_cast<Vid>(v)).degree;
+      },
+      /*grain=*/4096);
   std::vector<std::vector<Vid>> preds(n);
   for (std::size_t v = 0; v < n; ++v) {
     const auto& rec = g.vert(static_cast<Vid>(v));
-    unlabelled_succ[v] = rec.degree;
     for (std::uint8_t d = 0; d < rec.degree; ++d)
       preds[static_cast<std::size_t>(rec.nbr[d])].push_back(
           static_cast<Vid>(v));
   }
 
   // Peel from the sinks (level h) upward, assigning DESCENDING tags; a
-  // final global subtract-from-max flips them into level indices.
+  // final global subtract-from-max flips them into level indices. The
+  // initial frontier is collected per fixed chunk and merged in chunk order
+  // (identical to the serial sweep order at any thread count).
   std::vector<Vid> frontier;
-  for (std::size_t v = 0; v < n; ++v)
-    if (unlabelled_succ[v] == 0) frontier.push_back(static_cast<Vid>(v));
+  {
+    constexpr std::size_t kChunks = 64;
+    const std::size_t chunk =
+        std::max<std::size_t>(1, (n + kChunks - 1) / kChunks);
+    const std::size_t nchunks = n == 0 ? 0 : (n + chunk - 1) / chunk;
+    std::vector<std::vector<Vid>> found(nchunks);
+    util::parallel_for(std::size_t{0}, nchunks, [&](std::size_t c) {
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = std::min(n, lo + chunk);
+      for (std::size_t v = lo; v < hi; ++v)
+        if (unlabelled_succ[v] == 0) found[c].push_back(static_cast<Vid>(v));
+    });
+    for (auto& f : found) frontier.insert(frontier.end(), f.begin(), f.end());
+  }
   std::size_t remaining = n;
   std::int32_t tag = 0;
   while (!frontier.empty()) {
@@ -61,11 +82,18 @@ LevelIndexResult compute_level_indices(const DistributedGraph& g,
             .size());
     res.cost += m.compress(sub) + m.raw(sub) + m.scan(sub);
     ++res.rounds;
+    // Level assignment touches disjoint slots — safe to parallelize. The
+    // counter-decrement pass stays serial: distinct frontier vertices share
+    // predecessors, and `next` must keep the serial discovery order.
+    util::parallel_for(
+        std::size_t{0}, frontier.size(),
+        [&](std::size_t i) {
+          res.level[static_cast<std::size_t>(frontier[i])] = tag;
+        },
+        /*grain=*/4096);
+    remaining -= frontier.size();
     std::vector<Vid> next;
     for (const auto v : frontier) {
-      res.level[static_cast<std::size_t>(v)] = tag;
-      labelled[static_cast<std::size_t>(v)] = 1;
-      --remaining;
       for (const auto u : preds[static_cast<std::size_t>(v)])
         if (--unlabelled_succ[static_cast<std::size_t>(u)] == 0)
           next.push_back(u);
@@ -78,7 +106,10 @@ LevelIndexResult compute_level_indices(const DistributedGraph& g,
   // Flip tags: level = (rounds - 1) - tag. One broadcast + local update.
   res.cost += m.broadcast(static_cast<double>(shape.size()));
   const auto h = static_cast<std::int32_t>(res.rounds) - 1;
-  for (auto& l : res.level) l = h - l;
+  util::parallel_for(
+      std::size_t{0}, res.level.size(),
+      [&](std::size_t v) { res.level[v] = h - res.level[v]; },
+      /*grain=*/4096);
   return res;
 }
 

@@ -31,11 +31,10 @@ SynchronousResult synchronous_multisearch(const DistributedGraph& g,
   const double p = static_cast<double>(shape.size());
   TRACE_SPAN(m.trace, "synchronous multisearch");
   for (;;) {
-    bool any = false;
     // One multistep: every live query fetches the record of its next vertex
-    // (one concurrent-read RAR over the whole mesh) and applies f.
-    for (auto& q : queries) any |= advance_one(g, prog, q);
-    if (!any) break;
+    // (one concurrent-read RAR over the whole mesh) and applies f —
+    // host-parallel over query chunks.
+    if (advance_all(g, prog, queries) == 0) break;
     ++res.multisteps;
     res.cost += mesh::ops::broadcast(m, p);  // "anyone still live?" check
     res.cost += m.rar(p);                    // the fetch itself

@@ -40,6 +40,14 @@ void TraceRecorder::count(Primitive prim, double p, double steps,
 
 void TraceRecorder::begin_span(std::string_view name) {
   const std::lock_guard<std::mutex> lock(mu_);
+  if (open_.empty()) {
+    span_owner_ = std::this_thread::get_id();
+  } else {
+    MS_CHECK_MSG(span_owner_ == std::this_thread::get_id(),
+                 "begin_span from a non-owning thread while spans are open "
+                 "(spans are single-thread-at-a-time; keep SpanScope outside "
+                 "parallel_for regions — see trace.hpp)");
+  }
   Span s;
   s.name = std::string(name);
   s.depth = static_cast<std::int32_t>(open_.size());
@@ -52,6 +60,10 @@ void TraceRecorder::begin_span(std::string_view name) {
 void TraceRecorder::end_span() {
   const std::lock_guard<std::mutex> lock(mu_);
   MS_CHECK_MSG(!open_.empty(), "end_span without a matching begin_span");
+  MS_CHECK_MSG(span_owner_ == std::this_thread::get_id(),
+               "end_span from a non-owning thread while spans are open "
+               "(spans are single-thread-at-a-time; keep SpanScope outside "
+               "parallel_for regions — see trace.hpp)");
   Span& s = spans_[open_.back()];
   open_.pop_back();
   s.sim_end = sim_now_;

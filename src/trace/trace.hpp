@@ -23,8 +23,13 @@
 // JSON and flat metrics JSON/CSV live in trace/export.hpp.
 //
 // Thread-safety: count() may be called from any thread (host-side
-// parallel_for regions); spans must be begun/ended from one thread at a
-// time (the algorithms drive them from the simulation thread).
+// parallel_for regions); spans are single-thread-at-a-time. While the span
+// stack is non-empty, only the thread that opened the outermost span may
+// begin or end spans — begin_span/end_span enforce this with an always-on
+// owning-thread check that throws (never silently corrupts the Perfetto
+// export). Ownership resets when the stack empties, so successive phases
+// may be driven from different threads. The practical rule: keep SpanScope
+// objects outside parallel_for regions; count() inside them is fine.
 #pragma once
 
 #include <chrono>
@@ -33,6 +38,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 namespace meshsearch::trace {
@@ -69,6 +75,8 @@ struct PrimitiveKey {
 struct PrimitiveStat {
   std::uint64_t calls = 0;
   double steps = 0;  ///< total simulated steps attributed to this key
+
+  friend bool operator==(const PrimitiveStat&, const PrimitiveStat&) = default;
 };
 
 /// One recorded primitive execution, in call order.
@@ -104,7 +112,9 @@ class TraceRecorder {
   void count(Primitive prim, double p, double steps, std::uint64_t calls = 1);
 
   /// Open / close a phase span. Spans nest (LIFO). Prefer TRACE_SPAN /
-  /// SpanScope, which pair these calls by scope.
+  /// SpanScope, which pair these calls by scope. Throws std::logic_error
+  /// when called from a thread other than the current span-stack owner
+  /// (e.g. from inside a parallel_for body while a span is open).
   void begin_span(std::string_view name);
   void end_span();
 
@@ -134,6 +144,7 @@ class TraceRecorder {
   std::vector<Event> events_;
   std::vector<Span> spans_;
   std::vector<std::size_t> open_;  ///< stack of indices into spans_
+  std::thread::id span_owner_;     ///< owner while open_ is non-empty
 };
 
 /// RAII span guard. A null recorder makes every operation a no-op, so call

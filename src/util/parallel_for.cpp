@@ -1,11 +1,37 @@
 #include "util/parallel_for.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <cstdlib>
+#include <memory>
 
 #include "util/check.hpp"
 
 namespace meshsearch::util {
+
+namespace {
+
+// Participant flag for the reentrancy rule: set while a thread (pool worker
+// or the calling thread acting as participant 0) executes chunk bodies.
+// A nested parallel_for issued from such a thread must not touch the pool's
+// job_/remaining_ state — the outer job is still live — so it runs serially.
+thread_local bool tl_in_region = false;
+
+struct RegionGuard {
+  RegionGuard() { tl_in_region = true; }
+  ~RegionGuard() { tl_in_region = false; }
+};
+
+}  // namespace
+
+unsigned default_thread_count() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const char* env = std::getenv("MESHSEARCH_THREADS");
+  if (env == nullptr || *env == '\0') return hw;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0 || v > 4096) return hw;
+  return static_cast<unsigned>(v);
+}
 
 ThreadPool::ThreadPool(unsigned threads) {
   unsigned n = threads ? threads : std::max(1u, std::thread::hardware_concurrency());
@@ -25,13 +51,16 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::in_parallel_region() { return tl_in_region; }
+
 void ThreadPool::run_chunks(const Job& job, unsigned id, unsigned nparticipants) {
   // Static assignment: participant `id` owns chunks id, id+P, id+2P, ...
+  const RegionGuard in_region;
   try {
     for (std::size_t c = id; c < job.nchunks; c += nparticipants) {
       const std::size_t lo = job.begin + c * job.chunk;
       const std::size_t hi = std::min(job.end, lo + job.chunk);
-      for (std::size_t i = lo; i < hi; ++i) (*job.body)(i);
+      (*job.body)(lo, hi);
     }
   } catch (...) {
     errors_[id] = std::current_exception();
@@ -57,17 +86,24 @@ void ThreadPool::worker_loop(unsigned id) {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& body,
-                              std::size_t grain) {
+void ThreadPool::parallel_for_chunks(std::size_t begin, std::size_t end,
+                                     const ChunkBody& body, std::size_t grain) {
   if (begin >= end) return;
-  const std::size_t count = end - begin;
-  const unsigned p = thread_count();
-  if (p == 1 || count <= grain) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
+  if (tl_in_region) {
+    // Nested call from inside a running body (this pool's or another's):
+    // the outer job owns the pool state, so run serially right here.
+    // Exceptions propagate to the outer run_chunks, which records them.
+    body(begin, end);
     return;
   }
-  const std::size_t chunk = std::max<std::size_t>(grain, (count + 4 * p - 1) / (4 * p));
+  const std::size_t count = end - begin;
+  const unsigned p = thread_count();
+  if (p == 1 || count <= std::max<std::size_t>(grain, 1)) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t chunk = std::max<std::size_t>(
+      std::max<std::size_t>(grain, 1), (count + 4 * p - 1) / (4 * p));
   Job job;
   job.begin = begin;
   job.end = end;
@@ -91,15 +127,51 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     if (e) std::rethrow_exception(e);
 }
 
-ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  const ChunkBody chunked = [&body](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  };
+  parallel_for_chunks(begin, end, chunked, grain);
+}
+
+namespace {
+
+std::mutex& global_pool_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
   return pool;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(default_thread_count());
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(unsigned threads) {
+  MS_CHECK_MSG(!tl_in_region,
+               "set_global_threads from inside a parallel region");
+  std::lock_guard lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  slot.reset();  // join the old workers before building the replacement
+  slot = std::make_unique<ThreadPool>(threads ? threads
+                                              : default_thread_count());
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain) {
-  if (end - begin < 2 * grain) {
+  if (begin >= end) return;  // inverted ranges are empty, not a huge count
+  if (end - begin < 2 * std::max<std::size_t>(grain, 1)) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }

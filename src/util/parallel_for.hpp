@@ -6,10 +6,30 @@
 // regardless of thread count: the partition of indices across workers never
 // depends on timing, and workers never share mutable state.
 //
+// Determinism contract (DESIGN.md §5.6): a parallel_for body must be a pure
+// function of its index over disjoint state — it may read shared immutable
+// data and write only state owned by that index (or by a fixed chunk the
+// caller partitioned itself). The pool's own chunk boundaries depend on the
+// thread count, so per-chunk reductions that must be thread-count-invariant
+// have to use a caller-fixed chunking (see
+// msearch::detail::advance_through_levels for the pattern).
+//
+// Reentrancy rule: parallel_for is NOT recursively parallel. A body that
+// itself reaches parallel_for (any overload, any pool) runs the nested loop
+// serially on the calling thread. This is detected via a thread-local
+// participant flag; without it a nested call would overwrite the pool's
+// live job state under its mutex and deadlock or corrupt the run.
+//
+// Thread count: the global pool is sized by the MESHSEARCH_THREADS
+// environment variable (unset or 0 = hardware concurrency, 1 = fully
+// serial); tests and benches can rebuild it with
+// ThreadPool::set_global_threads.
+//
 // NOTE: parallel_for accelerates wall-clock time only. Simulated mesh step
 // counts are computed analytically and are identical with 1 or N threads.
 #pragma once
 
+#include <concepts>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -18,6 +38,11 @@
 #include <vector>
 
 namespace meshsearch::util {
+
+/// Thread count the global pool is built with when no override is given:
+/// MESHSEARCH_THREADS when set to a positive integer, else
+/// hardware_concurrency (at least 1). Re-reads the environment on each call.
+unsigned default_thread_count();
 
 /// Persistent thread pool executing [begin, end) index ranges.
 class ThreadPool {
@@ -31,20 +56,42 @@ class ThreadPool {
 
   unsigned thread_count() const { return static_cast<unsigned>(workers_.size()) + 1; }
 
+  /// Type-erased chunk job: body(lo, hi) runs iterations [lo, hi). The
+  /// type-erasure cost is paid once per chunk, not once per index — hot
+  /// inner loops should come through this interface (the templated free
+  /// parallel_for below does).
+  using ChunkBody = std::function<void(std::size_t, std::size_t)>;
+
+  /// Run body over [begin, end) in chunks of at least `grain` indices,
+  /// statically assigned across workers. Blocks until all chunks complete.
+  /// Exceptions from body propagate (the first one thrown, by participant
+  /// index order). Nested calls from inside a running body execute
+  /// body(begin, end) serially on the calling thread.
+  void parallel_for_chunks(std::size_t begin, std::size_t end,
+                           const ChunkBody& body, std::size_t grain = 1);
+
   /// Run body(i) for i in [begin, end), statically chunked across workers.
-  /// Blocks until all iterations complete. Exceptions from body propagate
-  /// (the first one thrown, by worker index order).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body,
                     std::size_t grain = 1);
 
-  /// Process-wide pool, created on first use.
+  /// True while the calling thread is executing a parallel_for body (of any
+  /// pool) — i.e. a parallel_for issued now would run serially.
+  static bool in_parallel_region();
+
+  /// Process-wide pool, created on first use with default_thread_count()
+  /// threads (the MESHSEARCH_THREADS knob).
   static ThreadPool& global();
+
+  /// Rebuild the global pool with `threads` threads (0 = back to
+  /// default_thread_count()). Must not be called while any thread is inside
+  /// a parallel region. For tests and bench sweeps.
+  static void set_global_threads(unsigned threads);
 
  private:
   struct Job {
     std::size_t begin = 0, end = 0, chunk = 0, nchunks = 0;
-    const std::function<void(std::size_t)>* body = nullptr;
+    const ChunkBody* body = nullptr;
   };
 
   void worker_loop(unsigned id);
@@ -61,9 +108,29 @@ class ThreadPool {
 };
 
 /// Convenience: run body(i) over [begin, end) on the global pool.
-/// Falls back to a serial loop for tiny ranges.
+/// Falls back to a serial loop for tiny (or empty/inverted) ranges.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain = 1);
+
+/// Templated overload; lambdas resolve here by exact match (std::function
+/// lvalues keep the non-template overload above). The body is inlined into
+/// a per-chunk trampoline, so the std::function indirection is paid once
+/// per chunk instead of once per index.
+template <typename Body>
+  requires std::invocable<Body&, std::size_t>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                  std::size_t grain = 1) {
+  if (begin >= end) return;  // inverted ranges are empty, not a huge count
+  if (end - begin < 2 * grain || ThreadPool::in_parallel_region()) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const ThreadPool::ChunkBody chunked = [&body](std::size_t lo,
+                                                std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  };
+  ThreadPool::global().parallel_for_chunks(begin, end, chunked, grain);
+}
 
 }  // namespace meshsearch::util

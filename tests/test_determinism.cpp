@@ -1,0 +1,152 @@
+// Determinism contract tests (DESIGN.md §5.6): host parallelism is a
+// wall-clock accelerator only. Every engine must produce bit-identical
+// query outcomes, simulated cost totals, and per-primitive attribution
+// tables at any thread count. Each test runs the same workload with a
+// 1-thread (fully serial) and an 8-thread global pool and compares.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "datastruct/kary_tree.hpp"
+#include "datastruct/workloads.hpp"
+#include "multisearch/constrained.hpp"
+#include "multisearch/hierarchical.hpp"
+#include "multisearch/partitioned.hpp"
+#include "multisearch/query.hpp"
+#include "trace/trace.hpp"
+#include "util/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace meshsearch;
+using namespace meshsearch::msearch;
+using ds::KaryTree;
+using ds::TreeMode;
+
+/// Everything the determinism contract covers for one run.
+struct RunRecord {
+  std::vector<QueryOutcome> out;
+  mesh::Cost cost;
+  std::map<trace::PrimitiveKey, trace::PrimitiveStat> counters;
+};
+
+/// Run `f` (which takes a trace-wired CostModel and returns a RunRecord)
+/// under a 1-thread pool and an 8-thread pool and demand bit-identical
+/// results. Restores the default pool afterwards.
+template <typename F>
+void expect_thread_invariant(F f) {
+  util::ThreadPool::set_global_threads(1);
+  const RunRecord serial = f();
+  util::ThreadPool::set_global_threads(8);
+  const RunRecord parallel = f();
+  util::ThreadPool::set_global_threads(0);
+  EXPECT_EQ(diff_outcomes(serial.out, parallel.out), "");
+  EXPECT_EQ(serial.cost, parallel.cost);  // exact, not approximate
+  EXPECT_EQ(serial.counters.size(), parallel.counters.size());
+  EXPECT_TRUE(serial.counters == parallel.counters)
+      << "per-primitive attribution diverged across thread counts";
+}
+
+TEST(Determinism, Alg1PaperPlan) {
+  util::Rng rng(10);
+  const auto g = ds::build_hierarchical_dag(3000, 2.0, 3, rng);
+  const HierarchicalDag dag(g, 2.0);
+  auto qs = make_queries(g.vertex_count());
+  util::Rng qrng(11);
+  for (auto& q : qs)
+    q.key[0] = static_cast<std::int64_t>(qrng.uniform(1ull << 40));
+  const auto shape = g.shape_for(qs.size());
+  expect_thread_invariant([&] {
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    m.trace = &rec;
+    auto q = qs;
+    const auto res = hierarchical_multisearch(dag, ds::HashWalk{0}, q, m,
+                                              shape, PlanKind::kPaper);
+    return RunRecord{outcomes(q), res.cost, rec.counters()};
+  });
+}
+
+TEST(Determinism, Alg1GeometricPlan) {
+  util::Rng rng(12);
+  const auto g = ds::build_hierarchical_dag(3000, 2.0, 3, rng);
+  const HierarchicalDag dag(g, 2.0);
+  auto qs = make_queries(g.vertex_count());
+  util::Rng qrng(13);
+  for (auto& q : qs)
+    q.key[0] = static_cast<std::int64_t>(qrng.uniform(1ull << 40));
+  const auto shape = g.shape_for(qs.size());
+  expect_thread_invariant([&] {
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    m.trace = &rec;
+    auto q = qs;
+    const auto res = hierarchical_multisearch(dag, ds::HashWalk{0}, q, m,
+                                              shape, PlanKind::kGeometric);
+    return RunRecord{outcomes(q), res.cost, rec.counters()};
+  });
+}
+
+TEST(Determinism, ConstrainedMultisearch) {
+  const auto comb = ds::build_comb(16, 64);
+  auto qs = make_queries(256);
+  util::Rng rng(14);
+  for (auto& q : qs) {
+    q.key[0] = rng.uniform_range(0, 15);  // target tooth
+    q.key[1] = rng.uniform_range(0, 63);  // depth down the tooth
+  }
+  reset_queries(qs);
+  const auto shape = comb.graph.shape_for(qs.size());
+  expect_thread_invariant([&] {
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    m.trace = &rec;
+    auto q = qs;
+    const auto res = constrained_multisearch(
+        comb.graph, comb.splitting, ds::CombWalk{comb.root}, q, m, shape);
+    mesh::Cost cost = res.cost;
+    return RunRecord{outcomes(q), cost, rec.counters()};
+  });
+}
+
+TEST(Determinism, Alg2AlphaPartitioned) {
+  KaryTree tree(ds::iota_keys(1000), 3, TreeMode::kDirected);
+  util::Rng rng(15);
+  auto qs = ds::uniform_key_queries(1000, 1020, rng);
+  const auto shape = tree.graph().shape_for(qs.size());
+  expect_thread_invariant([&] {
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    m.trace = &rec;
+    auto q = qs;
+    const auto res = multisearch_alpha(tree.graph(), tree.alpha_splitting(),
+                                       tree.rank_count(), q, m, shape);
+    return RunRecord{outcomes(q), res.cost, rec.counters()};
+  });
+}
+
+TEST(Determinism, Alg3AlphaBetaPartitioned) {
+  KaryTree tree(ds::iota_keys(512), 2, TreeMode::kUndirected);
+  auto qs = make_queries(256);
+  util::Rng rng(16);
+  for (auto& q : qs) {
+    const auto a = rng.uniform_range(-3, 515);
+    q.key[0] = a;
+    q.key[1] = a + rng.uniform_range(0, 30);
+  }
+  const auto shape = tree.graph().shape_for(qs.size());
+  const auto [s1, s2] = tree.alpha_beta_splittings();
+  expect_thread_invariant([&] {
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    m.trace = &rec;
+    auto q = qs;
+    const auto res = multisearch_alpha_beta(tree.graph(), s1, s2,
+                                            tree.euler_scan(), q, m, shape);
+    return RunRecord{outcomes(q), res.cost, rec.counters()};
+  });
+}
+
+}  // namespace

@@ -4,9 +4,11 @@
 // harness file-name sanitizer.
 #include <gtest/gtest.h>
 
+#include <exception>
 #include <functional>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "bench/bench_common.hpp"
 #include "datastruct/kary_tree.hpp"
@@ -103,6 +105,58 @@ TEST(TraceRecorder, OpenSpansAreSnapshottedUnclosed) {
 TEST(TraceRecorder, EndSpanWithoutBeginThrows) {
   TraceRecorder rec;
   EXPECT_THROW(rec.end_span(), std::logic_error);
+}
+
+TEST(TraceRecorder, SpansRejectForeignThreadsWhileOpen) {
+  // Spans are single-thread-at-a-time: while a stack is open, begin/end
+  // from any other thread must fail loudly (always-on check, not a debug
+  // assert), because interleaved spans from workers would silently corrupt
+  // the nesting structure.
+  TraceRecorder rec;
+  rec.begin_span("outer");
+  std::exception_ptr begin_err, end_err;
+  std::thread intruder([&] {
+    try {
+      rec.begin_span("foreign");
+    } catch (...) {
+      begin_err = std::current_exception();
+    }
+    try {
+      rec.end_span();
+    } catch (...) {
+      end_err = std::current_exception();
+    }
+    // Counter-style attribution stays thread-safe regardless of open spans.
+    rec.count(Primitive::kScan, 16, 4.0);
+  });
+  intruder.join();
+  ASSERT_TRUE(begin_err != nullptr);
+  ASSERT_TRUE(end_err != nullptr);
+  EXPECT_THROW(std::rethrow_exception(begin_err), std::logic_error);
+  EXPECT_THROW(std::rethrow_exception(end_err), std::logic_error);
+  rec.end_span();  // the owning thread still closes its span normally
+  EXPECT_DOUBLE_EQ(rec.total_steps(), 4.0);
+}
+
+TEST(TraceRecorder, SpanOwnershipResetsWhenStackEmpties) {
+  // Once every span is closed, another thread may open the next one: the
+  // owner is whoever opens the outermost span, not whoever went first.
+  TraceRecorder rec;
+  rec.begin_span("first");
+  rec.end_span();
+  std::exception_ptr err;
+  std::thread other([&] {
+    try {
+      rec.begin_span("second");
+      rec.end_span();
+    } catch (...) {
+      err = std::current_exception();
+    }
+  });
+  other.join();
+  EXPECT_TRUE(err == nullptr);
+  ASSERT_EQ(rec.spans().size(), 2u);
+  EXPECT_TRUE(rec.spans()[1].closed);
 }
 
 TEST(TraceRecorder, NullSinkSpanScopeIsNoop) {

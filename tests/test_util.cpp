@@ -4,8 +4,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <functional>
 #include <numeric>
 #include <sstream>
+#include <thread>
 
 #include "util/parallel_for.hpp"
 #include "util/rng.hpp"
@@ -201,6 +204,106 @@ TEST(ParallelFor, DeterministicResults) {
   const double a = std::accumulate(slot.begin(), slot.end(), 0.0);
   const double b = std::accumulate(slot2.begin(), slot2.end(), 0.0);
   EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(ParallelFor, InvertedRangeIsEmpty) {
+  // begin > end must be an empty range on every overload; with unsigned
+  // arithmetic a missing guard turns it into a near-2^64 iteration count.
+  int count = 0;
+  util::parallel_for(std::size_t{10}, std::size_t{2},
+                     [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  const std::function<void(std::size_t)> body = [&](std::size_t) { ++count; };
+  util::parallel_for(std::size_t{10}, std::size_t{2}, body);
+  EXPECT_EQ(count, 0);
+  util::ThreadPool::global().parallel_for(10, 2, body);
+  EXPECT_EQ(count, 0);
+  util::ThreadPool::global().parallel_for_chunks(
+      10, 2, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ParallelFor, NestedCallsRunSerially) {
+  // Regression: a body calling parallel_for from a pool worker used to
+  // overwrite the pool's live job state and deadlock or corrupt the run.
+  // The nested loop must run serially on the calling thread instead.
+  util::ThreadPool::set_global_threads(4);
+  ASSERT_EQ(util::ThreadPool::global().thread_count(), 4u);
+  std::vector<std::size_t> sums(64, 0);
+  std::atomic<int> outer_bodies{0};
+  util::parallel_for(
+      std::size_t{0}, sums.size(),
+      [&](std::size_t i) {
+        EXPECT_TRUE(util::ThreadPool::in_parallel_region());
+        std::size_t local = 0;
+        util::parallel_for(std::size_t{0}, std::size_t{100},
+                           [&](std::size_t j) {
+                             EXPECT_TRUE(
+                                 util::ThreadPool::in_parallel_region());
+                             local += i * j;  // nested loop is serial here
+                           });
+        sums[i] = local;
+        ++outer_bodies;
+      },
+      /*grain=*/1);
+  for (std::size_t i = 0; i < sums.size(); ++i) EXPECT_EQ(sums[i], i * 4950);
+  EXPECT_EQ(outer_bodies.load(), 64);
+  EXPECT_FALSE(util::ThreadPool::in_parallel_region());
+  util::ThreadPool::set_global_threads(0);
+}
+
+TEST(ParallelFor, NestedExceptionPropagates) {
+  util::ThreadPool::set_global_threads(4);
+  EXPECT_THROW(util::parallel_for(std::size_t{0}, std::size_t{64},
+                                  [&](std::size_t i) {
+                                    util::parallel_for(
+                                        std::size_t{0}, std::size_t{16},
+                                        [&](std::size_t j) {
+                                          if (i == 17 && j == 3)
+                                            throw std::runtime_error("inner");
+                                        });
+                                  }),
+               std::runtime_error);
+  util::ThreadPool::set_global_threads(0);
+}
+
+TEST(ParallelFor, SetGlobalThreadsRebuildsPool) {
+  util::ThreadPool::set_global_threads(2);
+  EXPECT_EQ(util::ThreadPool::global().thread_count(), 2u);
+  std::atomic<int> c{0};
+  util::parallel_for(std::size_t{0}, std::size_t{1000},
+                     [&](std::size_t) { ++c; });
+  EXPECT_EQ(c.load(), 1000);
+  util::ThreadPool::set_global_threads(0);
+  EXPECT_EQ(util::ThreadPool::global().thread_count(),
+            util::default_thread_count());
+}
+
+TEST(ParallelFor, EnvKnobControlsDefaultThreadCount) {
+  const unsigned hw =
+      std::max(1u, std::thread::hardware_concurrency());
+  ::setenv("MESHSEARCH_THREADS", "3", 1);
+  EXPECT_EQ(util::default_thread_count(), 3u);
+  ::setenv("MESHSEARCH_THREADS", "0", 1);  // 0 = hardware
+  EXPECT_EQ(util::default_thread_count(), hw);
+  ::setenv("MESHSEARCH_THREADS", "not-a-number", 1);
+  EXPECT_EQ(util::default_thread_count(), hw);
+  ::unsetenv("MESHSEARCH_THREADS");
+  EXPECT_EQ(util::default_thread_count(), hw);
+}
+
+TEST(ParallelFor, ChunkInterfaceCoversRangeOnce) {
+  std::vector<int> hits(10000, 0);
+  std::atomic<int> chunks{0};
+  util::ThreadPool::global().parallel_for_chunks(
+      0, hits.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        ++chunks;
+        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+      },
+      /*grain=*/64);
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_GE(chunks.load(), 1);
 }
 
 TEST(Table, PrintsAlignedAndCsv) {
