@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "mesh/cost.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
@@ -106,6 +107,19 @@ inline TraceOptions parse_trace_flag(int argc, char** argv) {
   }
   return opt;
 }
+
+/// One sweep point's TraceRecorder + CostModel, wired together only when
+/// tracing is enabled (a null sink costs one pointer test per primitive).
+/// Replaces the per-bench three-line recorder/model/wire boilerplate.
+struct TracedModel {
+  trace::TraceRecorder rec;
+  mesh::CostModel model;
+
+  explicit TracedModel(const TraceOptions& opt, std::string engine = "counting")
+      : rec(std::move(engine)) {
+    if (opt.enabled) model.trace = &rec;
+  }
+};
 
 /// Write `<prefix>.<point>.trace.json` + `<prefix>.<point>.metrics.json` for
 /// one sweep point and print the per-primitive attribution table. No-op when

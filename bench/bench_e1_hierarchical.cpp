@@ -34,9 +34,7 @@ void sweep(double mu, unsigned fanout, unsigned lo, unsigned hi,
     const auto g = ds::build_hierarchical_dag(n, mu, fanout, rng);
     const HierarchicalDag dag(g, mu);
     const auto shape = g.shape_for(g.vertex_count());
-    trace::TraceRecorder rec("counting");
-    mesh::CostModel m;
-    if (topt.enabled) m.trace = &rec;
+    bench::TracedModel tm(topt);
     auto qs = make_queries(g.vertex_count());
     util::Rng qrng(n);
     for (auto& q : qs)
@@ -44,13 +42,13 @@ void sweep(double mu, unsigned fanout, unsigned lo, unsigned hi,
 
     auto qh = qs;
     const ds::HashWalk prog{0};
-    const auto hier = hierarchical_multisearch(dag, prog, qh, m, shape);
+    const auto hier = hierarchical_multisearch(dag, prog, qh, tm.model, shape);
     auto qg = qs;
-    const auto geom = hierarchical_multisearch(dag, prog, qg, m, shape,
+    const auto geom = hierarchical_multisearch(dag, prog, qg, tm.model, shape,
                                                PlanKind::kGeometric);
     auto qsyn = qs;
     reset_queries(qsyn);
-    const auto sync = synchronous_multisearch(g, prog, qsyn, m, shape);
+    const auto sync = synchronous_multisearch(g, prog, qsyn, tm.model, shape);
 
     const double p = static_cast<double>(shape.size());
     const auto plan = make_hierarchical_plan(dag, shape);
@@ -66,7 +64,7 @@ void sweep(double mu, unsigned fanout, unsigned lo, unsigned hi,
     sync_steps.push_back(sync.cost.steps);
     // Keyed by the DAG size parameter n: distinct sweep points can share a
     // mesh size (shape_for rounds up), so p alone would collide.
-    bench::emit_trace(rec, topt,
+    bench::emit_trace(tm.rec, topt,
                       "e1_mu" + std::to_string(static_cast<int>(mu)) + "_n" +
                           std::to_string(n));
   }
@@ -85,11 +83,9 @@ void band_report(std::size_t n, double mu, const bench::TraceOptions& topt) {
   const auto g = ds::build_hierarchical_dag(n, mu, 3, rng);
   const HierarchicalDag dag(g, mu);
   const auto shape = g.shape_for(g.vertex_count());
-  trace::TraceRecorder rec("counting");
-  mesh::CostModel m;
-  if (topt.enabled) m.trace = &rec;
+  bench::TracedModel tm(topt);
   const auto plan = make_hierarchical_plan(dag, shape);
-  const auto cost = hierarchical_cost(dag, plan, shape, m);
+  const auto cost = hierarchical_cost(dag, plan, shape, tm.model);
   util::Table t({"band", "levels", "|B_i|", "grid", "setup steps",
                  "solve steps", "lemma1 bound", "solve/bound"});
   for (std::size_t i = 0; i < cost.bands.size(); ++i) {
@@ -110,7 +106,7 @@ void band_report(std::size_t n, double mu, const bench::TraceOptions& topt) {
   std::cout << "total steps " << cost.cost.steps << " = "
             << cost.cost.steps / std::sqrt(double(shape.size()))
             << " * sqrt(n); B* levels = " << cost.bstar_levels << "\n";
-  bench::emit_trace(rec, topt, "e1b_bands");
+  bench::emit_trace(tm.rec, topt, "e1b_bands");
 }
 
 }  // namespace

@@ -65,12 +65,10 @@ RunResult run_one(std::size_t nkeys, Load load, std::int32_t cut_depth,
                          : cut_depth;
   for (std::int32_t i = 0; i <= depth; ++i)
     global_multistep(tree.graph(), prog, qs);
-  trace::TraceRecorder rec("counting");
-  mesh::CostModel m;
-  if (topt.enabled) m.trace = &rec;
+  bench::TracedModel tm(topt);
   const auto shape = tree.graph().shape_for(qs.size());
-  const auto st = constrained_multisearch(tree.graph(), psi, prog, qs, m, shape);
-  if (!point.empty()) bench::emit_trace(rec, topt, point);
+  const auto st = constrained_multisearch(tree.graph(), psi, prog, qs, tm.model, shape);
+  if (!point.empty()) bench::emit_trace(tm.rec, topt, point);
   return {st, static_cast<double>(shape.size())};
 }
 

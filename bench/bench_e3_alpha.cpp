@@ -40,22 +40,20 @@ ComboResult run(std::size_t teeth, std::size_t tooth_len, std::size_t m_q,
     q.key[1] = depth;
   }
   const ds::CombWalk prog{comb.root};
-  trace::TraceRecorder rec("counting");
-  mesh::CostModel m;
-  if (topt.enabled) m.trace = &rec;
+  bench::TracedModel tm(topt);
   const auto shape = comb.graph.shape_for(qs.size());
   ComboResult res;
   res.p = static_cast<double>(shape.size());
   auto qa = qs;
   const auto alg =
-      multisearch_alpha(comb.graph, comb.splitting, prog, qa, m, shape);
+      multisearch_alpha(comb.graph, comb.splitting, prog, qa, tm.model, shape);
   res.alg_steps = alg.cost.steps;
   res.phases = alg.log_phases;
   res.r = alg.longest_path;
-  if (!point.empty()) bench::emit_trace(rec, topt, point);
+  if (!point.empty()) bench::emit_trace(tm.rec, topt, point);
   auto qb = qs;
   reset_queries(qb);
-  res.sync_steps = synchronous_multisearch(comb.graph, prog, qb, m, shape)
+  res.sync_steps = synchronous_multisearch(comb.graph, prog, qb, tm.model, shape)
                        .cost.steps;
   return res;
 }

@@ -39,23 +39,21 @@ RunOut run(std::size_t nkeys, std::int64_t width, std::uint64_t seed,
     q.key[1] = static_cast<std::int64_t>(lo) + width;
   }
   const auto [s1, s2] = tree.alpha_beta_splittings();
-  trace::TraceRecorder rec("counting");
-  mesh::CostModel m;
-  if (topt.enabled) m.trace = &rec;
+  bench::TracedModel tm(topt);
   const auto shape = tree.graph().shape_for(qs.size());
   RunOut out;
   out.p = static_cast<double>(shape.size());
   auto qa = qs;
   const auto alg = multisearch_alpha_beta(tree.graph(), s1, s2,
-                                          tree.euler_scan(), qa, m, shape);
+                                          tree.euler_scan(), qa, tm.model, shape);
   out.alg = alg.cost.steps;
   out.r = alg.longest_path;
   out.phases = alg.log_phases;
-  if (!point.empty()) bench::emit_trace(rec, topt, point);
+  if (!point.empty()) bench::emit_trace(tm.rec, topt, point);
   auto qb = qs;
   reset_queries(qb);
   out.sync =
-      synchronous_multisearch(tree.graph(), tree.euler_scan(), qb, m, shape)
+      synchronous_multisearch(tree.graph(), tree.euler_scan(), qb, tm.model, shape)
           .cost.steps;
   return out;
 }

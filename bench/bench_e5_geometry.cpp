@@ -53,20 +53,18 @@ void kirkpatrick_sweep(const bench::TraceOptions& topt) {
       q.key[0] = rng.uniform_range(-radius / 2, radius / 2);
       q.key[1] = rng.uniform_range(-radius / 2, radius / 2);
     }
-    trace::TraceRecorder rec("counting");
-    mesh::CostModel m;
-    if (topt.enabled) m.trace = &rec;
+    bench::TracedModel tm(topt);
     auto qh = qs;
     const auto paper =
-        msearch::hierarchical_multisearch(dag, kp.locate_program(), qh, m, shape);
+        msearch::hierarchical_multisearch(dag, kp.locate_program(), qh, tm.model, shape);
     auto qg = qs;
     const auto geom = msearch::hierarchical_multisearch(
-        dag, kp.locate_program(), qg, m, shape,
+        dag, kp.locate_program(), qg, tm.model, shape,
         msearch::PlanKind::kGeometric);
     auto qsyn = qs;
     msearch::reset_queries(qsyn);
     const auto sync = msearch::synchronous_multisearch(
-        kp.dag(), kp.locate_program(), qsyn, m, shape);
+        kp.dag(), kp.locate_program(), qsyn, tm.model, shape);
     const double p = static_cast<double>(shape.size());
     t.add_row({static_cast<std::int64_t>(pts.size()),
                static_cast<std::int64_t>(shape.size()),
@@ -77,7 +75,7 @@ void kirkpatrick_sweep(const bench::TraceOptions& topt) {
     ns.push_back(p);
     steps.push_back(geom.cost.steps);
     paper_steps.push_back(paper.cost.steps);
-    bench::emit_trace(rec, topt, "e5a_n2e" + std::to_string(e));
+    bench::emit_trace(tm.rec, topt, "e5a_n2e" + std::to_string(e));
   }
   bench::emit(t, "e5a_kirkpatrick");
   bench::report_fit("E5a geometric-plan (claim O(sqrt n))", ns, steps, 0.5);
@@ -108,20 +106,18 @@ void dk3_sweep(const bench::TraceOptions& topt) {
         q.key[2] = rng.uniform_range(-1000, 1000);
       } while (q.key[0] == 0 && q.key[1] == 0 && q.key[2] == 0);
     }
-    trace::TraceRecorder rec("counting");
-    mesh::CostModel m;
-    if (topt.enabled) m.trace = &rec;
+    bench::TracedModel tm(topt);
     auto qh = qs;
     const auto paper = msearch::hierarchical_multisearch(
-        dag, dk.extreme_program(), qh, m, shape);
+        dag, dk.extreme_program(), qh, tm.model, shape);
     auto qg = qs;
     const auto geom = msearch::hierarchical_multisearch(
-        dag, dk.extreme_program(), qg, m, shape,
+        dag, dk.extreme_program(), qg, tm.model, shape,
         msearch::PlanKind::kGeometric);
     auto qsyn = qs;
     msearch::reset_queries(qsyn);
     const auto sync = msearch::synchronous_multisearch(
-        ed.dag, dk.extreme_program(), qsyn, m, shape);
+        ed.dag, dk.extreme_program(), qsyn, tm.model, shape);
     const double p = static_cast<double>(shape.size());
     t.add_row({static_cast<std::int64_t>(dk.hull_vertices().size()),
                static_cast<std::int64_t>(shape.size()),
@@ -131,7 +127,7 @@ void dk3_sweep(const bench::TraceOptions& topt) {
                geom.cost.steps / std::sqrt(p)});
     ns.push_back(p);
     steps.push_back(geom.cost.steps);
-    bench::emit_trace(rec, topt, "e5b_n2e" + std::to_string(e));
+    bench::emit_trace(tm.rec, topt, "e5b_n2e" + std::to_string(e));
   }
   bench::emit(t, "e5b_dk3");
   bench::report_fit("E5b tangent planes, geometric plan (claim O(sqrt n))",
@@ -159,13 +155,11 @@ void polygon_lines(const bench::TraceOptions& topt) {
     const auto& ed = dk.extreme_dag();
     const auto dag = ed.hierarchical_dag();
     const auto shape = ed.dag.shape_for(qs.size());
-    trace::TraceRecorder rec("counting");
-    mesh::CostModel m;
-    if (topt.enabled) m.trace = &rec;
+    bench::TracedModel tm(topt);
     const auto hier = msearch::hierarchical_multisearch(
-        dag, dk.extreme_program(), qs, m, shape,
+        dag, dk.extreme_program(), qs, tm.model, shape,
         msearch::PlanKind::kGeometric);
-    bench::emit_trace(rec, topt, "e5c_n2e" + std::to_string(e));
+    bench::emit_trace(tm.rec, topt, "e5c_n2e" + std::to_string(e));
     const auto hit = DKPolygon::combine_line_answers(lines, qs);
     double frac = 0;
     for (const auto h : hit) frac += h;
@@ -206,13 +200,11 @@ void polygon_tangents(const bench::TraceOptions& topt) {
     const auto& ed = dk.extreme_dag();
     const auto dag = ed.hierarchical_dag();
     const auto shape = ed.dag.shape_for(qs.size());
-    trace::TraceRecorder rec("counting");
-    mesh::CostModel m;
-    if (topt.enabled) m.trace = &rec;
+    bench::TracedModel tm(topt);
     const auto hier = msearch::hierarchical_multisearch(
-        dag, dk.tangent_program(), qs, m, shape,
+        dag, dk.tangent_program(), qs, tm.model, shape,
         msearch::PlanKind::kGeometric);
-    bench::emit_trace(rec, topt, "e5d_n2e" + std::to_string(e));
+    bench::emit_trace(tm.rec, topt, "e5d_n2e" + std::to_string(e));
     std::size_t verified = 0, checked = 0;
     for (std::size_t i = 0; i < qs.size(); i += 17) {
       ++checked;

@@ -78,15 +78,13 @@ int main(int argc, char** argv) {
       qa[i].key[0] = a - 1;
       qb[i].key[0] = b;
     }
-    trace::TraceRecorder rec("counting");
-    mesh::CostModel m;
-    if (topt.enabled) m.trace = &rec;
+    bench::TracedModel tm(topt);
     const auto shape = rtree.graph().shape_for(n);
     auto res1 = multisearch_alpha(rtree.graph(), rtree.alpha_splitting(),
-                                  rtree.rank_count(), qa, m, shape);
+                                  rtree.rank_count(), qa, tm.model, shape);
     auto res2 = multisearch_alpha(ltree.graph(), ltree.alpha_splitting(),
-                                  ltree.rank_count(), qb, m, shape);
-    bench::emit_trace(rec, topt, "e6a_n2e" + std::to_string(e));
+                                  ltree.rank_count(), qb, tm.model, shape);
+    bench::emit_trace(tm.rec, topt, "e6a_n2e" + std::to_string(e));
     // Sequential baseline work.
     auto sa = qa, sb = qb;
     reset_queries(sa);
@@ -132,14 +130,12 @@ int main(int argc, char** argv) {
     for (auto& q : qs)
       q.key[0] = rng.uniform_range(0, static_cast<std::int64_t>(2 * n));
     const auto [s1, s2] = tree.alpha_beta_splittings();
-    trace::TraceRecorder rec("counting");
-    mesh::CostModel m;
-    if (topt.enabled) m.trace = &rec;
+    bench::TracedModel tm(topt);
     const auto shape = tree.graph().shape_for(qs.size());
     const auto res = multisearch_alpha_beta(tree.graph(), s1, s2,
-                                            tree.stabbing_program(), qs, m,
+                                            tree.stabbing_program(), qs, tm.model,
                                             shape);
-    bench::emit_trace(rec, topt, "e6b_len" + std::to_string(maxlen));
+    bench::emit_trace(tm.rec, topt, "e6b_len" + std::to_string(maxlen));
     double mean_k = 0;
     for (const auto& q : qs) mean_k += static_cast<double>(q.acc0);
     mean_k /= static_cast<double>(qs.size());
@@ -166,19 +162,17 @@ int main(int argc, char** argv) {
     auto qs = make_queries(nn);
     for (auto& q : qs)
       q.key[0] = rng.uniform_range(0, static_cast<std::int64_t>(2 * nn));
-    trace::TraceRecorder rec("counting");
-    mesh::CostModel m;
-    if (topt.enabled) m.trace = &rec;
+    bench::TracedModel tm(topt);
     auto q_st = qs;
     const auto st_res = multisearch_alpha(
-        st.graph(), st.alpha_splitting(), st.stab_count(), q_st, m,
+        st.graph(), st.alpha_splitting(), st.stab_count(), q_st, tm.model,
         st.graph().shape_for(qs.size()));
     auto q_it = qs;
     const auto [s1, s2] = it.alpha_beta_splittings();
     const auto it_res = multisearch_alpha_beta(
-        it.graph(), s1, s2, it.stabbing_program(), q_it, m,
+        it.graph(), s1, s2, it.stabbing_program(), q_it, tm.model,
         it.graph().shape_for(qs.size()));
-    bench::emit_trace(rec, topt, "e6c_n2e" + std::to_string(e));
+    bench::emit_trace(tm.rec, topt, "e6c_n2e" + std::to_string(e));
     bool agree = true;
     for (std::size_t i = 0; i < qs.size(); ++i)
       agree &= q_st[i].acc0 == q_it[i].acc0;

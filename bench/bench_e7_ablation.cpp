@@ -37,17 +37,15 @@ int main(int argc, char** argv) {
     KaryTree tree(ds::iota_keys(nkeys), 2, ds::TreeMode::kDirected);
     auto qs = make_queries(nkeys);
     for (auto& q : qs) q.key[0] = static_cast<std::int64_t>(nkeys / 2);
-    trace::TraceRecorder rec("counting");
-    mesh::CostModel m;
-    if (topt.enabled) m.trace = &rec;
+    bench::TracedModel tm(topt);
     const auto shape = tree.graph().shape_for(qs.size());
     auto q1 = qs;
     const auto on = multisearch_alpha(tree.graph(), tree.alpha_splitting(),
-                                      tree.rank_count(), q1, m, shape, true);
-    bench::emit_trace(rec, topt, "e7i_n2e" + std::to_string(e));
+                                      tree.rank_count(), q1, tm.model, shape, true);
+    bench::emit_trace(tm.rec, topt, "e7i_n2e" + std::to_string(e));
     auto q2 = qs;
     const auto off = multisearch_alpha(tree.graph(), tree.alpha_splitting(),
-                                       tree.rank_count(), q2, m, shape, false);
+                                       tree.rank_count(), q2, tm.model, shape, false);
     const double p = static_cast<double>(shape.size());
     t.add_row({static_cast<std::int64_t>(p), on.cost.steps, off.cost.steps,
                off.cost.steps / on.cost.steps, on.cost.steps / std::sqrt(p)});

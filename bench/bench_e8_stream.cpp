@@ -1,0 +1,181 @@
+// E8 — streaming amortization: serve m >> n queries on one warm mesh.
+//
+// Claim (stream.hpp): every engine's cost splits into one-time setup
+// (distribute_graph + level indices + band replication, or splitting tags)
+// and per-batch work (inject + the multisearch proper). A PreparedSearch
+// pays the setup once; a StreamScheduler then serves an arbitrary stream in
+// mesh-capacity batches. The naive baseline re-runs the full setup before
+// every batch. We sweep the stream-to-mesh ratio m/n in {1..64} for all
+// four engines under both batch policies and report amortized steps/query:
+// the warm engine must beat the baseline strictly for m/n >= 4 (more than a
+// couple of batches), with the gap approaching the setup share of a batch.
+//
+// `--trace <prefix>` additionally dumps the trace of one showcase point
+// (Alg 1 paper plan, m/n = 16, FIFO) whose attribution table ends with the
+// stream.* throughput metrics — queries/step, amortized steps/query, and
+// the amortized-setup fraction.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "datastruct/kary_tree.hpp"
+#include "datastruct/workloads.hpp"
+#include "multisearch/query.hpp"
+#include "multisearch/stream.hpp"
+#include "util/rng.hpp"
+
+using namespace meshsearch;
+using namespace meshsearch::msearch;
+using ds::KaryTree;
+using ds::TreeMode;
+
+namespace {
+
+constexpr std::size_t kRatios[] = {1, 2, 4, 8, 16, 32, 64};
+
+struct SweepPoint {
+  std::size_t ratio = 0;
+  double warm_apq = 0;   ///< amortized steps/query, warm engine
+  double naive_apq = 0;  ///< amortized steps/query, re-setup baseline
+  double setup_fraction = 0;
+};
+
+/// Run one (engine, policy) sweep over m/n: a fresh warm engine and a fresh
+/// naive engine per point (so every point is a cold start, comparable to a
+/// server booting for that stream). `make_engine` returns a new
+/// PreparedSearch; `make_stream(m)` a stream of m queries.
+template <typename MakeEngine, typename MakeStream>
+std::vector<SweepPoint> sweep(MakeEngine make_engine, MakeStream make_stream,
+                              BatchOrder order) {
+  std::vector<SweepPoint> out;
+  for (const std::size_t ratio : kRatios) {
+    SweepPoint pt;
+    pt.ratio = ratio;
+    BatchPolicy policy;
+    policy.order = order;
+    {
+      auto engine = make_engine();
+      auto stream = make_stream(ratio * engine.capacity());
+      StreamScheduler sched(engine, policy);
+      const auto res = sched.run(stream);
+      pt.warm_apq = res.amortized_steps_per_query();
+      pt.setup_fraction = res.setup_fraction();
+    }
+    {
+      auto engine = make_engine();
+      auto stream = make_stream(ratio * engine.capacity());
+      StreamScheduler naive(engine, policy, /*resetup_every_batch=*/true);
+      const auto res = naive.run(stream);
+      pt.naive_apq = res.amortized_steps_per_query();
+    }
+    out.push_back(pt);
+  }
+  return out;
+}
+
+void report(const std::string& engine_name, BatchOrder order,
+            const std::vector<SweepPoint>& pts) {
+  const std::string policy =
+      order == BatchOrder::kFifo ? "fifo" : "locality";
+  util::Table t({"m/n", "warm steps/query", "naive steps/query",
+                 "naive/warm", "setup fraction (warm)"});
+  for (const auto& pt : pts)
+    t.add_row({static_cast<std::int64_t>(pt.ratio), pt.warm_apq, pt.naive_apq,
+               pt.naive_apq / pt.warm_apq, pt.setup_fraction});
+  bench::section("E8: " + engine_name + " (" + policy + ")");
+  bench::emit(t, "e8_" + engine_name + "_" + policy);
+  for (const auto& pt : pts)
+    if (pt.ratio >= 4 && pt.warm_apq >= pt.naive_apq)
+      std::cout << "VIOLATION: warm engine not below baseline at m/n = "
+                << pt.ratio << "\n";
+}
+
+/// Showcase trace: one warm stream with the recorder wired, so the
+/// attribution table (printed by emit_trace) ends with the stream.* metrics.
+void showcase(const bench::TraceOptions& topt) {
+  if (!topt.enabled) return;
+  util::Rng rng(7);
+  const auto g = ds::build_hierarchical_dag(1 << 14, 2.0, 3, rng);
+  const HierarchicalDag dag(g, 2.0);
+  const auto shape = g.shape_for(g.vertex_count());
+  bench::TracedModel tm(topt);
+  PreparedSearch engine(dag, PlanKind::kPaper, ds::HashWalk{0}, tm.model,
+                        shape);
+  auto stream = make_queries(16 * engine.capacity());
+  util::Rng qrng(8);
+  for (auto& q : stream)
+    q.key[0] = static_cast<std::int64_t>(qrng.uniform(1ull << 40));
+  StreamScheduler sched(engine, BatchPolicy{});
+  sched.run(stream);
+  bench::emit_trace(tm.rec, topt, "e8_showcase_alg1_m16");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto topt = bench::parse_trace_flag(argc, argv);
+
+  // Algorithm 1, both plans: one shared DAG (the sweep only varies m).
+  util::Rng rng(41);
+  const auto g = ds::build_hierarchical_dag(1 << 14, 2.0, 3, rng);
+  const HierarchicalDag dag(g, 2.0);
+  const auto shape = g.shape_for(g.vertex_count());
+  const mesh::CostModel m;
+  auto alg1_stream = [&](std::size_t mq) {
+    auto qs = make_queries(mq);
+    util::Rng qrng(42);
+    for (auto& q : qs)
+      q.key[0] = static_cast<std::int64_t>(qrng.uniform(1ull << 40));
+    return qs;
+  };
+
+  // Algorithm 2: directed k-ary search tree, alpha splitting.
+  KaryTree tree2(ds::iota_keys(1 << 13), 3, TreeMode::kDirected);
+  const auto shape2 = tree2.graph().shape_for(tree2.graph().vertex_count());
+  auto alg2_stream = [&](std::size_t mq) {
+    util::Rng qrng(43);
+    return ds::uniform_key_queries(mq, (1 << 13) + 20, qrng);
+  };
+
+  // Algorithm 3: undirected binary tree, alpha-beta splittings.
+  KaryTree tree3(ds::iota_keys(1 << 12), 2, TreeMode::kUndirected);
+  const auto shape3 = tree3.graph().shape_for(tree3.graph().vertex_count());
+  const auto [s1, s2] = tree3.alpha_beta_splittings();
+  auto alg3_stream = [&](std::size_t mq) {
+    auto qs = make_queries(mq);
+    util::Rng qrng(44);
+    for (auto& q : qs) {
+      const auto a = qrng.uniform_range(-3, (1 << 12) + 3);
+      q.key[0] = a;
+      q.key[1] = a + qrng.uniform_range(0, 30);
+    }
+    return qs;
+  };
+
+  for (const auto order : {BatchOrder::kFifo, BatchOrder::kLocalityReorder}) {
+    report("alg1-paper", order,
+           sweep([&] { return PreparedSearch(dag, PlanKind::kPaper,
+                                             ds::HashWalk{0}, m, shape); },
+                 alg1_stream, order));
+    report("alg1-geometric", order,
+           sweep([&] { return PreparedSearch(dag, PlanKind::kGeometric,
+                                             ds::HashWalk{0}, m, shape); },
+                 alg1_stream, order));
+    report("alg2-alpha", order,
+           sweep([&] { return PreparedSearch(EngineKind::kAlg2Alpha,
+                                             tree2.graph(),
+                                             tree2.alpha_splitting(),
+                                             tree2.alpha_splitting(),
+                                             tree2.rank_count(), m, shape2); },
+                 alg2_stream, order));
+    report("alg3-alpha-beta", order,
+           sweep([&] { return PreparedSearch(EngineKind::kAlg3AlphaBeta,
+                                             tree3.graph(), s1, s2,
+                                             tree3.euler_scan(), m, shape3); },
+                 alg3_stream, order));
+  }
+
+  showcase(topt);
+  return 0;
+}

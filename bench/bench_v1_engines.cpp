@@ -8,10 +8,12 @@
 // charges the optimal bound — see DESIGN.md §2).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "datastruct/workloads.hpp"
@@ -184,6 +186,18 @@ void thread_sweep(const std::vector<unsigned>& threads) {
   using namespace meshsearch::msearch;
   if (threads.empty()) return;
   bench::section("V1t: host-thread wall-clock sweep (Alg 1, n=2^20)");
+  // hardware_concurrency() may report 0 when the host cannot say.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned max_swept = *std::max_element(threads.begin(), threads.end());
+  if (hw > 0) {
+    std::cout << "host hardware concurrency: " << hw << " threads\n";
+    if (hw < max_swept)
+      std::cout << "note: sweep includes counts above " << hw
+                << "; those rows are oversubscribed and their speedups "
+                   "reflect scheduling, not scaling\n";
+  } else {
+    std::cout << "host hardware concurrency: unknown\n";
+  }
   util::Rng rng(7);
   const std::size_t n = std::size_t{1} << 20;
   const auto g = ds::build_hierarchical_dag(n, 2.0, 3, rng);
@@ -196,7 +210,7 @@ void thread_sweep(const std::vector<unsigned>& threads) {
     q.key[0] = static_cast<std::int64_t>(qrng.uniform(1ull << 40));
   const ds::HashWalk prog{0};
 
-  util::Table t({"threads", "wall ms", "speedup", "sim steps"});
+  util::Table t({"threads", "wall ms", "speedup", "sim steps", "note"});
   double base_ms = 0.0;
   double ref_steps = 0.0;
   std::vector<QueryOutcome> ref_outcomes;
@@ -225,6 +239,8 @@ void thread_sweep(const std::vector<unsigned>& threads) {
     row.emplace_back(ms);
     row.emplace_back(base_ms / ms);
     row.emplace_back(res.cost.steps);
+    row.emplace_back(std::string(hw > 0 && threads[i] > hw ? "oversubscribed"
+                                                           : ""));
     t.add_row(std::move(row));
   }
   util::ThreadPool::set_global_threads(0);  // back to the env/default pool

@@ -133,7 +133,34 @@ HierarchicalPlan make_geometric_plan(const HierarchicalDag& dag,
   return plan;
 }
 
+/// Parent submesh size s_{i+1} for band i: the next band's submesh (the
+/// full mesh for the last band) — Algorithm 1 steps 1, 2 and 3(a) all run
+/// at the B_{i+1}-partitioning scale.
+double parent_submesh_elems(const HierarchicalPlan& plan, std::size_t i,
+                            mesh::MeshShape shape) {
+  return i + 1 < plan.bands.size()
+             ? static_cast<double>(plan.bands[i + 1].submesh_elems)
+             : static_cast<double>(shape.size());
+}
+
+/// The steps 1-3a charges for one band: sort + route at s_{i+1} (steps 1-2,
+/// label registers and band sort), then one more route (step 3a, duplicate
+/// B_i into its submeshes). Kept as three separate charges so the event
+/// sequence matches what hierarchical_cost always recorded.
+mesh::Cost one_band_setup(const mesh::CostModel& m, double s_next) {
+  return m.sort(s_next) + m.route(s_next) + m.route(s_next);
+}
+
 }  // namespace
+
+mesh::Cost band_setup_cost(const HierarchicalPlan& plan, mesh::MeshShape shape,
+                           const mesh::CostModel& m) {
+  mesh::Cost cost;
+  TRACE_SPAN(m.trace, "alg1.steps1-3a: band setup");
+  for (std::size_t i = 0; i < plan.bands.size(); ++i)
+    cost += one_band_setup(m, parent_submesh_elems(plan, i, shape));
+  return cost;
+}
 
 HierarchicalPlan make_hierarchical_plan(const HierarchicalDag& dag,
                                         mesh::MeshShape shape,
@@ -289,7 +316,7 @@ void verify_label_capacity(const HierarchicalPlan& plan,
 HierarchicalRunResult hierarchical_cost(
     const HierarchicalDag& dag, const HierarchicalPlan& plan,
     mesh::MeshShape shape, const mesh::CostModel& m,
-    const std::vector<std::int32_t>* sweeps) {
+    const std::vector<std::int32_t>* sweeps, bool charge_band_setup) {
   HierarchicalRunResult res;
   // Every charge goes through a TraceRecorder and the per-band report is
   // read back out of it (span deltas), so BandCostReport is a view over
@@ -331,17 +358,9 @@ HierarchicalRunResult hierarchical_cost(
         rec, "band " + std::to_string(i) + " [L" + std::to_string(band.lo) +
                  "..L" + std::to_string(band.hi) + "]");
 
-    // Parent submesh size s_{i+1}: the next band's submesh (the full mesh
-    // for the last band) — Algorithm 1 steps 1, 2 and 3(a) all run at the
-    // B_{i+1}-partitioning scale.
-    const double s_next = i + 1 < plan.bands.size()
-                              ? static_cast<double>(
-                                    plan.bands[i + 1].submesh_elems)
-                              : p;
-    {
+    if (charge_band_setup) {
       trace::SpanScope setup_span(rec, "alg1.steps1-3a: band setup");
-      res.cost += mt.sort(s_next) + mt.route(s_next);  // steps 1-2
-      res.cost += mt.route(s_next);  // step 3(a): duplicate B_i
+      res.cost += one_band_setup(mt, parent_submesh_elems(plan, i, shape));
       rep.setup_steps = setup_span.sim_elapsed();
     }
 

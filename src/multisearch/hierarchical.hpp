@@ -150,10 +150,20 @@ struct HierarchicalRunResult {
 /// (level_work sweeps per level). hierarchical_multisearch measures the
 /// realized sweeps during its data pass and charges those — still the
 /// lockstep-SIMD max over all queries, just not the static upper bound.
+/// `charge_band_setup` = false skips the per-band steps 1-3a charges (sort
+/// labels + duplicate B_i): a warm engine (stream.hpp PreparedSearch) pays
+/// band_setup_cost once at preparation and reuses the replicas per batch.
 HierarchicalRunResult hierarchical_cost(
     const HierarchicalDag& dag, const HierarchicalPlan& plan,
     mesh::MeshShape shape, const mesh::CostModel& m,
-    const std::vector<std::int32_t>* sweeps = nullptr);
+    const std::vector<std::int32_t>* sweeps = nullptr,
+    bool charge_band_setup = true);
+
+/// Exactly the steps 1-3a charges hierarchical_cost makes per band (label
+/// registers, band sort, duplication into submeshes), summed over all bands
+/// of `plan` — the batch-invariant part a warm engine caches.
+mesh::Cost band_setup_cost(const HierarchicalPlan& plan, mesh::MeshShape shape,
+                           const mesh::CostModel& m);
 
 /// Algorithm 1: run all queries through the DAG. Queries must start at the
 /// level-0 root (the w.l.o.g. full-path assumption of §3; programs whose
@@ -163,7 +173,7 @@ template <SearchProgram P>
 HierarchicalRunResult hierarchical_multisearch(
     const HierarchicalDag& dag, const P& prog, std::vector<Query>& queries,
     const mesh::CostModel& m, mesh::MeshShape shape,
-    PlanKind kind = PlanKind::kPaper);
+    PlanKind kind = PlanKind::kPaper, bool charge_band_setup = true);
 
 // ---------------------------------------------------------------------------
 // implementation
@@ -235,7 +245,8 @@ std::size_t advance_through_levels(const DistributedGraph& g, const P& prog,
 template <SearchProgram P>
 HierarchicalRunResult hierarchical_multisearch(
     const HierarchicalDag& dag, const P& prog, std::vector<Query>& queries,
-    const mesh::CostModel& m, mesh::MeshShape shape, PlanKind kind) {
+    const mesh::CostModel& m, mesh::MeshShape shape, PlanKind kind,
+    bool charge_band_setup) {
   const HierarchicalPlan plan = make_hierarchical_plan(dag, shape, kind);
   reset_queries(queries);
   const DistributedGraph& g = dag.graph();
@@ -259,7 +270,8 @@ HierarchicalRunResult hierarchical_multisearch(
                                                    sweeps);
   }
   for (auto& s : sweeps) s = std::max(s, 1);
-  HierarchicalRunResult res = hierarchical_cost(dag, plan, shape, m, &sweeps);
+  HierarchicalRunResult res =
+      hierarchical_cost(dag, plan, shape, m, &sweeps, charge_band_setup);
   res.total_visits = total_visits;
   return res;
 }

@@ -11,18 +11,31 @@ namespace meshsearch::msearch {
 mesh::Cost distribute_initial(const DistributedGraph& g, std::size_t queries,
                               const mesh::CostModel& m,
                               mesh::MeshShape shape) {
-  MS_CHECK(g.vertex_count() <= shape.size() && queries <= shape.size());
+  TRACE_SPAN(m.trace, "setup: distribute data + queries");
+  return distribute_graph(g, m, shape) + inject_queries(queries, m, shape);
+}
+
+mesh::Cost distribute_graph(const DistributedGraph& g,
+                            const mesh::CostModel& m, mesh::MeshShape shape) {
+  MS_CHECK(g.vertex_count() <= shape.size());
   const double p = static_cast<double>(shape.size());
   mesh::Cost cost;
   // Sort vertices by id to their home processors, then one routing per
-  // adjacency slot to deliver neighbour addresses (degree is O(1)), then
-  // one routing for the queries.
-  TRACE_SPAN(m.trace, "setup: distribute data + queries");
+  // adjacency slot to deliver neighbour addresses (degree is O(1)).
+  TRACE_SPAN(m.trace, "setup: distribute graph");
   cost += m.sort(p);
   cost += m.route(
       p, static_cast<double>(std::max<std::size_t>(1, g.max_degree())));
-  cost += m.route(p);
   return cost;
+}
+
+mesh::Cost inject_queries(std::size_t queries, const mesh::CostModel& m,
+                          mesh::MeshShape shape) {
+  MS_CHECK(queries <= shape.size());
+  const double p = static_cast<double>(shape.size());
+  // One routing places the (at most one per processor) batch of queries.
+  TRACE_SPAN(m.trace, "setup: inject queries");
+  return m.route(p);
 }
 
 LevelIndexResult compute_level_indices(const DistributedGraph& g,

@@ -26,9 +26,21 @@
 namespace meshsearch::msearch {
 
 /// Cost of establishing the Appendix's initial configuration for g plus
-/// `queries` search queries on `shape`.
+/// `queries` search queries on `shape`. Equivalent to distribute_graph
+/// followed by inject_queries (same charges, same attribution).
 mesh::Cost distribute_initial(const DistributedGraph& g, std::size_t queries,
                               const mesh::CostModel& m, mesh::MeshShape shape);
+
+/// Graph-only part of the initial configuration: sort vertices to their
+/// home processors and deliver neighbour addresses. A streaming engine
+/// (stream.hpp) pays this once; each batch then pays only inject_queries.
+mesh::Cost distribute_graph(const DistributedGraph& g,
+                            const mesh::CostModel& m, mesh::MeshShape shape);
+
+/// Query part of the initial configuration: route one batch of at most
+/// shape.size() queries to their starting processors.
+mesh::Cost inject_queries(std::size_t queries, const mesh::CostModel& m,
+                          mesh::MeshShape shape);
 
 struct LevelIndexResult {
   std::vector<std::int32_t> level;  ///< computed level per vertex

@@ -1,0 +1,92 @@
+#include "multisearch/stream.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+namespace meshsearch::msearch {
+
+const char* engine_kind_name(EngineKind k) {
+  switch (k) {
+    case EngineKind::kAlg1Paper: return "alg1-paper";
+    case EngineKind::kAlg1Geometric: return "alg1-geometric";
+    case EngineKind::kAlg2Alpha: return "alg2-alpha";
+    case EngineKind::kAlg3AlphaBeta: return "alg3-alpha-beta";
+  }
+  return "unknown";
+}
+
+std::vector<std::vector<std::uint32_t>> plan_batches(
+    const std::vector<Query>& stream, const BatchPolicy& policy,
+    std::size_t capacity) {
+  MS_CHECK_MSG(capacity > 0, "plan_batches requires a non-empty mesh");
+  const std::size_t b = policy.batch_size == 0
+                            ? capacity
+                            : std::min(policy.batch_size, capacity);
+  std::vector<std::uint32_t> order(stream.size());
+  std::iota(order.begin(), order.end(), 0u);
+  if (policy.order == BatchOrder::kLocalityReorder) {
+    // Sort each window by search key; ties keep arrival order so the
+    // schedule is a deterministic function of the stream alone.
+    const std::size_t w =
+        std::max(b, policy.window == 0 ? 4 * b : policy.window);
+    for (std::size_t lo = 0; lo < order.size(); lo += w) {
+      const auto begin =
+          order.begin() + static_cast<std::ptrdiff_t>(lo);
+      const auto end = order.begin() + static_cast<std::ptrdiff_t>(
+                                           std::min(order.size(), lo + w));
+      std::sort(begin, end, [&](std::uint32_t a, std::uint32_t c) {
+        const Query& qa = stream[a];
+        const Query& qc = stream[c];
+        return std::tie(qa.key[0], qa.key[1], qa.key[2], a) <
+               std::tie(qc.key[0], qc.key[1], qc.key[2], c);
+      });
+    }
+  }
+  std::vector<std::vector<std::uint32_t>> batches;
+  for (std::size_t lo = 0; lo < order.size(); lo += b) {
+    const std::size_t hi = std::min(order.size(), lo + b);
+    batches.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(lo),
+                         order.begin() + static_cast<std::ptrdiff_t>(hi));
+  }
+  return batches;
+}
+
+double StreamResult::amortized_steps_per_query() const {
+  return queries == 0 ? 0.0
+                      : total().steps / static_cast<double>(queries);
+}
+
+double StreamResult::queries_per_step() const {
+  const double t = total().steps;
+  return t <= 0.0 ? 0.0 : static_cast<double>(queries) / t;
+}
+
+double StreamResult::setup_fraction() const {
+  const double t = total().steps;
+  return t <= 0.0 ? 0.0 : setup.steps / t;
+}
+
+void finalize_stream(StreamResult& res) {
+  res.setup = mesh::Cost{};
+  res.inject = mesh::Cost{};
+  res.run = mesh::Cost{};
+  for (const auto& b : res.batches) {
+    res.setup += b.setup;
+    res.inject += b.inject;
+    res.run += b.run;
+  }
+}
+
+void record_stream_metrics(trace::TraceRecorder* rec,
+                           const StreamResult& res) {
+  if (rec == nullptr) return;
+  rec->metric("stream.batches", static_cast<double>(res.batches.size()));
+  rec->metric("stream.queries", static_cast<double>(res.queries));
+  rec->metric("stream.queries_per_step", res.queries_per_step());
+  rec->metric("stream.amortized_steps_per_query",
+              res.amortized_steps_per_query());
+  rec->metric("stream.setup_fraction", res.setup_fraction());
+}
+
+}  // namespace meshsearch::msearch

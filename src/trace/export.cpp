@@ -110,6 +110,14 @@ void write_metrics_json(const TraceRecorder& rec, std::ostream& os) {
        << ",\"sim_steps\":" << num(s.sim_end - s.sim_begin)
        << ",\"wall_us\":" << num(s.wall_end_us - s.wall_begin_us) << "}";
   }
+  os << "],\"metrics\":[";
+  first = true;
+  for (const auto& m : rec.metrics()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << escape(m.name) << "\",\"value\":" << num(m.value)
+       << "}";
+  }
   os << "]}";
 }
 
@@ -149,6 +157,12 @@ util::Table metrics_table(const TraceRecorder& rec) {
     t.add_row({std::string(primitive_name(key.prim)), key.p,
                static_cast<std::int64_t>(stat.calls), stat.steps,
                total > 0 ? stat.steps / total : 0.0});
+  // Named metrics ride below the histogram: the value lands in the "steps"
+  // column (it is the row's only number; fractions like
+  // metric:stream.setup_fraction read naturally next to the share column).
+  for (const auto& m : rec.metrics())
+    t.add_row({"metric:" + m.name, std::string(), std::string(), m.value,
+               std::string()});
   return t;
 }
 

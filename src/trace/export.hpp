@@ -33,7 +33,9 @@ void write_metrics_json(const TraceRecorder& rec, std::ostream& os);
 bool write_metrics_json_file(const TraceRecorder& rec, const std::string& path);
 
 /// Per-primitive cost-attribution table (primitive, submesh size, calls,
-/// steps, share of total). Print it or mirror it to CSV via util::Table.
+/// steps, share of total). Named metrics (TraceRecorder::metric) follow as
+/// "metric:<name>" rows with the value in the steps column. Print it or
+/// mirror it to CSV via util::Table.
 util::Table metrics_table(const TraceRecorder& rec);
 
 }  // namespace meshsearch::trace

@@ -86,6 +86,21 @@ std::vector<Event> TraceRecorder::events() const {
   return events_;
 }
 
+void TraceRecorder::metric(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& m : metrics_)
+    if (m.name == name) {
+      m.value = value;
+      return;
+    }
+  metrics_.push_back(Metric{std::string(name), value});
+}
+
+std::vector<Metric> TraceRecorder::metrics() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return metrics_;
+}
+
 std::vector<Span> TraceRecorder::spans() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::vector<Span> out = spans_;

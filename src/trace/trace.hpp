@@ -88,6 +88,18 @@ struct Event {
   double sim_begin = 0;  ///< cumulative recorded steps before this event
 };
 
+/// A named scalar derived from a run rather than charged by it — throughput
+/// counters (queries/step), amortization fractions, batch counts. Metrics
+/// ride along in the metrics JSON and at the bottom of metrics_table, where
+/// a fraction next to the attribution histogram explains it (e.g. the
+/// stream scheduler's amortized-setup share).
+struct Metric {
+  std::string name;
+  double value = 0;
+
+  friend bool operator==(const Metric&, const Metric&) = default;
+};
+
 /// One phase span. sim_* are cumulative recorded simulated steps at
 /// begin/end (so sim_end - sim_begin is the span's simulated duration under
 /// sequential composition); wall_* are microseconds since the recorder was
@@ -133,6 +145,13 @@ class TraceRecorder {
   /// with closed == false and sim_end/wall_end_us frozen at "now".
   std::vector<Span> spans() const;
 
+  /// Set (or overwrite) a named scalar metric. Thread-safe; insertion order
+  /// is preserved so exported reports read in the order the run emitted.
+  void metric(std::string_view name, double value);
+
+  /// Snapshot of the named metrics in first-insertion order.
+  std::vector<Metric> metrics() const;
+
  private:
   double wall_now_us() const;
 
@@ -143,6 +162,7 @@ class TraceRecorder {
   std::map<PrimitiveKey, PrimitiveStat> counters_;
   std::vector<Event> events_;
   std::vector<Span> spans_;
+  std::vector<Metric> metrics_;
   std::vector<std::size_t> open_;  ///< stack of indices into spans_
   std::thread::id span_owner_;     ///< owner while open_ is non-empty
 };

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <span>
 
 #include "datastruct/interval_tree.hpp"
 #include "datastruct/kary_tree.hpp"
@@ -13,6 +15,9 @@
 #include "datastruct/workloads.hpp"
 #include "geometry/dk_polygon.hpp"
 #include "geometry/hull2d.hpp"
+#include "mesh/cycle_ops.hpp"
+#include "mesh/grid.hpp"
+#include "mesh/ops.hpp"
 #include "multisearch/hierarchical.hpp"
 #include "multisearch/partitioned.hpp"
 #include "multisearch/query.hpp"
@@ -153,5 +158,116 @@ TEST_P(SeedTest, PolygonExtremesMatchBrute) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedTest,
                          ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Randomized primitive-sequence fuzzing: cycle engine vs counting engine
+// ---------------------------------------------------------------------------
+
+class PrimitiveFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Random sequences of sort/scan/broadcast/RAR/RAW over random data,
+// generalizing the fixed V1 cases of test_cycle_ops.cpp: after every
+// operation the cycle engine's data must equal the counting engine's, and
+// the measured step count must stay within the charged shearsort-model
+// envelope (the same 3x constant the V1 cases use — shearsort/scan/RAR all
+// measure below 2x their physical_sort charge; 3x leaves the constant
+// headroom the charged model is allowed).
+TEST_P(PrimitiveFuzz, EnginesAgreeOnRandomPrimitiveSequences) {
+  util::Rng rng(GetParam() * 0x9e3779b97f4a7c15ull + 0xda3e39cb94b95bdbull);
+  const mesh::MeshShape shape(1u << (1 + rng.uniform(4)));  // side 2..16
+  const std::size_t n = shape.size();
+  const double p = static_cast<double>(n);
+  mesh::CostModel phys;
+  phys.physical_sort = true;  // charge the shearsort bound the grid runs
+
+  std::vector<std::int64_t> data(n);
+  for (auto& v : data) v = rng.uniform_range(-1'000'000, 1'000'000);
+  // Prefix sums of prefix sums overflow; rebound values before additive ops.
+  const auto clamp = [&] {
+    for (auto& v : data) v %= 1'000'000;
+  };
+  const auto random_addrs = [&] {
+    std::vector<std::int64_t> addr(n, mesh::kNoAddr);
+    for (auto& a : addr)
+      if (!rng.bernoulli(0.25))
+        a = static_cast<std::int64_t>(rng.uniform(n));
+    return addr;
+  };
+
+  double measured_total = 0.0, charged_total = 0.0;
+  const std::size_t ops = 4 + rng.uniform(5);  // 4..8 ops per sequence
+  for (std::size_t op = 0; op < ops; ++op) {
+    double measured = 0.0, charged = 0.0;
+    switch (rng.uniform(5)) {
+      case 0: {  // sort
+        auto g = mesh::Grid<std::int64_t>::from_snake(shape, data);
+        measured = static_cast<double>(g.shearsort());
+        charged = phys.sort(p).steps;
+        auto expect = data;
+        mesh::ops::sort(expect, phys, p);
+        EXPECT_EQ(g.to_snake(), expect);
+        data = std::move(expect);
+        break;
+      }
+      case 1: {  // prefix scan
+        clamp();
+        auto g = mesh::Grid<std::int64_t>::from_snake(shape, data);
+        measured = static_cast<double>(g.snake_scan(
+            [](std::int64_t a, std::int64_t b) { return a + b; }));
+        charged = phys.scan(p).steps;
+        auto expect = data;
+        mesh::ops::scan_inclusive(expect, phys, p);
+        EXPECT_EQ(g.to_snake(), expect);
+        data = std::move(expect);
+        break;
+      }
+      case 2: {  // broadcast from the snake origin
+        auto g = mesh::Grid<std::int64_t>::from_snake(shape, data);
+        measured = static_cast<double>(g.broadcast_from_origin());
+        charged = phys.broadcast(p).steps;
+        const std::vector<std::int64_t> expect(n, data[0]);
+        mesh::ops::broadcast(phys, p);
+        EXPECT_EQ(g.to_snake(), expect);
+        data = expect;
+        break;
+      }
+      case 3: {  // random access read (concurrent reads + idle processors)
+        const auto addr = random_addrs();
+        const auto res = mesh::cycle_random_access_read(shape, data, addr);
+        measured = static_cast<double>(res.steps);
+        charged = phys.rar(p).steps;
+        std::vector<std::int64_t> expect;
+        mesh::ops::random_access_read<std::int64_t>(data, addr, expect, phys,
+                                                    p);
+        EXPECT_EQ(res.out, expect);
+        data = std::move(expect);
+        break;
+      }
+      case 4: {  // random access write (sum combining)
+        clamp();
+        const auto addr = random_addrs();
+        const auto values = data;
+        const auto res =
+            mesh::cycle_random_access_write(shape, data, addr, values);
+        measured = static_cast<double>(res.steps);
+        charged = phys.raw(p).steps;
+        auto expect = data;
+        mesh::ops::random_access_write<std::int64_t>(
+            addr, values, expect, std::plus<std::int64_t>{}, phys, p);
+        EXPECT_EQ(res.table, expect);
+        data = std::move(expect);
+        break;
+      }
+    }
+    EXPECT_LE(measured, 3.0 * charged);
+    measured_total += measured;
+    charged_total += charged;
+  }
+  EXPECT_GT(charged_total, 0.0);
+  EXPECT_LE(measured_total, 3.0 * charged_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrimitiveFuzz,
+                         ::testing::Range<std::uint64_t>(0, 50));
 
 }  // namespace

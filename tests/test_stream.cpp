@@ -1,0 +1,632 @@
+// Streaming batch scheduler tests (stream.hpp): oracle agreement per batch,
+// permutation invariance of the stream, warm-vs-cold bit-identity of batch
+// costs, the naive re-setup baseline losing at m/n >= 4, batch planning
+// properties, trace metrics, and the 1-vs-8-thread determinism contract of
+// DESIGN.md §5.6 extended to StreamScheduler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "datastruct/kary_tree.hpp"
+#include "datastruct/workloads.hpp"
+#include "multisearch/query.hpp"
+#include "multisearch/sequential.hpp"
+#include "multisearch/setup.hpp"
+#include "multisearch/stream.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+#include "util/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace meshsearch;
+using namespace meshsearch::msearch;
+using ds::KaryTree;
+using ds::TreeMode;
+
+// ---------------------------------------------------------------------------
+// Workload fixtures: one long-lived structure per engine kind, so
+// PreparedSearch's cached pointers stay valid for the whole test.
+// ---------------------------------------------------------------------------
+
+struct Alg1Fixture {
+  DistributedGraph g;
+  HierarchicalDag dag;
+  mesh::MeshShape shape;
+
+  // 3000 vertices like test_determinism.cpp: big enough that the paper plan
+  // has non-empty bands and the geometric plan passes its capacity check.
+  explicit Alg1Fixture(std::uint64_t seed = 20)
+      : g([&] {
+          util::Rng rng(seed);
+          return ds::build_hierarchical_dag(3000, 2.0, 3, rng);
+        }()),
+        dag(g, 2.0),
+        shape(g.shape_for(g.vertex_count())) {}
+
+  std::vector<Query> stream(std::size_t m, std::uint64_t seed = 21) const {
+    auto qs = make_queries(m);
+    util::Rng rng(seed);
+    for (auto& q : qs)
+      q.key[0] = static_cast<std::int64_t>(rng.uniform(1ull << 40));
+    return qs;
+  }
+};
+
+struct Alg2Fixture {
+  KaryTree tree;
+  mesh::MeshShape shape;
+
+  Alg2Fixture() : tree(ds::iota_keys(500), 3, TreeMode::kDirected),
+                  shape(tree.graph().shape_for(tree.graph().vertex_count())) {}
+
+  std::vector<Query> stream(std::size_t m, std::uint64_t seed = 22) const {
+    util::Rng rng(seed);
+    return ds::uniform_key_queries(m, 520, rng);
+  }
+};
+
+struct Alg3Fixture {
+  KaryTree tree;
+  Splitting s1, s2;
+  mesh::MeshShape shape;
+
+  Alg3Fixture() : tree(ds::iota_keys(256), 2, TreeMode::kUndirected),
+                  shape(tree.graph().shape_for(tree.graph().vertex_count())) {
+    std::tie(s1, s2) = tree.alpha_beta_splittings();
+  }
+
+  std::vector<Query> stream(std::size_t m, std::uint64_t seed = 23) const {
+    auto qs = make_queries(m);
+    util::Rng rng(seed);
+    for (auto& q : qs) {
+      const auto a = rng.uniform_range(-3, 259);
+      q.key[0] = a;
+      q.key[1] = a + rng.uniform_range(0, 30);
+    }
+    return qs;
+  }
+};
+
+std::map<std::int32_t, QueryOutcome> outcomes_by_qid(
+    const std::vector<Query>& qs) {
+  std::map<std::int32_t, QueryOutcome> out;
+  for (const auto& q : qs)
+    out[q.qid] = QueryOutcome{q.steps, q.acc0, q.acc1, q.result};
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// (a) Every batch's outcomes match the sequential reference, query by query.
+// ---------------------------------------------------------------------------
+
+TEST(StreamOracle, Alg1PaperMatchesSequential) {
+  const Alg1Fixture fx;
+  const std::size_t cap = fx.shape.size();
+  auto stream = fx.stream(3 * cap + cap / 2 + 7);  // partial last batch
+  auto expect = stream;
+  sequential_multisearch(fx.g, ds::HashWalk{0}, expect);
+  const mesh::CostModel m;
+  PreparedSearch engine(fx.dag, PlanKind::kPaper, ds::HashWalk{0}, m,
+                        fx.shape);
+  StreamScheduler sched(engine, BatchPolicy{});
+  const auto res = sched.run(stream);
+  EXPECT_EQ(res.batches.size(), 4u);
+  EXPECT_EQ(diff_outcomes(outcomes(stream), outcomes(expect)), "");
+}
+
+TEST(StreamOracle, Alg1GeometricMatchesSequential) {
+  const Alg1Fixture fx;
+  const std::size_t cap = fx.shape.size();
+  auto stream = fx.stream(2 * cap + 13);
+  auto expect = stream;
+  sequential_multisearch(fx.g, ds::HashWalk{0}, expect);
+  const mesh::CostModel m;
+  PreparedSearch engine(fx.dag, PlanKind::kGeometric, ds::HashWalk{0}, m,
+                        fx.shape);
+  StreamScheduler sched(engine, BatchPolicy{});
+  sched.run(stream);
+  EXPECT_EQ(diff_outcomes(outcomes(stream), outcomes(expect)), "");
+}
+
+TEST(StreamOracle, Alg2AlphaMatchesSequential) {
+  const Alg2Fixture fx;
+  const std::size_t cap = fx.shape.size();
+  auto stream = fx.stream(3 * cap + 5);
+  auto expect = stream;
+  sequential_multisearch(fx.tree.graph(), fx.tree.rank_count(), expect);
+  const mesh::CostModel m;
+  PreparedSearch engine(EngineKind::kAlg2Alpha, fx.tree.graph(),
+                        fx.tree.alpha_splitting(), fx.tree.alpha_splitting(),
+                        fx.tree.rank_count(), m, fx.shape);
+  StreamScheduler sched(engine, BatchPolicy{});
+  sched.run(stream);
+  EXPECT_EQ(diff_outcomes(outcomes(stream), outcomes(expect)), "");
+}
+
+TEST(StreamOracle, Alg3AlphaBetaMatchesSequential) {
+  const Alg3Fixture fx;
+  const std::size_t cap = fx.shape.size();
+  auto stream = fx.stream(2 * cap + 9);
+  auto expect = stream;
+  sequential_multisearch(fx.tree.graph(), fx.tree.euler_scan(), expect);
+  const mesh::CostModel m;
+  PreparedSearch engine(EngineKind::kAlg3AlphaBeta, fx.tree.graph(), fx.s1,
+                        fx.s2, fx.tree.euler_scan(), m, fx.shape);
+  StreamScheduler sched(engine, BatchPolicy{});
+  sched.run(stream);
+  EXPECT_EQ(diff_outcomes(outcomes(stream), outcomes(expect)), "");
+}
+
+TEST(StreamOracle, LocalityReorderMatchesSequentialInArrivalPositions) {
+  const Alg2Fixture fx;
+  const std::size_t cap = fx.shape.size();
+  auto stream = fx.stream(3 * cap + 17);
+  auto expect = stream;
+  sequential_multisearch(fx.tree.graph(), fx.tree.rank_count(), expect);
+  const mesh::CostModel m;
+  PreparedSearch engine(EngineKind::kAlg2Alpha, fx.tree.graph(),
+                        fx.tree.alpha_splitting(), fx.tree.alpha_splitting(),
+                        fx.tree.rank_count(), m, fx.shape);
+  BatchPolicy policy;
+  policy.order = BatchOrder::kLocalityReorder;
+  StreamScheduler sched(engine, policy);
+  sched.run(stream);
+  // Outcomes land back in arrival positions regardless of batch order.
+  EXPECT_EQ(diff_outcomes(outcomes(stream), outcomes(expect)), "");
+}
+
+// ---------------------------------------------------------------------------
+// (b) A shuffled stream yields the identical multiset of outcomes.
+// ---------------------------------------------------------------------------
+
+TEST(StreamShuffle, ShuffledStreamSameOutcomeMultiset) {
+  const Alg1Fixture fx;
+  const std::size_t cap = fx.shape.size();
+  auto stream = fx.stream(2 * cap + 31);
+  auto shuffled = stream;
+  util::Rng rng(24);
+  const auto perm = util::random_permutation(shuffled.size(), rng);
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    shuffled[i] = stream[perm[i]];
+
+  const mesh::CostModel m;
+  PreparedSearch e1(fx.dag, PlanKind::kPaper, ds::HashWalk{0}, m, fx.shape);
+  StreamScheduler s1(e1, BatchPolicy{});
+  s1.run(stream);
+  PreparedSearch e2(fx.dag, PlanKind::kPaper, ds::HashWalk{0}, m, fx.shape);
+  StreamScheduler s2(e2, BatchPolicy{});
+  s2.run(shuffled);
+  EXPECT_EQ(outcomes_by_qid(stream), outcomes_by_qid(shuffled));
+}
+
+TEST(StreamShuffle, LocalityAndFifoSameOutcomeMultiset) {
+  const Alg3Fixture fx;
+  auto fifo_stream = fx.stream(3 * fx.shape.size() + 11);
+  auto loc_stream = fifo_stream;
+  const mesh::CostModel m;
+  PreparedSearch e1(EngineKind::kAlg3AlphaBeta, fx.tree.graph(), fx.s1, fx.s2,
+                    fx.tree.euler_scan(), m, fx.shape);
+  StreamScheduler s1(e1, BatchPolicy{});
+  s1.run(fifo_stream);
+  PreparedSearch e2(EngineKind::kAlg3AlphaBeta, fx.tree.graph(), fx.s1, fx.s2,
+                    fx.tree.euler_scan(), m, fx.shape);
+  BatchPolicy loc;
+  loc.order = BatchOrder::kLocalityReorder;
+  StreamScheduler s2(e2, loc);
+  s2.run(loc_stream);
+  EXPECT_EQ(outcomes_by_qid(fifo_stream), outcomes_by_qid(loc_stream));
+}
+
+// ---------------------------------------------------------------------------
+// (c) Warm batches 2..k: outcomes and per-batch costs bit-identical to cold
+// standalone runs (a fresh engine serving that batch as its first).
+// ---------------------------------------------------------------------------
+
+TEST(StreamWarm, WarmBatchesBitIdenticalToColdStandaloneRuns) {
+  const Alg1Fixture fx;
+  const std::size_t cap = fx.shape.size();
+  const auto stream0 = fx.stream(5 * cap);
+  const BatchPolicy policy;
+  const auto slices = plan_batches(stream0, policy, cap);
+  ASSERT_EQ(slices.size(), 5u);
+
+  const mesh::CostModel m;
+  PreparedSearch warm(fx.dag, PlanKind::kPaper, ds::HashWalk{0}, m, fx.shape);
+  auto warm_stream = stream0;
+  StreamScheduler sched(warm, policy);
+  const auto res = sched.run(warm_stream);
+
+  for (std::size_t b = 0; b < slices.size(); ++b) {
+    PreparedSearch cold(fx.dag, PlanKind::kPaper, ds::HashWalk{0}, m,
+                        fx.shape);
+    // One-time setup is charged identically however often it is re-derived.
+    EXPECT_EQ(cold.setup_cost().steps, warm.setup_cost().steps);
+    std::vector<Query> batch;
+    for (const auto idx : slices[b]) batch.push_back(stream0[idx]);
+    const auto rep = cold.run_batch(batch);
+    // Bit-identical per-batch charges: warm batches pay exactly what a cold
+    // engine's FIRST batch pays (setup aside) — no drift batch to batch.
+    EXPECT_EQ(rep.inject.steps, res.batches[b].inject.steps);
+    EXPECT_EQ(rep.run.steps, res.batches[b].run.steps);
+    EXPECT_EQ(rep.visits, res.batches[b].visits);
+    // And bit-identical outcomes, query by query.
+    std::vector<Query> warm_batch;
+    for (const auto idx : slices[b]) warm_batch.push_back(warm_stream[idx]);
+    EXPECT_EQ(diff_outcomes(outcomes(batch), outcomes(warm_batch)), "");
+  }
+}
+
+TEST(StreamWarm, SecondStreamOnWarmEngineChargesNoSetup) {
+  const Alg2Fixture fx;
+  auto first = fx.stream(2 * fx.shape.size());
+  auto second = fx.stream(2 * fx.shape.size(), 29);
+  const mesh::CostModel m;
+  PreparedSearch engine(EngineKind::kAlg2Alpha, fx.tree.graph(),
+                        fx.tree.alpha_splitting(), fx.tree.alpha_splitting(),
+                        fx.tree.rank_count(), m, fx.shape);
+  StreamScheduler sched(engine, BatchPolicy{});
+  const auto r1 = sched.run(first);
+  EXPECT_EQ(r1.setup.steps, engine.setup_cost().steps);
+  const auto r2 = sched.run(second);
+  EXPECT_EQ(r2.setup.steps, 0.0);  // engine already warm: nothing attributed
+  auto expect = second;
+  sequential_multisearch(fx.tree.graph(), fx.tree.rank_count(), expect);
+  EXPECT_EQ(diff_outcomes(outcomes(second), outcomes(expect)), "");
+}
+
+TEST(StreamWarm, SetupCostMatchesStandalonePieces) {
+  const Alg1Fixture fx;
+  const mesh::CostModel m;
+  PreparedSearch engine(fx.dag, PlanKind::kPaper, ds::HashWalk{0}, m,
+                        fx.shape);
+  const mesh::Cost graph_cost = distribute_graph(fx.g, m, fx.shape);
+  const auto li = compute_level_indices(fx.g, m, fx.shape);
+  const mesh::Cost bands = band_setup_cost(engine.plan(), fx.shape, m);
+  EXPECT_EQ(engine.setup_cost().steps,
+            (graph_cost + li.cost + bands).steps);
+}
+
+TEST(StreamWarm, Alg1RunWithoutBandSetupIsCheaperByExactlyThatSetup) {
+  // Geometric plan: at this size it has several bands (the paper's log*
+  // plan needs a far taller DAG before its first band appears).
+  const Alg1Fixture fx;
+  const mesh::CostModel m;
+  auto qs_full = fx.stream(fx.g.vertex_count());
+  auto qs_warm = qs_full;
+  const auto full = hierarchical_multisearch(fx.dag, ds::HashWalk{0}, qs_full,
+                                             m, fx.shape, PlanKind::kGeometric,
+                                             /*charge_band_setup=*/true);
+  const auto warm = hierarchical_multisearch(fx.dag, ds::HashWalk{0}, qs_warm,
+                                             m, fx.shape, PlanKind::kGeometric,
+                                             /*charge_band_setup=*/false);
+  EXPECT_EQ(diff_outcomes(outcomes(qs_full), outcomes(qs_warm)), "");
+  const auto plan =
+      make_hierarchical_plan(fx.dag, fx.shape, PlanKind::kGeometric);
+  const mesh::Cost bands = band_setup_cost(plan, fx.shape, m);
+  EXPECT_GT(bands.steps, 0.0);
+  // Same terms, different accumulation order -> compare to relative eps.
+  EXPECT_NEAR(full.cost.steps, warm.cost.steps + bands.steps,
+              1e-9 * full.cost.steps);
+}
+
+// ---------------------------------------------------------------------------
+// The naive re-setup-every-batch baseline loses at m/n >= 4 (all engines).
+// ---------------------------------------------------------------------------
+
+template <typename MakeEngine>
+void expect_warm_beats_resetup(const std::vector<Query>& stream0,
+                               MakeEngine make_engine) {
+  auto warm_stream = stream0;
+  auto warm_engine = make_engine();
+  StreamScheduler warm(warm_engine, BatchPolicy{});
+  const auto warm_res = warm.run(warm_stream);
+
+  auto naive_stream = stream0;
+  auto naive_engine = make_engine();
+  StreamScheduler naive(naive_engine, BatchPolicy{},
+                        /*resetup_every_batch=*/true);
+  const auto naive_res = naive.run(naive_stream);
+
+  EXPECT_EQ(diff_outcomes(outcomes(warm_stream), outcomes(naive_stream)), "");
+  EXPECT_LT(warm_res.amortized_steps_per_query(),
+            naive_res.amortized_steps_per_query());
+  EXPECT_LT(warm_res.setup_fraction(), naive_res.setup_fraction());
+}
+
+TEST(StreamBaseline, WarmBeatsResetupAlg1Paper) {
+  const Alg1Fixture fx;
+  const mesh::CostModel m;
+  expect_warm_beats_resetup(fx.stream(4 * fx.shape.size()), [&] {
+    return PreparedSearch(fx.dag, PlanKind::kPaper, ds::HashWalk{0}, m,
+                          fx.shape);
+  });
+}
+
+TEST(StreamBaseline, WarmBeatsResetupAlg1Geometric) {
+  const Alg1Fixture fx;
+  const mesh::CostModel m;
+  expect_warm_beats_resetup(fx.stream(4 * fx.shape.size()), [&] {
+    return PreparedSearch(fx.dag, PlanKind::kGeometric, ds::HashWalk{0}, m,
+                          fx.shape);
+  });
+}
+
+TEST(StreamBaseline, WarmBeatsResetupAlg2Alpha) {
+  const Alg2Fixture fx;
+  const mesh::CostModel m;
+  expect_warm_beats_resetup(fx.stream(4 * fx.shape.size()), [&] {
+    return PreparedSearch(EngineKind::kAlg2Alpha, fx.tree.graph(),
+                          fx.tree.alpha_splitting(), fx.tree.alpha_splitting(),
+                          fx.tree.rank_count(), m, fx.shape);
+  });
+}
+
+TEST(StreamBaseline, WarmBeatsResetupAlg3AlphaBeta) {
+  const Alg3Fixture fx;
+  const mesh::CostModel m;
+  expect_warm_beats_resetup(fx.stream(4 * fx.shape.size()), [&] {
+    return PreparedSearch(EngineKind::kAlg3AlphaBeta, fx.tree.graph(), fx.s1,
+                          fx.s2, fx.tree.euler_scan(), m, fx.shape);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Batch planning properties.
+// ---------------------------------------------------------------------------
+
+TEST(StreamPolicy, PlanBatchesCoversEveryIndexExactlyOnce) {
+  const Alg1Fixture fx;
+  const auto stream = fx.stream(1000);
+  for (const auto order : {BatchOrder::kFifo, BatchOrder::kLocalityReorder}) {
+    BatchPolicy policy;
+    policy.batch_size = 96;
+    policy.order = order;
+    const auto batches = plan_batches(stream, policy, 256);
+    std::vector<std::uint8_t> seen(stream.size(), 0);
+    for (const auto& b : batches) {
+      EXPECT_FALSE(b.empty());
+      EXPECT_LE(b.size(), 96u);
+      for (const auto idx : b) {
+        ASSERT_LT(idx, stream.size());
+        EXPECT_EQ(seen[idx], 0);
+        seen[idx] = 1;
+      }
+    }
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), 1),
+              static_cast<std::ptrdiff_t>(stream.size()));
+  }
+}
+
+TEST(StreamPolicy, LocalityReorderSortsEachWindowByKey) {
+  const Alg1Fixture fx;
+  const auto stream = fx.stream(777);
+  BatchPolicy policy;
+  policy.batch_size = 64;
+  policy.window = 256;
+  policy.order = BatchOrder::kLocalityReorder;
+  const auto batches = plan_batches(stream, policy, 1024);
+  // Flatten back: within every 256-index window the keys ascend.
+  std::vector<std::uint32_t> flat;
+  for (const auto& b : batches) flat.insert(flat.end(), b.begin(), b.end());
+  ASSERT_EQ(flat.size(), stream.size());
+  for (std::size_t i = 1; i < flat.size(); ++i) {
+    if (i % 256 == 0) continue;  // window boundary
+    EXPECT_LE(stream[flat[i - 1]].key[0], stream[flat[i]].key[0]);
+  }
+}
+
+TEST(StreamPolicy, BatchSizeClampedToCapacity) {
+  const Alg1Fixture fx;
+  const auto stream = fx.stream(300);
+  BatchPolicy policy;
+  policy.batch_size = 100000;  // far beyond capacity
+  const auto batches = plan_batches(stream, policy, 128);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 128u);
+  EXPECT_EQ(batches[2].size(), 44u);
+}
+
+TEST(StreamPolicy, EmptyStreamYieldsNoBatchesAndZeroCost) {
+  const Alg2Fixture fx;
+  const mesh::CostModel m;
+  PreparedSearch engine(EngineKind::kAlg2Alpha, fx.tree.graph(),
+                        fx.tree.alpha_splitting(), fx.tree.alpha_splitting(),
+                        fx.tree.rank_count(), m, fx.shape);
+  StreamScheduler sched(engine, BatchPolicy{});
+  std::vector<Query> empty;
+  const auto res = sched.run(empty);
+  EXPECT_TRUE(res.batches.empty());
+  EXPECT_EQ(res.total().steps, 0.0);
+  EXPECT_EQ(res.amortized_steps_per_query(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Trace metrics and attribution.
+// ---------------------------------------------------------------------------
+
+TEST(StreamMetrics, ThroughputMetricsRecordedAndVisibleInTable) {
+  const Alg1Fixture fx;
+  trace::TraceRecorder rec("counting");
+  mesh::CostModel m;
+  m.trace = &rec;
+  PreparedSearch engine(fx.dag, PlanKind::kPaper, ds::HashWalk{0}, m,
+                        fx.shape);
+  auto stream = fx.stream(4 * fx.shape.size());
+  StreamScheduler sched(engine, BatchPolicy{});
+  const auto res = sched.run(stream);
+
+  std::map<std::string, double> metrics;
+  for (const auto& mt : rec.metrics()) metrics[mt.name] = mt.value;
+  ASSERT_EQ(metrics.count("stream.queries_per_step"), 1u);
+  ASSERT_EQ(metrics.count("stream.amortized_steps_per_query"), 1u);
+  ASSERT_EQ(metrics.count("stream.setup_fraction"), 1u);
+  EXPECT_EQ(metrics["stream.batches"], 4.0);
+  EXPECT_EQ(metrics["stream.queries"], static_cast<double>(stream.size()));
+  EXPECT_GT(metrics["stream.setup_fraction"], 0.0);
+  EXPECT_LT(metrics["stream.setup_fraction"], 1.0);
+  EXPECT_EQ(metrics["stream.amortized_steps_per_query"],
+            res.amortized_steps_per_query());
+
+  // The amortized-setup fraction is visible in the attribution table.
+  std::ostringstream os;
+  trace::metrics_table(rec).print(os);
+  EXPECT_NE(os.str().find("metric:stream.setup_fraction"), std::string::npos);
+}
+
+TEST(StreamMetrics, AttributionSumsToSetupPlusStreamTotal) {
+  const Alg3Fixture fx;
+  trace::TraceRecorder rec("counting");
+  mesh::CostModel m;
+  m.trace = &rec;
+  PreparedSearch engine(EngineKind::kAlg3AlphaBeta, fx.tree.graph(), fx.s1,
+                        fx.s2, fx.tree.euler_scan(), m, fx.shape);
+  auto stream = fx.stream(2 * fx.shape.size() + 100);
+  StreamScheduler sched(engine, BatchPolicy{});
+  const auto res = sched.run(stream);
+  // Everything charged through the model — construction-time setup plus all
+  // per-batch work — is attributed, and nothing else is.
+  double attributed = 0.0;
+  for (const auto& [key, stat] : rec.counters()) attributed += stat.steps;
+  EXPECT_NEAR(attributed, rec.total_steps(), 1e-6);
+  EXPECT_NEAR(rec.total_steps(), res.total().steps, 1e-6);
+}
+
+TEST(StreamMetrics, PerBatchSpanTreeRecorded) {
+  const Alg2Fixture fx;
+  trace::TraceRecorder rec("counting");
+  mesh::CostModel m;
+  m.trace = &rec;
+  PreparedSearch engine(EngineKind::kAlg2Alpha, fx.tree.graph(),
+                        fx.tree.alpha_splitting(), fx.tree.alpha_splitting(),
+                        fx.tree.rank_count(), m, fx.shape);
+  auto stream = fx.stream(3 * fx.shape.size());
+  StreamScheduler sched(engine, BatchPolicy{});
+  sched.run(stream);
+  std::size_t prepare = 0, batch_spans = 0;
+  for (const auto& s : rec.spans()) {
+    if (s.name == "stream.prepare") ++prepare;
+    if (s.name.rfind("stream.batch ", 0) == 0) ++batch_spans;
+  }
+  EXPECT_EQ(prepare, 1u);      // warm: one setup span, at construction
+  EXPECT_EQ(batch_spans, 3u);  // one span per batch
+}
+
+// ---------------------------------------------------------------------------
+// (d) 1-vs-8-thread determinism contract for StreamScheduler.
+// ---------------------------------------------------------------------------
+
+struct RunRecord {
+  std::vector<QueryOutcome> out;
+  mesh::Cost cost;
+  std::map<trace::PrimitiveKey, trace::PrimitiveStat> counters;
+};
+
+template <typename F>
+void expect_thread_invariant(F f) {
+  util::ThreadPool::set_global_threads(1);
+  const RunRecord serial = f();
+  util::ThreadPool::set_global_threads(8);
+  const RunRecord parallel = f();
+  util::ThreadPool::set_global_threads(0);
+  EXPECT_EQ(diff_outcomes(serial.out, parallel.out), "");
+  EXPECT_EQ(serial.cost, parallel.cost);  // exact, not approximate
+  EXPECT_TRUE(serial.counters == parallel.counters)
+      << "per-primitive attribution diverged across thread counts";
+}
+
+TEST(StreamDeterminism, Alg1PaperSchedulerThreadInvariant) {
+  const Alg1Fixture fx;
+  const auto stream0 = fx.stream(3 * fx.shape.size() + 64);
+  expect_thread_invariant([&] {
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    m.trace = &rec;
+    PreparedSearch engine(fx.dag, PlanKind::kPaper, ds::HashWalk{0}, m,
+                          fx.shape);
+    auto stream = stream0;
+    StreamScheduler sched(engine, BatchPolicy{});
+    const auto res = sched.run(stream);
+    return RunRecord{outcomes(stream), res.total(), rec.counters()};
+  });
+}
+
+TEST(StreamDeterminism, Alg1GeometricSchedulerThreadInvariant) {
+  const Alg1Fixture fx;
+  const auto stream0 = fx.stream(3 * fx.shape.size() + 64);
+  expect_thread_invariant([&] {
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    m.trace = &rec;
+    PreparedSearch engine(fx.dag, PlanKind::kGeometric, ds::HashWalk{0}, m,
+                          fx.shape);
+    auto stream = stream0;
+    StreamScheduler sched(engine, BatchPolicy{});
+    const auto res = sched.run(stream);
+    return RunRecord{outcomes(stream), res.total(), rec.counters()};
+  });
+}
+
+TEST(StreamDeterminism, Alg2SchedulerThreadInvariant) {
+  const Alg2Fixture fx;
+  const auto stream0 = fx.stream(3 * fx.shape.size() + 32);
+  expect_thread_invariant([&] {
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    m.trace = &rec;
+    PreparedSearch engine(EngineKind::kAlg2Alpha, fx.tree.graph(),
+                          fx.tree.alpha_splitting(), fx.tree.alpha_splitting(),
+                          fx.tree.rank_count(), m, fx.shape);
+    auto stream = stream0;
+    BatchPolicy policy;
+    policy.order = BatchOrder::kLocalityReorder;
+    StreamScheduler sched(engine, policy);
+    const auto res = sched.run(stream);
+    return RunRecord{outcomes(stream), res.total(), rec.counters()};
+  });
+}
+
+TEST(StreamDeterminism, Alg3SchedulerThreadInvariant) {
+  const Alg3Fixture fx;
+  const auto stream0 = fx.stream(3 * fx.shape.size() + 32);
+  expect_thread_invariant([&] {
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    m.trace = &rec;
+    PreparedSearch engine(EngineKind::kAlg3AlphaBeta, fx.tree.graph(), fx.s1,
+                          fx.s2, fx.tree.euler_scan(), m, fx.shape);
+    auto stream = stream0;
+    StreamScheduler sched(engine, BatchPolicy{});
+    const auto res = sched.run(stream);
+    return RunRecord{outcomes(stream), res.total(), rec.counters()};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases / contract checks.
+// ---------------------------------------------------------------------------
+
+TEST(StreamEdge, OversizedBatchThrows) {
+  const Alg1Fixture fx;
+  const mesh::CostModel m;
+  PreparedSearch engine(fx.dag, PlanKind::kPaper, ds::HashWalk{0}, m,
+                        fx.shape);
+  auto batch = fx.stream(fx.shape.size() + 1);
+  EXPECT_THROW(engine.run_batch(batch), std::logic_error);
+}
+
+TEST(StreamEdge, PartitionedPreparedSearchRejectsAlg1Kind) {
+  const Alg2Fixture fx;
+  const mesh::CostModel m;
+  EXPECT_THROW(PreparedSearch(EngineKind::kAlg1Paper, fx.tree.graph(),
+                              fx.tree.alpha_splitting(),
+                              fx.tree.alpha_splitting(), fx.tree.rank_count(),
+                              m, fx.shape),
+               std::logic_error);
+}
+
+}  // namespace
