@@ -14,6 +14,8 @@
 #include <cctype>
 #include <filesystem>
 #include <iostream>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -49,6 +51,33 @@ inline std::string sanitize_csv_name(const std::string& name) {
   return out;
 }
 
+/// Registry of CSV names already emitted by this process. Sanitization is
+/// lossy — distinct sweep points can collide (e.g. "zipf(1.1)" and
+/// "zipf_1.1" both sanitize to "zipf_1.1") and the later one used to
+/// silently overwrite the earlier file. Keyed by the RAW name so a re-emit
+/// of the same point still refreshes its own file; a different raw name
+/// whose sanitized form is taken gets a "_2", "_3", ... suffix.
+struct CsvNameRegistry {
+  std::map<std::string, std::string> by_raw;  ///< raw name -> chosen file stem
+  std::set<std::string> taken;                ///< file stems already claimed
+};
+
+/// Resolve `raw` (sanitizing to `sanitized`) against `reg`: returns the
+/// stem this raw name should write, registering it on first use. Pure
+/// bookkeeping — callers decide how to surface a collision.
+inline std::string disambiguate_csv_name(const std::string& raw,
+                                         const std::string& sanitized,
+                                         CsvNameRegistry& reg) {
+  const auto it = reg.by_raw.find(raw);
+  if (it != reg.by_raw.end()) return it->second;
+  std::string chosen = sanitized;
+  for (int n = 2; reg.taken.count(chosen) != 0; ++n)
+    chosen = sanitized + "_" + std::to_string(n);
+  reg.by_raw.emplace(raw, chosen);
+  reg.taken.insert(chosen);
+  return chosen;
+}
+
 inline void emit(const util::Table& t, const std::string& csv_name) {
   t.print(std::cout);
   std::error_code ec;
@@ -58,7 +87,15 @@ inline void emit(const util::Table& t, const std::string& csv_name) {
               << "); skipping CSV mirror for " << csv_name << "\n";
     return;
   }
-  const std::string path = "bench_out/" + sanitize_csv_name(csv_name) + ".csv";
+  static CsvNameRegistry registry;
+  const std::string sanitized = sanitize_csv_name(csv_name);
+  const std::string unique =
+      disambiguate_csv_name(csv_name, sanitized, registry);
+  if (unique != sanitized)
+    std::cerr << "warning: CSV name collision: \"" << csv_name
+              << "\" sanitizes to already-emitted \"" << sanitized
+              << "\"; writing bench_out/" << unique << ".csv instead\n";
+  const std::string path = "bench_out/" + unique + ".csv";
   try {
     t.write_csv_file(path);
   } catch (const std::exception& e) {

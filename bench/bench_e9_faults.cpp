@@ -1,0 +1,273 @@
+// E9 — fault injection and phase-level recovery overhead.
+//
+// Claim (mesh/fault.hpp, multisearch/recovery.hpp): with a seed-driven
+// FaultPlan armed, every multisearch engine checkpoints its phases and
+// re-runs failed attempts (charging the wasted work plus exponential
+// backoff), and the stream scheduler re-plans batches that exhaust their
+// retry budget onto the degraded capacity. Every injected fault is either
+// recovered — outcomes bit-identical to the fault-free oracle — or reported
+// as a degraded batch; never a silent wrong answer.
+//
+// Two sweeps:
+//   * counting engines: phase-failure rate x engine; reports amortized
+//     steps/query, the overhead ratio vs the fault-free run of the same
+//     stream, retry/backoff/degradation counters, and verifies recovered
+//     outcomes against the fault-free oracle.
+//   * cycle engine: stall/drop rate on the physical RAR; reports the
+//     measured step overhead and verifies the fetched data is unchanged
+//     (stalls and drops only delay packets, never corrupt them).
+//
+// `--smoke` shrinks sizes and rates for CI tier-1.
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "datastruct/kary_tree.hpp"
+#include "datastruct/workloads.hpp"
+#include "mesh/cycle_ops.hpp"
+#include "mesh/fault.hpp"
+#include "multisearch/query.hpp"
+#include "multisearch/stream.hpp"
+#include "util/rng.hpp"
+
+using namespace meshsearch;
+using namespace meshsearch::msearch;
+using ds::KaryTree;
+using ds::TreeMode;
+
+namespace {
+
+struct Sizes {
+  std::size_t dag_n = 1 << 12;
+  std::size_t tree2_n = 1 << 11;
+  std::size_t tree3_n = 1 << 10;
+  std::size_t ratio = 4;  ///< stream length as a multiple of mesh capacity
+  std::uint32_t cycle_side = 16;
+  std::vector<double> phase_rates{0.0, 0.02, 0.05, 0.1, 0.2};
+  std::vector<double> cycle_rates{0.0, 0.001, 0.005, 0.01};
+};
+
+struct RatePoint {
+  double rate = 0;
+  double steps_per_query = 0;
+  double overhead = 1.0;  ///< total steps / fault-free total steps
+  double retries = 0;
+  double backoff_steps = 0;
+  double replanned = 0;
+  double degraded = 0;
+  double failed_queries = 0;
+};
+
+/// Sweep one engine over the phase-failure rates: rate 0 is the fault-free
+/// oracle (its outcomes and total anchor the comparison). `make_engine(m)`
+/// builds a fresh cold engine charging through `m`; `make_stream()` the
+/// deterministic query stream.
+template <typename MakeEngine, typename MakeStream>
+void sweep_engine(const std::string& name, const Sizes& sz,
+                  MakeEngine make_engine, MakeStream make_stream) {
+  std::vector<QueryOutcome> oracle;
+  double oracle_total = 0;
+  util::Table t({"p_phase", "steps/query", "overhead", "phase retries",
+                 "backoff steps", "replanned", "degraded", "failed queries"});
+  for (const double rate : sz.phase_rates) {
+    mesh::FaultConfig cfg;
+    cfg.seed = 99;
+    cfg.p_phase = rate;
+    mesh::FaultPlan plan(cfg);
+    mesh::CostModel m;
+    m.fault = &plan;  // disarmed at rate 0: identical to no plan
+    auto engine = make_engine(m);
+    auto stream = make_stream(sz.ratio * engine.capacity());
+    StreamScheduler sched(engine, BatchPolicy{});
+    const StreamResult res = sched.run(stream);
+
+    RatePoint pt;
+    pt.rate = rate;
+    pt.steps_per_query = res.amortized_steps_per_query();
+    const auto stats = plan.stats();
+    pt.retries = static_cast<double>(stats.phase_retries);
+    pt.backoff_steps = stats.backoff_steps;
+    pt.replanned = static_cast<double>(stats.replanned_batches);
+    pt.degraded = static_cast<double>(stats.degraded_batches);
+    pt.failed_queries = static_cast<double>(res.failed_queries.size());
+
+    const auto out = outcomes(stream);
+    if (rate == 0.0) {
+      oracle = out;
+      oracle_total = res.total().steps;
+      pt.overhead = 1.0;
+    } else {
+      pt.overhead = oracle_total > 0 ? res.total().steps / oracle_total : 1.0;
+      // Every query outside a degraded batch must match the fault-free
+      // oracle exactly: recovery, not approximation.
+      const std::set<std::uint32_t> failed(res.failed_queries.begin(),
+                                           res.failed_queries.end());
+      for (std::size_t i = 0; i < out.size(); ++i)
+        if (failed.count(static_cast<std::uint32_t>(i)) == 0 &&
+            !(out[i] == oracle[i]))
+          std::cout << "VIOLATION: " << name << " p_phase=" << rate
+                    << " query " << i << " diverged from fault-free oracle\n";
+    }
+    t.add_row({pt.rate, pt.steps_per_query, pt.overhead, pt.retries,
+               pt.backoff_steps, pt.replanned, pt.degraded,
+               pt.failed_queries});
+  }
+  bench::section("E9: " + name + " recovery overhead");
+  bench::emit(t, "e9_" + name);
+}
+
+/// Cycle-engine sweep: physical RAR under stall/drop injection. The fetched
+/// data must be identical at every rate; only the measured steps grow.
+void sweep_cycle(const Sizes& sz) {
+  const mesh::MeshShape shape(sz.cycle_side);
+  const std::size_t p = shape.size();
+  util::Rng rng(123);
+  std::vector<std::int64_t> table(p), addr(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    table[i] = static_cast<std::int64_t>(rng.uniform(1ull << 30));
+    addr[i] = static_cast<std::int64_t>(rng.uniform(p));
+  }
+  std::vector<std::int64_t> oracle;
+  double oracle_steps = 0;
+  util::Table t({"p_stall=p_drop", "rar steps", "overhead", "stalls", "drops",
+                 "lockstep retried"});
+  for (const double rate : sz.cycle_rates) {
+    mesh::FaultConfig cfg;
+    cfg.seed = 7;
+    cfg.p_stall = rate;
+    cfg.p_drop = rate;
+    mesh::FaultPlan plan(cfg);
+    const auto res = mesh::cycle_random_access_read(shape, table, addr, 0,
+                                                    nullptr, &plan);
+    if (rate == 0.0) {
+      oracle = res.out;
+      oracle_steps = static_cast<double>(res.steps);
+    } else if (res.out != oracle) {
+      std::cout << "VIOLATION: cycle RAR data corrupted at rate " << rate
+                << "\n";
+    }
+    const auto stats = plan.stats();
+    t.add_row({rate, static_cast<double>(res.steps),
+               oracle_steps > 0 ? static_cast<double>(res.steps) / oracle_steps
+                                : 1.0,
+               static_cast<double>(stats.injected_stalls),
+               static_cast<double>(stats.injected_drops),
+               static_cast<double>(stats.lockstep_retried_steps)});
+  }
+  bench::section("E9: cycle RAR under stall/drop injection");
+  bench::emit(t, "e9_cycle_rar");
+}
+
+/// Showcase trace: one armed alg3 stream with the recorder wired, so the
+/// attribution table (printed by emit_trace) shows the `backoff` primitive
+/// and the fault.* metrics land in both JSON exports.
+void showcase(const bench::TraceOptions& topt, const Sizes& sz) {
+  if (!topt.enabled) return;
+  KaryTree tree(ds::iota_keys(sz.tree3_n), 2, TreeMode::kUndirected);
+  const auto shape = tree.graph().shape_for(tree.graph().vertex_count());
+  const auto [s1, s2] = tree.alpha_beta_splittings();
+  mesh::FaultConfig cfg;
+  cfg.seed = 99;
+  cfg.p_phase = 0.1;
+  mesh::FaultPlan plan(cfg);
+  bench::TracedModel tm(topt);
+  tm.model.fault = &plan;
+  PreparedSearch engine(EngineKind::kAlg3AlphaBeta, tree.graph(), s1, s2,
+                        tree.euler_scan(), tm.model, shape);
+  auto stream = make_queries(sz.ratio * engine.capacity());
+  util::Rng qrng(44);
+  for (auto& q : stream) {
+    const auto a =
+        qrng.uniform_range(-3, static_cast<std::int64_t>(sz.tree3_n) + 3);
+    q.key[0] = a;
+    q.key[1] = a + qrng.uniform_range(0, 30);
+  }
+  StreamScheduler sched(engine, BatchPolicy{});
+  sched.run(stream);
+  bench::emit_trace(tm.rec, topt, "e9_showcase_alg3_p10");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto topt = bench::parse_trace_flag(argc, argv);
+  Sizes sz;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      sz.dag_n = 1 << 10;
+      sz.tree2_n = 1 << 9;
+      sz.tree3_n = 1 << 8;
+      sz.ratio = 2;
+      sz.cycle_side = 8;
+      sz.phase_rates = {0.0, 0.1};
+      sz.cycle_rates = {0.0, 0.01};
+    }
+
+  // Algorithm 1 (both plans): hierarchical DAG.
+  util::Rng rng(41);
+  const auto g = ds::build_hierarchical_dag(sz.dag_n, 2.0, 3, rng);
+  const HierarchicalDag dag(g, 2.0);
+  const auto shape = g.shape_for(g.vertex_count());
+  auto alg1_stream = [&](std::size_t mq) {
+    auto qs = make_queries(mq);
+    util::Rng qrng(42);
+    for (auto& q : qs)
+      q.key[0] = static_cast<std::int64_t>(qrng.uniform(1ull << 40));
+    return qs;
+  };
+  sweep_engine("alg1-paper", sz,
+               [&](const mesh::CostModel& m) {
+                 return PreparedSearch(dag, PlanKind::kPaper, ds::HashWalk{0},
+                                       m, shape);
+               },
+               alg1_stream);
+  sweep_engine("alg1-geometric", sz,
+               [&](const mesh::CostModel& m) {
+                 return PreparedSearch(dag, PlanKind::kGeometric,
+                                       ds::HashWalk{0}, m, shape);
+               },
+               alg1_stream);
+
+  // Algorithm 2: directed k-ary search tree, alpha splitting.
+  KaryTree tree2(ds::iota_keys(sz.tree2_n), 3, TreeMode::kDirected);
+  const auto shape2 = tree2.graph().shape_for(tree2.graph().vertex_count());
+  sweep_engine("alg2-alpha", sz,
+               [&](const mesh::CostModel& m) {
+                 return PreparedSearch(EngineKind::kAlg2Alpha, tree2.graph(),
+                                       tree2.alpha_splitting(),
+                                       tree2.alpha_splitting(),
+                                       tree2.rank_count(), m, shape2);
+               },
+               [&](std::size_t mq) {
+                 util::Rng qrng(43);
+                 return ds::uniform_key_queries(mq, sz.tree2_n + 20, qrng);
+               });
+
+  // Algorithm 3: undirected binary tree, alpha-beta splittings.
+  KaryTree tree3(ds::iota_keys(sz.tree3_n), 2, TreeMode::kUndirected);
+  const auto shape3 = tree3.graph().shape_for(tree3.graph().vertex_count());
+  const auto [s1, s2] = tree3.alpha_beta_splittings();
+  sweep_engine("alg3-alpha-beta", sz,
+               [&](const mesh::CostModel& m) {
+                 return PreparedSearch(EngineKind::kAlg3AlphaBeta,
+                                       tree3.graph(), s1, s2,
+                                       tree3.euler_scan(), m, shape3);
+               },
+               [&](std::size_t mq) {
+                 auto qs = make_queries(mq);
+                 util::Rng qrng(44);
+                 for (auto& q : qs) {
+                   const auto a = qrng.uniform_range(
+                       -3, static_cast<std::int64_t>(sz.tree3_n) + 3);
+                   q.key[0] = a;
+                   q.key[1] = a + qrng.uniform_range(0, 30);
+                 }
+                 return qs;
+               });
+
+  sweep_cycle(sz);
+  showcase(topt, sz);
+  return 0;
+}

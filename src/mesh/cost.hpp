@@ -28,6 +28,8 @@
 
 namespace meshsearch::mesh {
 
+class FaultPlan;  // mesh/fault.hpp — optional fault-injection oracle
+
 /// Simulated mesh steps. A thin wrapper over double so that step counts
 /// cannot be accidentally mixed with other scalar quantities.
 struct Cost {
@@ -89,6 +91,8 @@ struct CostModel {
   double reduce_c = 2.0;  ///< semigroup reduction to one processor
   bool physical_sort = false;  ///< charge shearsort O(sqrt(p) log p) instead
   trace::TraceRecorder* trace = nullptr;  ///< optional attribution sink (not owned)
+  FaultPlan* fault = nullptr;  ///< optional fault oracle (not owned); null or
+                               ///< disarmed leaves every charge untouched
 
   double sqrt_p(double p) const { return std::sqrt(std::max(1.0, p)); }
 
@@ -125,6 +129,15 @@ struct CostModel {
   Cost compress(double p, double times = 1.0) const {
     return charge(trace::Primitive::kCompress, p, times,
                   scan_steps(p) + route_steps(p));
+  }
+
+  /// Fault-recovery backoff: `steps` idle steps waited between phase retry
+  /// attempts (mesh/fault.hpp). Charged under its own primitive so the
+  /// attribution table still sums exactly to the charged total when faults
+  /// are armed. Zero steps charge (and record) nothing.
+  Cost backoff(double p, double steps) const {
+    if (steps <= 0) return Cost{};
+    return charge(trace::Primitive::kBackoff, p, 1.0, steps);
   }
 
  private:

@@ -20,7 +20,8 @@ template <typename T>
 std::size_t route_partial_generic(MeshShape shape,
                                   const std::vector<T>& payload_rm,
                                   const std::vector<std::int64_t>& dest_rm,
-                                  std::vector<T>& out_rm, T fill) {
+                                  std::vector<T>& out_rm, T fill,
+                                  FaultPlan* fault = nullptr) {
   const std::uint32_t s = shape.side();
   const std::size_t p = shape.size();
   MS_CHECK(payload_rm.size() == p && dest_rm.size() == p);
@@ -62,10 +63,32 @@ std::size_t route_partial_generic(MeshShape shape,
   }
 
   std::size_t steps = 0;
+  // Fault injection mirrors Grid::route_permutation: stalls suppress a
+  // cell's departures for one step, drops leave the packet at its queue head
+  // (blocking that queue for the rest of the step) and the convergence guard
+  // is scaled while armed.
+  const bool faulty = fault != nullptr && fault->armed();
+  const std::uint64_t epoch = faulty ? fault->next_route_epoch() : 0;
+  const std::size_t base_cap = 64 * static_cast<std::size_t>(s) + 64;
+  const std::size_t cap =
+      faulty ? static_cast<std::size_t>(
+                   static_cast<double>(base_cap) *
+                   std::max(1.0, fault->config().route_cap_factor))
+             : base_cap;
+  std::vector<std::uint64_t> blocked_h, blocked_v;
+  if (faulty) {
+    blocked_h.assign(p, 0);
+    blocked_v.assign(p, 0);
+  }
   while (undelivered > 0) {
     ++steps;
-    MS_CHECK_MSG(steps <= 64 * static_cast<std::size_t>(s) + 64,
-                 "partial routing failed to converge");
+    if (!faulty) {
+      MS_CHECK_MSG(steps <= cap, "partial routing failed to converge");
+    } else if (steps > cap) {
+      throw FaultExhaustedError(
+          "partial routing exceeded its scaled convergence guard under "
+          "injected faults");
+    }
     struct Move {
       std::size_t from_cell;
       bool from_horiz;
@@ -83,6 +106,7 @@ std::size_t route_partial_generic(MeshShape shape,
           auto& moves = row_moves[row];
           for (std::uint32_t c = 0; c < s; ++c) {
             const std::size_t cell = static_cast<std::size_t>(r) * s + c;
+            if (faulty && fault->stall(epoch, steps, cell)) continue;
             auto& hq = state[cell].horiz;
             int east = 0, west = 0;
             for (std::size_t k = 0; k < hq.size();) {
@@ -122,6 +146,15 @@ std::size_t route_partial_generic(MeshShape shape,
     for (const auto& rm : row_moves)
       moves.insert(moves.end(), rm.begin(), rm.end());
     for (const auto& mv : moves) {
+      if (faulty) {
+        auto& blocked = mv.from_horiz ? blocked_h : blocked_v;
+        if (blocked[mv.from_cell] == steps) continue;
+        if (fault->drop(epoch, steps, static_cast<std::uint64_t>(mv.from_cell),
+                        static_cast<std::uint64_t>(mv.to_cell))) {
+          blocked[mv.from_cell] = steps;
+          continue;
+        }
+      }
       auto& q = mv.from_horiz ? state[mv.from_cell].horiz
                               : state[mv.from_cell].vert;
       Packet pk = q.front();
@@ -156,13 +189,14 @@ void record(trace::TraceRecorder* trace, trace::Primitive prim,
 
 std::size_t route_partial(Grid<std::int64_t>& g,
                           const std::vector<std::int64_t>& dest_rm,
-                          std::int64_t fill, trace::TraceRecorder* trace) {
+                          std::int64_t fill, trace::TraceRecorder* trace,
+                          FaultPlan* fault) {
   const MeshShape shape = g.shape();
   std::vector<std::int64_t> payload(shape.size());
   for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = g.at_rm(i);
   std::vector<std::int64_t> out;
   const std::size_t steps =
-      route_partial_generic(shape, payload, dest_rm, out, fill);
+      route_partial_generic(shape, payload, dest_rm, out, fill, fault);
   for (std::size_t i = 0; i < out.size(); ++i) g.at_rm(i) = out[i];
   record(trace, trace::Primitive::kRoute, shape, steps);
   return steps;
@@ -170,13 +204,15 @@ std::size_t route_partial(Grid<std::int64_t>& g,
 
 std::size_t segmented_snake_broadcast(
     MeshShape shape, std::vector<std::int64_t>& values,
-    const std::vector<std::uint8_t>& seg_start, trace::TraceRecorder* trace) {
+    const std::vector<std::uint8_t>& seg_start, trace::TraceRecorder* trace,
+    FaultPlan* fault) {
   MS_CHECK(values.size() == shape.size() && seg_start.size() == shape.size());
   using Pair = std::array<std::int64_t, 2>;  // {is_leader, value}
   std::vector<Pair> packed(shape.size());
   for (std::size_t i = 0; i < packed.size(); ++i)
     packed[i] = Pair{seg_start[i] ? 1 : 0, values[i]};
   auto g = Grid<Pair>::from_snake(shape, packed);
+  g.set_fault(fault);
   const std::size_t steps = g.snake_scan(
       [](const Pair& a, const Pair& b) { return b[0] ? b : a; });
   const auto out = g.to_snake();
@@ -189,7 +225,8 @@ CycleRarResult cycle_random_access_read(MeshShape shape,
                                         const std::vector<std::int64_t>& table,
                                         const std::vector<std::int64_t>& addr,
                                         std::int64_t fill,
-                                        trace::TraceRecorder* trace) {
+                                        trace::TraceRecorder* trace,
+                                        FaultPlan* fault) {
   const std::size_t p = shape.size();
   MS_CHECK(table.size() == p && addr.size() == p);
   CycleRarResult res;
@@ -208,6 +245,7 @@ CycleRarResult cycle_random_access_read(MeshShape shape,
 
   // 1. Sort requests by address into snake order.
   auto g = Grid<Pk>::from_snake(shape, reqs);
+  g.set_fault(fault);
   res.steps += g.shearsort(
       [](const Pk& a, const Pk& b) { return a[0] < b[0]; });
   auto sorted = g.to_snake();
@@ -233,7 +271,7 @@ CycleRarResult cycle_random_access_read(MeshShape shape,
   }
   std::vector<std::int64_t> arrived_slot_rm;
   res.steps += route_partial_generic(shape, slot_payload_rm, dest_rm,
-                                     arrived_slot_rm, std::int64_t{-1});
+                                     arrived_slot_rm, std::int64_t{-1}, fault);
 
   // 4. Targets send their table entry back to the leader's slot.
   std::vector<std::int64_t> back_dest_rm(p, -1), value_payload_rm(p, 0);
@@ -246,13 +284,14 @@ CycleRarResult cycle_random_access_read(MeshShape shape,
   }
   std::vector<std::int64_t> fetched_rm;
   res.steps += route_partial_generic(shape, value_payload_rm, back_dest_rm,
-                                     fetched_rm, std::int64_t{0});
+                                     fetched_rm, std::int64_t{0}, fault);
 
   // 5. Segmented broadcast of the fetched records down each address group.
   std::vector<std::int64_t> values(p, 0);
   for (std::size_t j = 0; j < p; ++j)
     values[j] = fetched_rm[shape.snake_to_rowmajor(j)];
-  res.steps += segmented_snake_broadcast(shape, values, leader);
+  res.steps += segmented_snake_broadcast(shape, values, leader,
+                                         /*trace=*/nullptr, fault);
 
   // 6. Answers travel back to the requesting processors (permutation by
   //    original index).
@@ -266,7 +305,7 @@ CycleRarResult cycle_random_access_read(MeshShape shape,
   }
   std::vector<std::int64_t> answers_rm;
   res.steps += route_partial_generic(shape, ans_payload_rm, ans_dest_rm,
-                                     answers_rm, fill);
+                                     answers_rm, fill, fault);
 
   res.out.assign(p, fill);
   for (std::size_t i = 0; i < p; ++i) {
@@ -280,7 +319,8 @@ CycleRarResult cycle_random_access_read(MeshShape shape,
 CycleRawResult cycle_random_access_write(
     MeshShape shape, std::vector<std::int64_t> table,
     const std::vector<std::int64_t>& addr,
-    const std::vector<std::int64_t>& value, trace::TraceRecorder* trace) {
+    const std::vector<std::int64_t>& value, trace::TraceRecorder* trace,
+    FaultPlan* fault) {
   const std::size_t p = shape.size();
   MS_CHECK(table.size() == p && addr.size() == p && value.size() == p);
   CycleRawResult res;
@@ -298,6 +338,7 @@ CycleRawResult cycle_random_access_write(
 
   // 1. Sort by address.
   auto g = Grid<Pk>::from_snake(shape, reqs);
+  g.set_fault(fault);
   res.steps += g.shearsort(
       [](const Pk& a, const Pk& b) { return a[0] < b[0]; });
   auto sorted = g.to_snake();
@@ -307,6 +348,7 @@ CycleRawResult cycle_random_access_write(
   //    scan over {address, running sum} pairs.
   {
     auto g2 = Grid<Pk>::from_snake(shape, sorted);
+    g2.set_fault(fault);
     res.steps += g2.snake_scan([](const Pk& a, const Pk& b) {
       if (a[0] != b[0]) return b;  // new group: restart the sum
       return Pk{b[0], a[1] + b[1], 0};
@@ -330,7 +372,7 @@ CycleRawResult cycle_random_access_write(
   }
   std::vector<std::int64_t> totals_rm;
   res.steps += route_partial_generic(shape, payload_rm, dest_rm, totals_rm,
-                                     std::int64_t{0});
+                                     std::int64_t{0}, fault);
 
   // 4. Targets combine the arrived total into their table entry (local).
   res.table = std::move(table);

@@ -29,7 +29,10 @@ namespace meshsearch::mesh {
 // Every composite operation takes an optional trace sink and records its
 // MEASURED step count under the same primitive label the counting engine
 // charges (kRoute / kBroadcast / kRar / kRaw), so one workload run through
-// both engines yields directly comparable traces.
+// both engines yields directly comparable traces. The optional FaultPlan
+// (mesh/fault.hpp) injects stalls/drops into the routing sweeps and retried
+// steps into the lockstep sub-operations: data outcomes are unchanged, only
+// the measured step counts grow; null or disarmed changes nothing.
 
 /// Partial permutation routing on a value grid: packet i (row-major) goes
 /// to row-major dest_rm[i]; entries < 0 carry no packet. Destinations must
@@ -37,7 +40,8 @@ namespace meshsearch::mesh {
 std::size_t route_partial(Grid<std::int64_t>& g,
                           const std::vector<std::int64_t>& dest_rm,
                           std::int64_t fill,
-                          trace::TraceRecorder* trace = nullptr);
+                          trace::TraceRecorder* trace = nullptr,
+                          FaultPlan* fault = nullptr);
 
 /// Segmented broadcast along the snake: positions where seg_start is true
 /// keep their value; every other position copies the nearest seg_start
@@ -46,7 +50,8 @@ std::size_t route_partial(Grid<std::int64_t>& g,
 std::size_t segmented_snake_broadcast(MeshShape shape,
                                       std::vector<std::int64_t>& values,
                                       const std::vector<std::uint8_t>& seg_start,
-                                      trace::TraceRecorder* trace = nullptr);
+                                      trace::TraceRecorder* trace = nullptr,
+                                      FaultPlan* fault = nullptr);
 
 struct CycleRarResult {
   std::vector<std::int64_t> out;  ///< out[i] = table[addr[i]] or `fill`
@@ -62,7 +67,8 @@ CycleRarResult cycle_random_access_read(MeshShape shape,
                                         const std::vector<std::int64_t>& table,
                                         const std::vector<std::int64_t>& addr,
                                         std::int64_t fill = 0,
-                                        trace::TraceRecorder* trace = nullptr);
+                                        trace::TraceRecorder* trace = nullptr,
+                                        FaultPlan* fault = nullptr);
 
 struct CycleRawResult {
   std::vector<std::int64_t> table;  ///< updated table
@@ -78,6 +84,7 @@ CycleRawResult cycle_random_access_write(MeshShape shape,
                                          std::vector<std::int64_t> table,
                                          const std::vector<std::int64_t>& addr,
                                          const std::vector<std::int64_t>& value,
-                                         trace::TraceRecorder* trace = nullptr);
+                                         trace::TraceRecorder* trace = nullptr,
+                                         FaultPlan* fault = nullptr);
 
 }  // namespace meshsearch::mesh

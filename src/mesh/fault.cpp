@@ -1,0 +1,165 @@
+#include "mesh/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace meshsearch::mesh {
+
+namespace {
+
+/// splitmix64 finalizer — the same avalanche mix util::Rng builds on. Fault
+/// draws must be independent of workload RNG streams, so the plan seeds its
+/// own hash chain instead of sharing util::Rng state.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash4(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                    std::uint64_t d) {
+  return mix64(mix64(mix64(mix64(a) ^ b) ^ c) ^ d);
+}
+
+/// Map a 64-bit hash to [0, 1) and compare against p.
+bool below(std::uint64_t h, double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+  return u < p;
+}
+
+std::uint64_t hash_name(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the phase name
+  for (const char ch : name)
+    h = (h ^ static_cast<unsigned char>(ch)) * 0x100000001b3ull;
+  return h;
+}
+
+}  // namespace
+
+bool FaultPlan::hash_below(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                           std::uint64_t d, double p) const {
+  return below(hash4(cfg_.seed ^ a, b, c, d), p);
+}
+
+bool FaultPlan::stall(std::uint64_t epoch, std::uint64_t step,
+                      std::uint64_t cell) {
+  if (!armed_ || cfg_.p_stall <= 0) return false;
+  // Domain tag 1: stall draws never collide with drop draws.
+  if (!hash_below(1, epoch, step, cell, cfg_.p_stall)) return false;
+  stats_stalls_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultPlan::drop(std::uint64_t epoch, std::uint64_t step,
+                     std::uint64_t from_cell, std::uint64_t to_cell) {
+  if (!armed_ || cfg_.p_drop <= 0) return false;
+  // Domain tag 2; the link identity folds both endpoints.
+  if (!hash_below(2, epoch, step, (from_cell << 32) ^ to_cell, cfg_.p_drop))
+    return false;
+  stats_drops_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t FaultPlan::next_route_epoch() {
+  return route_epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t FaultPlan::lockstep_extra(std::size_t steps) {
+  if (!armed_ || cfg_.p_stall <= 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t extra = 0;
+  for (std::size_t k = 0; k < steps; ++k)
+    // Domain tag 3. A failed lockstep step is detected by the per-step
+    // validation and retried exactly once (the retry itself is assumed to
+    // land — a second failure would fold into p_stall^2, below noise).
+    if (hash_below(3, lockstep_draws_++, k, 0, cfg_.p_stall)) ++extra;
+  stats_lockstep_extra_ += extra;
+  return extra;
+}
+
+PhaseDraw FaultPlan::draw_phase(std::string_view name) {
+  PhaseDraw d;
+  if (!armed_ || cfg_.p_phase <= 0) return d;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = phase_occurrence_.find(name);
+  if (it == phase_occurrence_.end())
+    it = phase_occurrence_.emplace(std::string(name), 0).first;
+  const std::uint64_t occurrence = it->second++;
+  const std::uint64_t key = hash_name(name);
+  const std::uint32_t attempts_allowed =
+      1u + static_cast<std::uint32_t>(std::max(0, cfg_.max_retries));
+  for (std::uint32_t a = 0; a < attempts_allowed; ++a) {
+    // Domain tag 4; one independent draw per attempt.
+    if (!hash_below(4, key, occurrence, a, cfg_.p_phase)) {
+      d.failed_attempts = a;
+      stats_phase_failures_ += a;
+      stats_phase_retries_ += a;
+      // Exponential backoff between attempts: base * 2^j after attempt j.
+      for (std::uint32_t j = 0; j < a; ++j)
+        d.backoff_steps += cfg_.backoff_base * std::ldexp(1.0, static_cast<int>(j));
+      stats_backoff_ += d.backoff_steps;
+      return d;
+    }
+  }
+  stats_phase_failures_ += attempts_allowed;
+  ++stats_exhausted_;
+  throw FaultExhaustedError("phase '" + std::string(name) + "' failed " +
+                            std::to_string(attempts_allowed) +
+                            " attempts (retry budget exhausted)");
+}
+
+void FaultPlan::degrade() {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_factor_ *= cfg_.degrade_factor;
+}
+
+std::size_t FaultPlan::effective_capacity(std::size_t cap) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double c = std::floor(static_cast<double>(cap) * capacity_factor_);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(c));
+}
+
+FaultStats FaultPlan::stats() const {
+  FaultStats s;
+  s.injected_stalls = stats_stalls_.load(std::memory_order_relaxed);
+  s.injected_drops = stats_drops_.load(std::memory_order_relaxed);
+  s.degraded_batches = stats_degraded_.load(std::memory_order_relaxed);
+  s.replanned_batches = stats_replanned_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.phase_failures = stats_phase_failures_;
+  s.phase_retries = stats_phase_retries_;
+  s.exhausted = stats_exhausted_;
+  s.lockstep_retried_steps = stats_lockstep_extra_;
+  s.backoff_steps = stats_backoff_;
+  s.capacity_factor = capacity_factor_;
+  // Every injected fault is detected (that is the point: never a silent
+  // wrong answer); lockstep retries detect one fault per retried step.
+  s.detections = s.injected_stalls + s.injected_drops + s.phase_failures +
+                 s.lockstep_retried_steps;
+  return s;
+}
+
+void record_fault_metrics(trace::TraceRecorder* rec, const FaultPlan& plan) {
+  if (rec == nullptr || !plan.armed()) return;
+  const FaultStats s = plan.stats();
+  rec->metric("fault.injected_stalls", static_cast<double>(s.injected_stalls));
+  rec->metric("fault.injected_drops", static_cast<double>(s.injected_drops));
+  rec->metric("fault.detections", static_cast<double>(s.detections));
+  rec->metric("fault.phase_failures", static_cast<double>(s.phase_failures));
+  rec->metric("fault.phase_retries", static_cast<double>(s.phase_retries));
+  rec->metric("fault.exhausted", static_cast<double>(s.exhausted));
+  rec->metric("fault.lockstep_retried_steps",
+              static_cast<double>(s.lockstep_retried_steps));
+  rec->metric("fault.backoff_steps", s.backoff_steps);
+  rec->metric("fault.degraded_batches",
+              static_cast<double>(s.degraded_batches));
+  rec->metric("fault.replanned_batches",
+              static_cast<double>(s.replanned_batches));
+  rec->metric("fault.capacity_factor", s.capacity_factor);
+}
+
+}  // namespace meshsearch::mesh

@@ -18,11 +18,13 @@
 // and that measured steps track the charged bounds.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
 
+#include "mesh/fault.hpp"
 #include "mesh/snake.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
@@ -54,11 +56,19 @@ class Grid {
   void set_trace(trace::TraceRecorder* t) { trace_ = t; }
   trace::TraceRecorder* trace() const { return trace_; }
 
+  /// Attach an optional fault oracle (mesh/fault.hpp): routing injects
+  /// per-step processor stalls and link drops; the lockstep primitives
+  /// (shearsort, snake_scan, broadcast) add detected-and-retried steps.
+  /// Null or disarmed changes nothing. Not owned.
+  void set_fault(FaultPlan* f) { fault_ = f; }
+  FaultPlan* fault() const { return fault_; }
+
   T& at(std::uint32_t r, std::uint32_t c) {
     MS_DCHECK(r < side() && c < side());
     return cells_[static_cast<std::size_t>(r) * side() + c];
   }
   const T& at(std::uint32_t r, std::uint32_t c) const {
+    MS_DCHECK(r < side() && c < side());
     return cells_[static_cast<std::size_t>(r) * side() + c];
   }
   T& at_rm(std::size_t rm) { return cells_[rm]; }
@@ -137,6 +147,7 @@ class Grid {
       steps += sort_cols(cmp);
     }
     steps += sort_rows(cmp, /*snake_direction=*/true);
+    steps += lockstep_faults(steps);
     record(trace::Primitive::kSort, steps);
     return steps;
   }
@@ -185,7 +196,8 @@ class Grid {
             at(r, c) = op(offset[r], at(r, c));
         },
         /*grain=*/16);
-    const std::size_t steps = 3 * static_cast<std::size_t>(s);
+    std::size_t steps = 3 * static_cast<std::size_t>(s);
+    steps += lockstep_faults(steps);
     record(trace::Primitive::kScan, steps);
     return steps;
   }
@@ -202,7 +214,8 @@ class Grid {
           for (std::uint32_t c = 0; c < s; ++c) at(r, c) = at(0, c);
         },
         /*grain=*/16);
-    const std::size_t steps = 2 * static_cast<std::size_t>(s - 1);
+    std::size_t steps = 2 * static_cast<std::size_t>(s - 1);
+    steps += lockstep_faults(steps);
     record(trace::Primitive::kBroadcast, steps);
     return steps;
   }
@@ -224,9 +237,18 @@ class Grid {
                     static_cast<double>(steps));
   }
 
+  /// Lockstep primitives (sort/scan/broadcast) synchronize every step, so a
+  /// stalled processor is detected immediately and the step simply re-runs:
+  /// the data outcome is unchanged, only the measured step count grows.
+  std::size_t lockstep_faults(std::size_t steps) const {
+    return fault_ != nullptr && fault_->armed() ? fault_->lockstep_extra(steps)
+                                                : 0;
+  }
+
   MeshShape shape_;
   std::vector<T> cells_;
   trace::TraceRecorder* trace_ = nullptr;
+  FaultPlan* fault_ = nullptr;
 };
 
 template <typename T>
@@ -262,12 +284,37 @@ std::size_t Grid<T>::route_permutation(const std::vector<std::uint32_t>& dest_rm
   }
 
   std::size_t steps = 0;
+  const bool faulty = fault_ != nullptr && fault_->armed();
+  // Each route_permutation call is its own fault epoch, so two calls at the
+  // same step index draw independent stall/drop decisions.
+  const std::uint64_t epoch = faulty ? fault_->next_route_epoch() : 0;
+  const std::size_t base_cap = 64 * static_cast<std::size_t>(s) + 64;
+  const std::size_t cap =
+      faulty ? static_cast<std::size_t>(
+                   static_cast<double>(base_cap) *
+                   std::max(1.0, fault_->config().route_cap_factor))
+             : base_cap;
+  // Per-queue "a drop blocked this queue at step N" stamps. A dropped packet
+  // is detected by the receiver's per-step validation and stays at the head
+  // of its FIFO for retransmission; any later same-step departure from that
+  // queue must also wait (it would dequeue the wrong packet otherwise).
+  std::vector<std::uint64_t> blocked_h, blocked_v;
+  if (faulty) {
+    blocked_h.assign(p, 0);
+    blocked_v.assign(p, 0);
+  }
   // Synchronous rounds: each cell forwards at most one packet per outgoing
   // link per step. Moves computed against the pre-step state.
   while (undelivered > 0) {
     ++steps;
-    MS_CHECK_MSG(steps <= 64 * static_cast<std::size_t>(s) + 64,
-                 "routing failed to converge (bug in route_permutation)");
+    if (!faulty) {
+      MS_CHECK_MSG(steps <= cap,
+                   "routing failed to converge (bug in route_permutation)");
+    } else if (steps > cap) {
+      throw FaultExhaustedError(
+          "routing exceeded its scaled convergence guard under injected "
+          "faults");
+    }
     struct Move {
       std::size_t from_cell;
       bool from_horiz;
@@ -286,6 +333,9 @@ std::size_t Grid<T>::route_permutation(const std::vector<std::uint32_t>& dest_rm
           auto& moves = row_moves[row];
           for (std::uint32_t c = 0; c < s; ++c) {
             const std::size_t cell = static_cast<std::size_t>(r) * s + c;
+            // A stalled processor emits nothing this step; its queued
+            // packets simply wait. (Pure hash draw — safe from any thread.)
+            if (faulty && fault_->stall(epoch, steps, cell)) continue;
             // One horizontal departure per step (east or west link — a
             // packet uses only one, and all packets in this queue share the
             // row direction decision individually; we allow one east + one
@@ -334,6 +384,15 @@ std::size_t Grid<T>::route_permutation(const std::vector<std::uint32_t>& dest_rm
       moves.insert(moves.end(), rm.begin(), rm.end());
     // Apply moves: pop in order recorded (heads first), push to targets.
     for (const Move& mv : moves) {
+      if (faulty) {
+        auto& blocked = mv.from_horiz ? blocked_h : blocked_v;
+        if (blocked[mv.from_cell] == steps) continue;  // behind a drop
+        if (fault_->drop(epoch, steps, static_cast<std::uint64_t>(mv.from_cell),
+                         static_cast<std::uint64_t>(mv.to_cell))) {
+          blocked[mv.from_cell] = steps;  // head retransmits next step
+          continue;
+        }
+      }
       auto& q = mv.from_horiz ? state[mv.from_cell].horiz : state[mv.from_cell].vert;
       Packet pk = q.front();
       q.pop_front();

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <string>
 
 #include "trace/trace.hpp"
@@ -313,10 +314,22 @@ void verify_label_capacity(const HierarchicalPlan& plan,
   }
 }
 
+Alg1RetrySchedule draw_alg1_retries(mesh::FaultPlan& fault,
+                                    std::size_t num_bands) {
+  Alg1RetrySchedule s;
+  s.step0 = fault.draw_phase("alg1.step0");
+  s.bands.reserve(num_bands);
+  for (std::size_t i = 0; i < num_bands; ++i)
+    s.bands.push_back(fault.draw_phase("alg1.band " + std::to_string(i)));
+  s.bstar = fault.draw_phase("alg1.bstar");
+  return s;
+}
+
 HierarchicalRunResult hierarchical_cost(
     const HierarchicalDag& dag, const HierarchicalPlan& plan,
     mesh::MeshShape shape, const mesh::CostModel& m,
-    const std::vector<std::int32_t>* sweeps, bool charge_band_setup) {
+    const std::vector<std::int32_t>* sweeps, bool charge_band_setup,
+    const Alg1RetrySchedule* retries) {
   HierarchicalRunResult res;
   // Every charge goes through a TraceRecorder and the per-band report is
   // read back out of it (span deltas), so BandCostReport is a view over
@@ -339,12 +352,37 @@ HierarchicalRunResult hierarchical_cost(
     res.level_sweeps[static_cast<std::size_t>(l)] =
         static_cast<std::int32_t>(sweeps_at(l));
 
+  // Standalone armed calls draw their own schedule; hierarchical_multisearch
+  // passes the one it already drew so the draws are never double-consumed.
+  std::optional<Alg1RetrySchedule> own_retries;
+  if (retries == nullptr && mt.fault != nullptr && mt.fault->armed()) {
+    own_retries = draw_alg1_retries(*mt.fault, plan.bands.size());
+    retries = &*own_retries;
+  }
+  // Charge one checkpoint unit under its retry draw: each failed attempt
+  // re-charges the unit in full under a "fault.retry" span, then the summed
+  // exponential backoff is charged, then the successful attempt.
+  auto with_retries = [&](const mesh::PhaseDraw* d, const std::string& name,
+                          auto&& body) -> mesh::Cost {
+    mesh::Cost c;
+    if (d != nullptr && d->failed_attempts > 0) {
+      for (std::uint32_t a = 0; a < d->failed_attempts; ++a) {
+        trace::SpanScope retry(rec, "fault.retry " + name);
+        c += body();
+      }
+      c += mt.backoff(p, d->backoff_steps);
+    }
+    c += body();
+    return c;
+  };
+
   TRACE_SPAN(rec, "algorithm1");
 
   {
     // Initial multistep: every query visits the first node of its path.
     TRACE_SPAN(rec, "alg1.step0: initial multistep");
-    res.cost += mt.rar(p);
+    res.cost += with_retries(retries ? &retries->step0 : nullptr, "alg1.step0",
+                             [&] { return mt.rar(p); });
   }
 
   for (std::size_t i = 0; i < plan.bands.size(); ++i) {
@@ -358,16 +396,19 @@ HierarchicalRunResult hierarchical_cost(
         rec, "band " + std::to_string(i) + " [L" + std::to_string(band.lo) +
                  "..L" + std::to_string(band.hi) + "]");
 
-    if (charge_band_setup) {
-      trace::SpanScope setup_span(rec, "alg1.steps1-3a: band setup");
-      res.cost += one_band_setup(mt, parent_submesh_elems(plan, i, shape));
-      rep.setup_steps = setup_span.sim_elapsed();
-    }
-
-    // Step 3(b): Lemma 1 on every B_i-submesh, independently in parallel —
-    // all submeshes run the same lockstep sweeps, so max == one submesh.
+    // The band's setup + Lemma-1 solve form one checkpoint unit; a failed
+    // attempt re-charges the whole unit (the report fields are overwritten
+    // by every attempt and end holding the final — identical — values).
     const double s_i = static_cast<double>(band.submesh_elems);
-    {
+    auto band_body = [&]() -> mesh::Cost {
+      mesh::Cost c;
+      if (charge_band_setup) {
+        trace::SpanScope setup_span(rec, "alg1.steps1-3a: band setup");
+        c += one_band_setup(mt, parent_submesh_elems(plan, i, shape));
+        rep.setup_steps = setup_span.sim_elapsed();
+      }
+      // Step 3(b): Lemma 1 on every B_i-submesh, independently in parallel —
+      // all submeshes run the same lockstep sweeps, so max == one submesh.
       trace::SpanScope solve_span(rec, "alg1.step3b: lemma1 solve");
       const std::int32_t b1_levels = band.split - band.lo;
       if (b1_levels > 0) {
@@ -376,18 +417,21 @@ HierarchicalRunResult hierarchical_cost(
         TRACE_SPAN(rec, "lemma1.B1: replicate + local sweeps");
         const double s_inner =
             s_i / (static_cast<double>(band.inner_grid) * band.inner_grid);
-        res.cost += mt.route(s_i);
+        c += mt.route(s_i);
         for (std::int32_t l = band.lo; l < band.split; ++l)
-          res.cost += mt.rar(s_inner, sweeps_at(l));
+          c += mt.rar(s_inner, sweeps_at(l));
       }
       {
         // Phase 2: walk B_i^2 level-by-level at submesh scale.
         TRACE_SPAN(rec, "lemma1.B2: submesh level sweeps");
         for (std::int32_t l = band.split; l <= band.hi; ++l)
-          res.cost += mt.rar(s_i, sweeps_at(l));
+          c += mt.rar(s_i, sweeps_at(l));
       }
       rep.solve_steps = solve_span.sim_elapsed();
-    }
+      return c;
+    };
+    res.cost += with_retries(retries ? &retries->bands[i] : nullptr,
+                             "alg1.band " + std::to_string(i), band_body);
 
     const double dh = static_cast<double>(band.hi - band.lo + 1);
     rep.lemma1_bound =
@@ -400,8 +444,14 @@ HierarchicalRunResult hierarchical_cost(
     // Step 4: B* level-by-level on the whole mesh (O(1) levels).
     trace::SpanScope bstar_span(rec, "alg1.step4: B* level sweeps");
     res.bstar_levels = dag.height() - plan.bstar_lo + 1;
-    for (std::int32_t l = plan.bstar_lo; l <= dag.height(); ++l)
-      res.cost += mt.rar(p, sweeps_at(l));
+    res.cost += with_retries(retries ? &retries->bstar : nullptr, "alg1.bstar",
+                             [&]() -> mesh::Cost {
+                               mesh::Cost c;
+                               for (std::int32_t l = plan.bstar_lo;
+                                    l <= dag.height(); ++l)
+                                 c += mt.rar(p, sweeps_at(l));
+                               return c;
+                             });
     res.bstar_steps = bstar_span.sim_elapsed();
   }
   return res;

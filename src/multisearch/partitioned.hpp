@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "multisearch/constrained.hpp"
+#include "multisearch/recovery.hpp"
 #include "trace/trace.hpp"
 
 namespace meshsearch::msearch {
@@ -50,33 +51,54 @@ PartitionedRunResult multisearch_partitioned(
   while (!all_done(queries)) {
     trace::SpanScope phase_span(
         m.trace, "log-phase " + std::to_string(res.log_phases));
+    // Each step checkpoints `queries` via detail::recovered_phase: a failed
+    // attempt re-runs (and re-charges) the step, then state rolls back, so
+    // the visit/advance counters written inside the bodies always hold the
+    // final successful attempt's values.
     {
       // Step 1: visit first/next node.
       trace::SpanScope s(m.trace, "phase.step1: global multistep");
-      res.total_visits += global_multistep(g, prog, queries);
-      res.cost += m.rar(p);
+      std::size_t advanced = 0;
+      res.cost += detail::recovered_phase(m, p, "phase.step1", queries, [&] {
+        advanced = global_multistep(g, prog, queries);
+        return m.rar(p);
+      });
+      res.total_visits += advanced;
     }
     {
-      // Step 2.
+      // Step 2. The whole Constrained-Multisearch call (its steps 1-6) is
+      // one checkpoint unit.
       trace::SpanScope s(m.trace, "phase.step2: constrained(Psi_A)");
-      const auto s2 = constrained_multisearch(g, psi_a, prog, queries, m,
-                                              shape, duplicate_copies);
-      res.cost += s2.cost;
-      res.total_visits += s2.advanced;
+      std::size_t advanced = 0;
+      res.cost += detail::recovered_phase(m, p, "phase.step2", queries, [&] {
+        const auto s2 = constrained_multisearch(g, psi_a, prog, queries, m,
+                                                shape, duplicate_copies);
+        advanced = s2.advanced;
+        return s2.cost;
+      });
+      res.total_visits += advanced;
     }
     {
       // Step 3.
       trace::SpanScope s(m.trace, "phase.step3: global multistep");
-      res.total_visits += global_multistep(g, prog, queries);
-      res.cost += m.rar(p);
+      std::size_t advanced = 0;
+      res.cost += detail::recovered_phase(m, p, "phase.step3", queries, [&] {
+        advanced = global_multistep(g, prog, queries);
+        return m.rar(p);
+      });
+      res.total_visits += advanced;
     }
     {
       // Step 4.
       trace::SpanScope s(m.trace, "phase.step4: constrained(Psi_B)");
-      const auto s4 = constrained_multisearch(g, psi_b, prog, queries, m,
-                                              shape, duplicate_copies);
-      res.cost += s4.cost;
-      res.total_visits += s4.advanced;
+      std::size_t advanced = 0;
+      res.cost += detail::recovered_phase(m, p, "phase.step4", queries, [&] {
+        const auto s4 = constrained_multisearch(g, psi_b, prog, queries, m,
+                                                shape, duplicate_copies);
+        advanced = s4.advanced;
+        return s4.cost;
+      });
+      res.total_visits += advanced;
     }
     res.constrained_calls += 2;
     ++res.log_phases;

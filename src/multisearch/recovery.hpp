@@ -1,0 +1,57 @@
+// Phase-level checkpoint/retry for the multisearch engines.
+//
+// The engines advance query state in discrete phases (Alg 1 steps 0-4 and
+// per-band sweeps; Alg 2/3 log-phase steps 1-4, where steps 2/4 treat one
+// whole Constrained-Multisearch call as the checkpoint unit). Each phase is
+// a pure function of its input query state, so recovery is simple: snapshot
+// the state, run the phase, and if the fault oracle says the attempt failed,
+// restore the snapshot and re-run after an exponential backoff wait. Failed
+// attempts are charged in full (the mesh really did the work) and the
+// backoff wait is charged under trace::Primitive::kBackoff, so the armed
+// cost model prices recovery instead of hiding it.
+//
+// With a null or disarmed CostModel::fault, recovered_phase is exactly
+// `return body();` — no snapshot, no extra charges, no extra spans — which
+// is what keeps fault-free runs bit-identical to a build without the fault
+// layer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "mesh/cost.hpp"
+#include "mesh/fault.hpp"
+#include "trace/trace.hpp"
+
+namespace meshsearch::msearch::detail {
+
+/// Run one phase under the fault oracle. `state` is the phase's checkpoint
+/// (typically the query vector); `body` performs the phase and returns its
+/// charged mesh::Cost. When the oracle reports failed attempts, each failed
+/// attempt runs body() in full (its charges land in the trace under a
+/// "fault.retry <name>" span), the state is rolled back to the snapshot,
+/// and the summed backoff wait is charged before the final — successful —
+/// attempt. Out-parameters written by `body` are safe: the final attempt
+/// writes them last. Propagates FaultExhaustedError from draw_phase when
+/// the retry budget is exhausted.
+template <typename State, typename Body>
+mesh::Cost recovered_phase(const mesh::CostModel& m, double p,
+                           std::string_view name, State& state, Body&& body) {
+  if (m.fault == nullptr || !m.fault->armed()) return body();
+  const mesh::PhaseDraw draw = m.fault->draw_phase(name);
+  mesh::Cost cost;
+  if (draw.failed_attempts > 0) {
+    const State snapshot = state;
+    for (std::uint32_t a = 0; a < draw.failed_attempts; ++a) {
+      trace::SpanScope retry(m.trace, "fault.retry " + std::string(name));
+      cost += body();   // the wasted attempt is real work — charge it
+      state = snapshot;  // discard its progress
+    }
+    cost += m.backoff(p, draw.backoff_steps);
+  }
+  cost += body();
+  return cost;
+}
+
+}  // namespace meshsearch::msearch::detail

@@ -41,12 +41,15 @@
 // invalidate anything.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "mesh/cost.hpp"
+#include "mesh/fault.hpp"
 #include "mesh/snake.hpp"
 #include "multisearch/graph.hpp"
 #include "multisearch/hierarchical.hpp"
@@ -101,6 +104,10 @@ struct BatchReport {
                       ///< engine, or every batch under resetup_every_batch)
   mesh::Cost inject;  ///< inject_queries for this batch
   mesh::Cost run;     ///< the multisearch proper
+  std::uint32_t replans = 0;  ///< re-plan generation (0 = original slicing)
+  bool degraded = false;  ///< retry budget exhausted even after re-planning;
+                          ///< the batch's queries are REPORTED failed, never
+                          ///< silently wrong (see StreamResult::failed_queries)
 
   mesh::Cost total() const { return setup + inject + run; }
 };
@@ -108,6 +115,10 @@ struct BatchReport {
 struct StreamResult {
   std::vector<BatchReport> batches;
   std::size_t queries = 0;
+  /// Stream positions of queries in degraded batches (retry budget
+  /// exhausted after max_replans re-plans). Their Query records keep their
+  /// pre-batch checkpoint state. Empty on every fault-free run.
+  std::vector<std::uint32_t> failed_queries;
   mesh::Cost setup;   ///< sum of per-batch setup attributions
   mesh::Cost inject;
   mesh::Cost run;
@@ -288,37 +299,98 @@ class StreamScheduler {
   /// setup is attributed to the first batch if (and only if) this run is
   /// the engine's first; re-running on a warm engine charges no setup at
   /// all, which is the point.
+  ///
+  /// Fault degradation: each batch runs on a COPY of its stream slice, so a
+  /// batch that throws FaultExhaustedError leaves the stream at its
+  /// pre-batch checkpoint for free. The scheduler then shrinks the fault
+  /// plan's surviving capacity, re-slices the batch onto it and requeues the
+  /// pieces; a batch that exhausts max_replans generations is reported
+  /// degraded (BatchReport.degraded, StreamResult::failed_queries) instead
+  /// of poisoning the stream — never a silent wrong answer.
   StreamResult run(std::vector<Query>& stream) {
     StreamResult res;
     res.queries = stream.size();
-    const auto batches = plan_batches(stream, policy_, engine_->capacity());
+    const auto planned = plan_batches(stream, policy_, engine_->capacity());
     // The scheduler traces into the same sink the engine charges through.
     trace::TraceRecorder* rec = engine_->model().trace;
+    mesh::FaultPlan* fault = engine_->model().fault;
+    const std::uint32_t max_replans =
+        fault != nullptr
+            ? static_cast<std::uint32_t>(
+                  std::max(0, fault->config().max_replans))
+            : 0;
     TRACE_SPAN(rec, "stream");
     const bool cold = engine_->batches_served() == 0;
+    struct Pending {
+      std::vector<std::uint32_t> indices;  ///< stream positions
+      std::uint32_t replans = 0;
+    };
+    std::deque<Pending> work;
+    for (const auto& b : planned) work.push_back(Pending{b, 0});
+    std::size_t serial = 0;  ///< span numbering: one per attempt, run order
+    bool setup_attributed = false;
     std::vector<Query> batch;
-    for (std::size_t b = 0; b < batches.size(); ++b) {
-      trace::SpanScope batch_span(rec, "stream.batch " + std::to_string(b));
+    while (!work.empty()) {
+      Pending cur = std::move(work.front());
+      work.pop_front();
+      trace::SpanScope batch_span(rec,
+                                  "stream.batch " + std::to_string(serial));
+      ++serial;
       BatchReport rep;
+      rep.replans = cur.replans;
+      // Cold setup rides on the first report actually emitted; a failed
+      // attempt whose report is discarded carries it to the next one.
+      const bool attribute_setup = cold && !resetup_every_batch_ &&
+                                   !setup_attributed;
       if (resetup_every_batch_) {
         rep.setup = engine_->charge_setup();
-      } else if (b == 0 && cold) {
+      } else if (attribute_setup) {
         rep.setup = engine_->setup_cost();  // attribution only, not a charge
       }
       batch.clear();
-      batch.reserve(batches[b].size());
-      for (const auto idx : batches[b]) batch.push_back(stream[idx]);
-      const BatchReport r = engine_->run_batch(batch);
-      rep.size = r.size;
-      rep.visits = r.visits;
-      rep.inject = r.inject;
-      rep.run = r.run;
-      for (std::size_t k = 0; k < batches[b].size(); ++k)
-        stream[batches[b][k]] = batch[k];
-      res.batches.push_back(rep);
+      batch.reserve(cur.indices.size());
+      for (const auto idx : cur.indices) batch.push_back(stream[idx]);
+      try {
+        const BatchReport r = engine_->run_batch(batch);
+        rep.size = r.size;
+        rep.visits = r.visits;
+        rep.inject = r.inject;
+        rep.run = r.run;
+        for (std::size_t k = 0; k < cur.indices.size(); ++k)
+          stream[cur.indices[k]] = batch[k];
+        if (attribute_setup) setup_attributed = true;
+        res.batches.push_back(rep);
+      } catch (const mesh::FaultExhaustedError&) {
+        if (fault == nullptr) throw;  // not ours to recover
+        // `batch` was a copy — the stream still holds the checkpoint.
+        fault->degrade();
+        if (cur.replans < max_replans) {
+          fault->count_replanned_batch();
+          const std::size_t cap =
+              fault->effective_capacity(engine_->capacity());
+          for (std::size_t at = 0; at < cur.indices.size(); at += cap) {
+            Pending piece;
+            piece.replans = cur.replans + 1;
+            piece.indices.assign(
+                cur.indices.begin() + static_cast<std::ptrdiff_t>(at),
+                cur.indices.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                          at + cap, cur.indices.size())));
+            work.push_back(std::move(piece));
+          }
+        } else {
+          fault->count_degraded_batch();
+          rep.size = cur.indices.size();
+          rep.degraded = true;
+          res.failed_queries.insert(res.failed_queries.end(),
+                                    cur.indices.begin(), cur.indices.end());
+          if (attribute_setup) setup_attributed = true;
+          res.batches.push_back(rep);
+        }
+      }
     }
     finalize_stream(res);
     record_stream_metrics(rec, res);
+    if (fault != nullptr) mesh::record_fault_metrics(rec, *fault);
     return res;
   }
 

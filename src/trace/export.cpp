@@ -50,7 +50,17 @@ void write_trace_json(const TraceRecorder& rec, std::ostream& os) {
   const auto events = rec.events();
   os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"engine\":\""
      << escape(rec.engine()) << "\",\"total_steps\":" << num(rec.total_steps())
-     << ",\"time_unit\":\"1 us = 1 simulated mesh step\"},\"traceEvents\":[";
+     << ",\"time_unit\":\"1 us = 1 simulated mesh step\"";
+  // Named metrics (stream.*, fault.*) ride in otherData so both JSON
+  // formats carry them, not just the flat metrics export.
+  os << ",\"metrics\":{";
+  bool first_metric = true;
+  for (const auto& m : rec.metrics()) {
+    if (!first_metric) os << ",";
+    first_metric = false;
+    os << "\"" << escape(m.name) << "\":" << num(m.value);
+  }
+  os << "}},\"traceEvents\":[";
   bool first = true;
   auto sep = [&] {
     if (!first) os << ",";

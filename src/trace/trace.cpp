@@ -14,6 +14,7 @@ const char* primitive_name(Primitive p) {
     case Primitive::kRar: return "rar";
     case Primitive::kRaw: return "raw";
     case Primitive::kCompress: return "compress";
+    case Primitive::kBackoff: return "backoff";
   }
   return "unknown";
 }

@@ -55,8 +55,9 @@ enum class Primitive : std::uint8_t {
   kRar,       ///< random access read (concurrent-read construction)
   kRaw,       ///< random access write with combining
   kCompress,
+  kBackoff,   ///< fault-recovery wait between phase retry attempts
 };
-inline constexpr std::size_t kPrimitiveCount = 8;
+inline constexpr std::size_t kPrimitiveCount = 9;
 
 const char* primitive_name(Primitive p);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iostream>
 #include <memory>
 
 #include "util/check.hpp"
@@ -23,14 +24,32 @@ struct RegionGuard {
 
 }  // namespace
 
+unsigned parse_thread_count(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || v == 0 || v > 4096) return 0;
+  return static_cast<unsigned>(v);
+}
+
 unsigned default_thread_count() {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const char* env = std::getenv("MESHSEARCH_THREADS");
   if (env == nullptr || *env == '\0') return hw;
-  char* end = nullptr;
-  const unsigned long v = std::strtoul(env, &end, 10);
-  if (end == env || *end != '\0' || v == 0 || v > 4096) return hw;
-  return static_cast<unsigned>(v);
+  const unsigned v = parse_thread_count(env);
+  if (v == 0) {
+    // Warn once: a typo'd knob ("8x", "0") used to silently fall back to
+    // hardware concurrency, which reads exactly like the knob working.
+    static std::once_flag warned;
+    std::call_once(warned, [env, hw] {
+      std::cerr << "warning: ignoring invalid MESHSEARCH_THREADS=\"" << env
+                << "\" (want an integer in [1, 4096]); using hardware "
+                   "concurrency ("
+                << hw << ")\n";
+    });
+    return hw;
+  }
+  return v;
 }
 
 ThreadPool::ThreadPool(unsigned threads) {

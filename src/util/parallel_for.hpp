@@ -39,9 +39,18 @@
 
 namespace meshsearch::util {
 
+/// Parse a MESHSEARCH_THREADS-style value: a positive decimal integer in
+/// [1, 4096] (strtoul semantics, so leading whitespace and '+' are accepted;
+/// a leading zero like "08" reads as 8). Returns 0 for anything else —
+/// empty, trailing garbage ("8x"), zero, negative, or out of range.
+unsigned parse_thread_count(const char* text);
+
 /// Thread count the global pool is built with when no override is given:
 /// MESHSEARCH_THREADS when set to a positive integer, else
 /// hardware_concurrency (at least 1). Re-reads the environment on each call.
+/// A set-but-malformed MESHSEARCH_THREADS still falls back to hardware
+/// concurrency, but emits a one-time stderr warning naming the rejected
+/// value instead of being silently ignored.
 unsigned default_thread_count();
 
 /// Persistent thread pool executing [begin, end) index ranges.

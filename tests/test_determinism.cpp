@@ -10,6 +10,7 @@
 
 #include "datastruct/kary_tree.hpp"
 #include "datastruct/workloads.hpp"
+#include "mesh/fault.hpp"
 #include "multisearch/constrained.hpp"
 #include "multisearch/hierarchical.hpp"
 #include "multisearch/partitioned.hpp"
@@ -125,6 +126,51 @@ TEST(Determinism, Alg2AlphaPartitioned) {
                                        tree.rank_count(), q, m, shape);
     return RunRecord{outcomes(q), res.cost, rec.counters()};
   });
+}
+
+TEST(Determinism, DisarmedFaultPlanBitIdenticalStandaloneEngines) {
+  // Fault-free contract (DESIGN.md §11): a disarmed FaultPlan threaded
+  // through CostModel::fault changes nothing — outcomes, cost and
+  // attribution match a null-fault run at every thread count.
+  util::Rng rng(18);
+  const auto g = ds::build_hierarchical_dag(1500, 2.0, 3, rng);
+  const HierarchicalDag dag(g, 2.0);
+  auto qs = make_queries(g.vertex_count());
+  util::Rng qrng(19);
+  for (auto& q : qs)
+    q.key[0] = static_cast<std::int64_t>(qrng.uniform(1ull << 40));
+  const auto shape = g.shape_for(qs.size());
+  mesh::FaultPlan disarmed;
+  for (mesh::FaultPlan* plan :
+       {static_cast<mesh::FaultPlan*>(nullptr), &disarmed}) {
+    expect_thread_invariant([&] {
+      trace::TraceRecorder rec("counting");
+      mesh::CostModel m;
+      m.trace = &rec;
+      m.fault = plan;
+      auto q = qs;
+      const auto res = hierarchical_multisearch(dag, ds::HashWalk{0}, q, m,
+                                                shape, PlanKind::kPaper);
+      return RunRecord{outcomes(q), res.cost, rec.counters()};
+    });
+  }
+  // And directly across the two plan settings at the default pool.
+  auto run_with = [&](mesh::FaultPlan* plan) {
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    m.trace = &rec;
+    m.fault = plan;
+    auto q = qs;
+    const auto res = hierarchical_multisearch(dag, ds::HashWalk{0}, q, m,
+                                              shape, PlanKind::kPaper);
+    return RunRecord{outcomes(q), res.cost, rec.counters()};
+  };
+  const RunRecord bare = run_with(nullptr);
+  const RunRecord with = run_with(&disarmed);
+  EXPECT_EQ(diff_outcomes(bare.out, with.out), "");
+  EXPECT_EQ(bare.cost, with.cost);
+  EXPECT_TRUE(bare.counters == with.counters);
+  EXPECT_EQ(disarmed.stats().detections, 0u);
 }
 
 TEST(Determinism, Alg3AlphaBetaPartitioned) {

@@ -117,6 +117,25 @@ TEST(Grid, SnakeScanNonCommutativeOp) {
   EXPECT_EQ(g.to_snake(), expect);
 }
 
+TEST(Grid, AtBoundsCheckedInDebugOnBothOverloads) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "MS_DCHECK compiles out under NDEBUG";
+#else
+  const MeshShape s(4);
+  auto g = Grid<std::int64_t>::from_snake(s, random_values(s.size(), 2));
+  const auto& cg = g;
+  // In-range access works through both overloads.
+  g.at(s.side() - 1, s.side() - 1) = 7;
+  EXPECT_EQ(cg.at(s.side() - 1, s.side() - 1), 7);
+  // Out-of-range throws through both — the const overload used to skip the
+  // check entirely and read out of bounds.
+  EXPECT_THROW(g.at(s.side(), 0), std::logic_error);
+  EXPECT_THROW(g.at(0, s.side()), std::logic_error);
+  EXPECT_THROW(cg.at(s.side(), 0), std::logic_error);
+  EXPECT_THROW(cg.at(0, s.side()), std::logic_error);
+#endif
+}
+
 TEST(Grid, BroadcastFromOrigin) {
   const MeshShape s(8);
   Grid<std::int64_t> g(s);

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <tuple>
 #include <vector>
 
 #include "datastruct/kary_tree.hpp"
@@ -604,6 +605,37 @@ TEST(StreamDeterminism, Alg3SchedulerThreadInvariant) {
     const auto res = sched.run(stream);
     return RunRecord{outcomes(stream), res.total(), rec.counters()};
   });
+}
+
+TEST(StreamFaultFree, DisarmedPlanLeavesSchedulerBitIdentical) {
+  // Fault-free contract: attaching a disarmed FaultPlan to the scheduler's
+  // cost model changes nothing — same batches, costs, attribution, and an
+  // empty failed_queries list.
+  const Alg2Fixture fx;
+  const auto stream0 = fx.stream(3 * fx.shape.size() + 27);
+  mesh::FaultPlan disarmed;
+  auto run_with = [&](mesh::FaultPlan* plan) {
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    m.trace = &rec;
+    m.fault = plan;
+    PreparedSearch engine(EngineKind::kAlg2Alpha, fx.tree.graph(),
+                          fx.tree.alpha_splitting(), fx.tree.alpha_splitting(),
+                          fx.tree.rank_count(), m, fx.shape);
+    auto stream = stream0;
+    StreamScheduler sched(engine, BatchPolicy{});
+    const auto res = sched.run(stream);
+    return std::tuple{outcomes(stream), res.total(), rec.counters(),
+                      res.failed_queries.size(), res.batches.size()};
+  };
+  const auto bare = run_with(nullptr);
+  const auto with = run_with(&disarmed);
+  EXPECT_EQ(diff_outcomes(std::get<0>(bare), std::get<0>(with)), "");
+  EXPECT_EQ(std::get<1>(bare), std::get<1>(with));
+  EXPECT_TRUE(std::get<2>(bare) == std::get<2>(with));
+  EXPECT_EQ(std::get<3>(with), 0u);
+  EXPECT_EQ(std::get<4>(bare), std::get<4>(with));
+  EXPECT_EQ(disarmed.stats().detections, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -336,4 +336,27 @@ TEST(BenchCommon, SanitizeCsvName) {
   EXPECT_EQ(bench::sanitize_csv_name(""), "unnamed");
 }
 
+TEST(BenchCommon, CsvNameCollisionsGetNumericSuffix) {
+  bench::CsvNameRegistry reg;
+  // First claim wins the clean stem.
+  EXPECT_EQ(bench::disambiguate_csv_name("e2_zipf(1.1)", "e2_zipf_1.1", reg),
+            "e2_zipf_1.1");
+  // The SAME raw name re-emits to the same file — a refresh, not a clash.
+  EXPECT_EQ(bench::disambiguate_csv_name("e2_zipf(1.1)", "e2_zipf_1.1", reg),
+            "e2_zipf_1.1");
+  // Distinct raw names whose sanitized forms collide used to silently
+  // overwrite each other; now they get numeric suffixes.
+  EXPECT_EQ(bench::disambiguate_csv_name("e2_zipf 1.1", "e2_zipf_1.1", reg),
+            "e2_zipf_1.1_2");
+  EXPECT_EQ(bench::disambiguate_csv_name("e2_zipf/1.1", "e2_zipf_1.1", reg),
+            "e2_zipf_1.1_3");
+  // Suffixed stems are reserved too: a raw name sanitizing straight to one
+  // cannot steal it.
+  EXPECT_EQ(bench::disambiguate_csv_name("other", "e2_zipf_1.1_2", reg),
+            "e2_zipf_1.1_2_2");
+  // Disambiguated raw names stay stable on re-emit.
+  EXPECT_EQ(bench::disambiguate_csv_name("e2_zipf 1.1", "e2_zipf_1.1", reg),
+            "e2_zipf_1.1_2");
+}
+
 }  // namespace

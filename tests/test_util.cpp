@@ -279,14 +279,37 @@ TEST(ParallelFor, SetGlobalThreadsRebuildsPool) {
             util::default_thread_count());
 }
 
+TEST(ParallelFor, ParseThreadCountAcceptsOnlyBoundedPositiveIntegers) {
+  EXPECT_EQ(util::parse_thread_count("1"), 1u);
+  EXPECT_EQ(util::parse_thread_count("8"), 8u);
+  EXPECT_EQ(util::parse_thread_count("4096"), 4096u);
+  // strtoul semantics kept on purpose (these always worked):
+  EXPECT_EQ(util::parse_thread_count(" 8"), 8u);   // leading whitespace
+  EXPECT_EQ(util::parse_thread_count("+8"), 8u);   // explicit sign
+  EXPECT_EQ(util::parse_thread_count("08"), 8u);   // decimal, not octal
+  // Everything else is rejected (0 = "fall back and warn"):
+  EXPECT_EQ(util::parse_thread_count(nullptr), 0u);
+  EXPECT_EQ(util::parse_thread_count(""), 0u);
+  EXPECT_EQ(util::parse_thread_count("0"), 0u);
+  EXPECT_EQ(util::parse_thread_count("-1"), 0u);     // wraps to huge: rejected
+  EXPECT_EQ(util::parse_thread_count("4097"), 0u);   // above the cap
+  EXPECT_EQ(util::parse_thread_count("8x"), 0u);     // trailing garbage
+  EXPECT_EQ(util::parse_thread_count("x8"), 0u);
+  EXPECT_EQ(util::parse_thread_count("3.5"), 0u);
+  EXPECT_EQ(util::parse_thread_count("8 "), 0u);     // trailing whitespace
+  EXPECT_EQ(util::parse_thread_count("99999999999999999999"), 0u);  // overflow
+}
+
 TEST(ParallelFor, EnvKnobControlsDefaultThreadCount) {
   const unsigned hw =
       std::max(1u, std::thread::hardware_concurrency());
   ::setenv("MESHSEARCH_THREADS", "3", 1);
   EXPECT_EQ(util::default_thread_count(), 3u);
-  ::setenv("MESHSEARCH_THREADS", "0", 1);  // 0 = hardware
+  ::setenv("MESHSEARCH_THREADS", "0", 1);  // invalid: fall back to hardware
   EXPECT_EQ(util::default_thread_count(), hw);
   ::setenv("MESHSEARCH_THREADS", "not-a-number", 1);
+  EXPECT_EQ(util::default_thread_count(), hw);
+  ::setenv("MESHSEARCH_THREADS", "8x", 1);  // typo'd: fall back, don't misread
   EXPECT_EQ(util::default_thread_count(), hw);
   ::unsetenv("MESHSEARCH_THREADS");
   EXPECT_EQ(util::default_thread_count(), hw);
