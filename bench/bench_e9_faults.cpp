@@ -8,14 +8,18 @@
 // recovered — outcomes bit-identical to the fault-free oracle — or reported
 // as a degraded batch; never a silent wrong answer.
 //
-// Two sweeps:
+// Three sweeps:
 //   * counting engines: phase-failure rate x engine; reports amortized
 //     steps/query, the overhead ratio vs the fault-free run of the same
 //     stream, retry/backoff/degradation counters, and verifies recovered
 //     outcomes against the fault-free oracle.
-//   * cycle engine: stall/drop rate on the physical RAR; reports the
-//     measured step overhead and verifies the fetched data is unchanged
-//     (stalls and drops only delay packets, never corrupt them).
+//   * E9c, corruption: the same engines under p_corrupt — in-transit payload
+//     corruption caught by end-of-phase checksum audits (mesh/integrity.hpp)
+//     and re-run; reports the corrupt.* counters alongside the overhead and
+//     verifies the same zero-silent-mismatch contract.
+//   * cycle engine: stall/drop rate and corruption rate on the physical RAR;
+//     reports the measured step overhead and verifies the fetched data is
+//     unchanged (faults delay or get retransmitted, never corrupt results).
 //
 // `--smoke` shrinks sizes and rates for CI tier-1.
 #include <cstring>
@@ -46,8 +50,12 @@ struct Sizes {
   std::size_t ratio = 4;  ///< stream length as a multiple of mesh capacity
   std::uint32_t cycle_side = 16;
   std::vector<double> phase_rates{0.0, 0.02, 0.05, 0.1, 0.2};
+  std::vector<double> corrupt_rates{0.0, 0.02, 0.05, 0.1};
   std::vector<double> cycle_rates{0.0, 0.001, 0.005, 0.01};
 };
+
+/// Which FaultConfig knob a counting-engine sweep drives.
+enum class Knob { kPhase, kCorrupt };
 
 struct RatePoint {
   double rate = 0;
@@ -60,21 +68,28 @@ struct RatePoint {
   double failed_queries = 0;
 };
 
-/// Sweep one engine over the phase-failure rates: rate 0 is the fault-free
-/// oracle (its outcomes and total anchor the comparison). `make_engine(m)`
-/// builds a fresh cold engine charging through `m`; `make_stream()` the
-/// deterministic query stream.
+/// Sweep one engine over failure rates of the chosen knob: rate 0 is the
+/// fault-free oracle (its outcomes and total anchor the comparison).
+/// `make_engine(m)` builds a fresh cold engine charging through `m`;
+/// `make_stream()` the deterministic query stream.
 template <typename MakeEngine, typename MakeStream>
-void sweep_engine(const std::string& name, const Sizes& sz,
+void sweep_engine(const std::string& name, const Sizes& sz, Knob knob,
                   MakeEngine make_engine, MakeStream make_stream) {
+  const bool corrupting = knob == Knob::kCorrupt;
+  const auto& rates = corrupting ? sz.corrupt_rates : sz.phase_rates;
+  const char* knob_name = corrupting ? "p_corrupt" : "p_phase";
   std::vector<QueryOutcome> oracle;
   double oracle_total = 0;
-  util::Table t({"p_phase", "steps/query", "overhead", "phase retries",
-                 "backoff steps", "replanned", "degraded", "failed queries"});
-  for (const double rate : sz.phase_rates) {
+  util::Table t({knob_name, "steps/query", "overhead", "phase retries",
+                 "backoff steps", "corrupt detected", "corrupt recovered",
+                 "replanned", "degraded", "failed queries"});
+  for (const double rate : rates) {
     mesh::FaultConfig cfg;
     cfg.seed = 99;
-    cfg.p_phase = rate;
+    if (corrupting)
+      cfg.p_corrupt = rate;
+    else
+      cfg.p_phase = rate;
     mesh::FaultPlan plan(cfg);
     mesh::CostModel m;
     m.fault = &plan;  // disarmed at rate 0: identical to no plan
@@ -107,15 +122,24 @@ void sweep_engine(const std::string& name, const Sizes& sz,
       for (std::size_t i = 0; i < out.size(); ++i)
         if (failed.count(static_cast<std::uint32_t>(i)) == 0 &&
             !(out[i] == oracle[i]))
-          std::cout << "VIOLATION: " << name << " p_phase=" << rate
-                    << " query " << i << " diverged from fault-free oracle\n";
+          std::cout << "VIOLATION: " << name << " " << knob_name << "="
+                    << rate << " query " << i
+                    << " diverged from fault-free oracle\n";
     }
+    // Integrity invariant: every injected corruption must have been caught.
+    if (stats.corrupt_detected != stats.corrupt_injected)
+      std::cout << "VIOLATION: " << name << " " << knob_name << "=" << rate
+                << " corruption slipped past the checksum ("
+                << stats.corrupt_detected << "/" << stats.corrupt_injected
+                << " detected)\n";
     t.add_row({pt.rate, pt.steps_per_query, pt.overhead, pt.retries,
-               pt.backoff_steps, pt.replanned, pt.degraded,
-               pt.failed_queries});
+               pt.backoff_steps, static_cast<double>(stats.corrupt_detected),
+               static_cast<double>(stats.corrupt_recovered), pt.replanned,
+               pt.degraded, pt.failed_queries});
   }
-  bench::section("E9: " + name + " recovery overhead");
-  bench::emit(t, "e9_" + name);
+  bench::section("E9" + std::string(corrupting ? "c" : "") + ": " + name +
+                 " recovery overhead (" + knob_name + ")");
+  bench::emit(t, "e9_" + name + (corrupting ? "_corrupt" : ""));
 }
 
 /// Cycle-engine sweep: physical RAR under stall/drop injection. The fetched
@@ -160,6 +184,52 @@ void sweep_cycle(const Sizes& sz) {
   bench::emit(t, "e9_cycle_rar");
 }
 
+/// Cycle-engine corruption sweep (E9c): p_corrupt on the physical RAR. Every
+/// flipped payload must be caught by the transit checksum and retransmitted,
+/// so the fetched data is bit-identical at every rate.
+void sweep_cycle_corrupt(const Sizes& sz) {
+  const mesh::MeshShape shape(sz.cycle_side);
+  const std::size_t p = shape.size();
+  util::Rng rng(123);
+  std::vector<std::int64_t> table(p), addr(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    table[i] = static_cast<std::int64_t>(rng.uniform(1ull << 30));
+    addr[i] = static_cast<std::int64_t>(rng.uniform(p));
+  }
+  std::vector<std::int64_t> oracle;
+  double oracle_steps = 0;
+  util::Table t({"p_corrupt", "rar steps", "overhead", "corrupt injected",
+                 "corrupt detected", "corrupt recovered"});
+  for (const double rate : sz.corrupt_rates) {
+    mesh::FaultConfig cfg;
+    cfg.seed = 11;
+    cfg.p_corrupt = rate;
+    mesh::FaultPlan plan(cfg);
+    const auto res = mesh::cycle_random_access_read(shape, table, addr, 0,
+                                                    nullptr, &plan);
+    if (rate == 0.0) {
+      oracle = res.out;
+      oracle_steps = static_cast<double>(res.steps);
+    } else if (res.out != oracle) {
+      std::cout << "VIOLATION: cycle RAR data corrupted at p_corrupt=" << rate
+                << "\n";
+    }
+    const auto stats = plan.stats();
+    if (stats.corrupt_detected != stats.corrupt_injected)
+      std::cout << "VIOLATION: cycle RAR corruption slipped past the checksum"
+                << " at p_corrupt=" << rate << " (" << stats.corrupt_detected
+                << "/" << stats.corrupt_injected << " detected)\n";
+    t.add_row({rate, static_cast<double>(res.steps),
+               oracle_steps > 0 ? static_cast<double>(res.steps) / oracle_steps
+                                : 1.0,
+               static_cast<double>(stats.corrupt_injected),
+               static_cast<double>(stats.corrupt_detected),
+               static_cast<double>(stats.corrupt_recovered)});
+  }
+  bench::section("E9c: cycle RAR under payload corruption");
+  bench::emit(t, "e9_cycle_rar_corrupt");
+}
+
 /// Showcase trace: one armed alg3 stream with the recorder wired, so the
 /// attribution table (printed by emit_trace) shows the `backoff` primitive
 /// and the fault.* metrics land in both JSON exports.
@@ -202,6 +272,7 @@ int main(int argc, char** argv) {
       sz.ratio = 2;
       sz.cycle_side = 8;
       sz.phase_rates = {0.0, 0.1};
+      sz.corrupt_rates = {0.0, 0.1};
       sz.cycle_rates = {0.0, 0.01};
     }
 
@@ -217,57 +288,59 @@ int main(int argc, char** argv) {
       q.key[0] = static_cast<std::int64_t>(qrng.uniform(1ull << 40));
     return qs;
   };
-  sweep_engine("alg1-paper", sz,
-               [&](const mesh::CostModel& m) {
-                 return PreparedSearch(dag, PlanKind::kPaper, ds::HashWalk{0},
-                                       m, shape);
-               },
+  auto make_alg1_paper = [&](const mesh::CostModel& m) {
+    return PreparedSearch(dag, PlanKind::kPaper, ds::HashWalk{0}, m, shape);
+  };
+  auto make_alg1_geometric = [&](const mesh::CostModel& m) {
+    return PreparedSearch(dag, PlanKind::kGeometric, ds::HashWalk{0}, m,
+                          shape);
+  };
+  sweep_engine("alg1-paper", sz, Knob::kPhase, make_alg1_paper, alg1_stream);
+  sweep_engine("alg1-paper", sz, Knob::kCorrupt, make_alg1_paper, alg1_stream);
+  sweep_engine("alg1-geometric", sz, Knob::kPhase, make_alg1_geometric,
                alg1_stream);
-  sweep_engine("alg1-geometric", sz,
-               [&](const mesh::CostModel& m) {
-                 return PreparedSearch(dag, PlanKind::kGeometric,
-                                       ds::HashWalk{0}, m, shape);
-               },
+  sweep_engine("alg1-geometric", sz, Knob::kCorrupt, make_alg1_geometric,
                alg1_stream);
 
   // Algorithm 2: directed k-ary search tree, alpha splitting.
   KaryTree tree2(ds::iota_keys(sz.tree2_n), 3, TreeMode::kDirected);
   const auto shape2 = tree2.graph().shape_for(tree2.graph().vertex_count());
-  sweep_engine("alg2-alpha", sz,
-               [&](const mesh::CostModel& m) {
-                 return PreparedSearch(EngineKind::kAlg2Alpha, tree2.graph(),
-                                       tree2.alpha_splitting(),
-                                       tree2.alpha_splitting(),
-                                       tree2.rank_count(), m, shape2);
-               },
-               [&](std::size_t mq) {
-                 util::Rng qrng(43);
-                 return ds::uniform_key_queries(mq, sz.tree2_n + 20, qrng);
-               });
+  auto make_alg2 = [&](const mesh::CostModel& m) {
+    return PreparedSearch(EngineKind::kAlg2Alpha, tree2.graph(),
+                          tree2.alpha_splitting(), tree2.alpha_splitting(),
+                          tree2.rank_count(), m, shape2);
+  };
+  auto alg2_stream = [&](std::size_t mq) {
+    util::Rng qrng(43);
+    return ds::uniform_key_queries(mq, sz.tree2_n + 20, qrng);
+  };
+  sweep_engine("alg2-alpha", sz, Knob::kPhase, make_alg2, alg2_stream);
+  sweep_engine("alg2-alpha", sz, Knob::kCorrupt, make_alg2, alg2_stream);
 
   // Algorithm 3: undirected binary tree, alpha-beta splittings.
   KaryTree tree3(ds::iota_keys(sz.tree3_n), 2, TreeMode::kUndirected);
   const auto shape3 = tree3.graph().shape_for(tree3.graph().vertex_count());
   const auto [s1, s2] = tree3.alpha_beta_splittings();
-  sweep_engine("alg3-alpha-beta", sz,
-               [&](const mesh::CostModel& m) {
-                 return PreparedSearch(EngineKind::kAlg3AlphaBeta,
-                                       tree3.graph(), s1, s2,
-                                       tree3.euler_scan(), m, shape3);
-               },
-               [&](std::size_t mq) {
-                 auto qs = make_queries(mq);
-                 util::Rng qrng(44);
-                 for (auto& q : qs) {
-                   const auto a = qrng.uniform_range(
-                       -3, static_cast<std::int64_t>(sz.tree3_n) + 3);
-                   q.key[0] = a;
-                   q.key[1] = a + qrng.uniform_range(0, 30);
-                 }
-                 return qs;
-               });
+  auto make_alg3 = [&](const mesh::CostModel& m) {
+    return PreparedSearch(EngineKind::kAlg3AlphaBeta, tree3.graph(), s1, s2,
+                          tree3.euler_scan(), m, shape3);
+  };
+  auto alg3_stream = [&](std::size_t mq) {
+    auto qs = make_queries(mq);
+    util::Rng qrng(44);
+    for (auto& q : qs) {
+      const auto a =
+          qrng.uniform_range(-3, static_cast<std::int64_t>(sz.tree3_n) + 3);
+      q.key[0] = a;
+      q.key[1] = a + qrng.uniform_range(0, 30);
+    }
+    return qs;
+  };
+  sweep_engine("alg3-alpha-beta", sz, Knob::kPhase, make_alg3, alg3_stream);
+  sweep_engine("alg3-alpha-beta", sz, Knob::kCorrupt, make_alg3, alg3_stream);
 
   sweep_cycle(sz);
+  sweep_cycle_corrupt(sz);
   showcase(topt, sz);
   return 0;
 }

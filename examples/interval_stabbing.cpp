@@ -13,11 +13,13 @@
 #include "multisearch/partitioned.hpp"
 #include "multisearch/query.hpp"
 
+#include "example_main.hpp"
+
 using namespace meshsearch;
 using namespace meshsearch::msearch;
 using ds::Interval;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
                                  : std::size_t{8192};
   util::Rng rng(99);
@@ -103,3 +105,5 @@ int main(int argc, char** argv) {
             << ok << "/64\n";
   return (checked == 64 && ok == 64) ? 0 : 1;
 }
+
+MESHSEARCH_EXAMPLE_MAIN(run)

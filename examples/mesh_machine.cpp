@@ -14,6 +14,15 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
+#include "example_main.hpp"
+
+// GCC 12 fires a spurious -Wmaybe-uninitialized inside std::variant's
+// copy-assignment when Table cells are appended in a loop the optimizer
+// unrolls; no cell is ever read uninitialized.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 using namespace meshsearch;
 using mesh::Grid;
 using mesh::MeshShape;
@@ -32,7 +41,7 @@ void dump_small_grid(const Grid<std::int64_t>& g, const std::string& title) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const std::uint32_t side =
       argc > 1 ? static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10))
                : 8u;
@@ -90,3 +99,5 @@ int main(int argc, char** argv) {
             << "\n";
   return correct == shape.size() ? 0 : 1;
 }
+
+MESHSEARCH_EXAMPLE_MAIN(run)

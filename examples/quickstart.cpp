@@ -14,10 +14,12 @@
 #include "multisearch/sequential.hpp"
 #include "multisearch/synchronous.hpp"
 
+#include "example_main.hpp"
+
 using namespace meshsearch;
 using namespace meshsearch::msearch;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const std::size_t nkeys = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
                                      : (std::size_t{1} << 16);
   const std::size_t nqueries = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
@@ -76,3 +78,5 @@ int main(int argc, char** argv) {
     std::cout << "  " << q_alg[i].key[0] << " -> " << q_alg[i].acc0 << "\n";
   return mismatch.empty() && mismatch2.empty() ? 0 : 1;
 }
+
+MESHSEARCH_EXAMPLE_MAIN(run)

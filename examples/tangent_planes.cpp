@@ -14,10 +14,12 @@
 #include "multisearch/hierarchical.hpp"
 #include "multisearch/query.hpp"
 
+#include "example_main.hpp"
+
 using namespace meshsearch;
 using namespace meshsearch::geom;
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   const std::size_t npts = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
                                     : std::size_t{4096};
   util::Rng rng(3);
@@ -87,3 +89,5 @@ int main(int argc, char** argv) {
             << " agree with brute force\n";
   return (verified == 200 && agree == lines.size()) ? 0 : 1;
 }
+
+MESHSEARCH_EXAMPLE_MAIN(run)

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "mesh/snake.hpp"
+#include "multisearch/validate.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -23,8 +24,12 @@ constexpr std::int64_t kChain = 2;
 
 IntervalTree::IntervalTree(std::vector<Interval> intervals)
     : intervals_(std::move(intervals)) {
-  MS_CHECK_MSG(!intervals_.empty(), "empty interval set");
-  for (const auto& iv : intervals_) MS_CHECK_MSG(iv.lo <= iv.hi, "lo > hi");
+  if (intervals_.empty())
+    msearch::invalid_input("empty interval set", "interval-tree");
+  for (std::size_t i = 0; i < intervals_.size(); ++i)
+    if (intervals_[i].lo > intervals_[i].hi)
+      msearch::invalid_input(
+          "interval " + std::to_string(i) + " has lo > hi", "interval-tree");
 
   // Distinct endpoints, padded to a power of two.
   std::vector<std::int64_t> pts;

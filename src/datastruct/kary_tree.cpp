@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "multisearch/validate.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -40,10 +41,14 @@ std::vector<WeightedKey> iota_keys(std::size_t count) {
 
 KaryTree::KaryTree(std::vector<WeightedKey> keys, unsigned k, TreeMode mode)
     : k_(k), mode_(mode) {
-  MS_CHECK_MSG(k >= 2 && k <= 6, "supported fan-out is 2..6");
-  MS_CHECK_MSG(!keys.empty(), "empty key set");
+  if (k < 2 || k > 6)
+    msearch::invalid_input("supported fan-out is 2..6", "kary-tree");
+  if (keys.empty()) msearch::invalid_input("empty key set", "kary-tree");
   for (std::size_t i = 1; i < keys.size(); ++i)
-    MS_CHECK_MSG(keys[i - 1].key < keys[i].key, "keys not sorted unique");
+    if (!(keys[i - 1].key < keys[i].key))
+      msearch::invalid_input("keys not sorted unique at index " +
+                                 std::to_string(i),
+                             "kary-tree");
   keys_ = keys.size();
 
   // Complete k-ary tree: pad the leaf level with +inf sentinels.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "multisearch/validate.hpp"
 #include "util/check.hpp"
 
 namespace meshsearch::geom {
@@ -135,7 +136,9 @@ msearch::Vid ExtremeQuery::next(const msearch::VertexRecord& v,
 DKHierarchy3::DKHierarchy3(std::vector<Point3> pts, util::Rng& rng,
                            unsigned max_degree)
     : pts_(std::move(pts)) {
-  MS_CHECK(max_degree >= 6);
+  if (max_degree < 6)
+    msearch::invalid_input("DK hierarchy needs max_degree >= 6",
+                           "dk-hierarchy");
   // Fine-to-coarse hull sequence.
   std::vector<std::vector<std::int32_t>> fine_layers;       // P_0, P_1, ...
   std::vector<std::vector<std::vector<std::int32_t>>> fine_cands;

@@ -3,14 +3,16 @@
 #include <algorithm>
 
 #include "geometry/hull2d.hpp"
+#include "multisearch/validate.hpp"
 #include "util/check.hpp"
 
 namespace meshsearch::geom {
 
 DKPolygon::DKPolygon(std::vector<Point2> poly) : poly_(std::move(poly)) {
-  MS_CHECK_MSG(is_strictly_convex_ccw(poly_), "polygon must be strictly convex ccw");
-  for (const auto& p : poly_)
-    MS_CHECK(std::abs(p.x) <= kMaxCoord && std::abs(p.y) <= kMaxCoord);
+  msearch::validate_points_in_bounds(poly_, "dk-polygon");
+  if (!is_strictly_convex_ccw(poly_))
+    msearch::invalid_input("polygon must be strictly convex ccw",
+                           "dk-polygon");
 
   HierarchyLevels h;
   h.pts.reserve(poly_.size());

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "multisearch/validate.hpp"
 #include "util/check.hpp"
 
 namespace meshsearch::geom {
@@ -34,10 +36,14 @@ std::uint64_t edge_key(std::int32_t a, std::int32_t b) {
 
 Hull3 convex_hull3(const std::vector<Point3>& pts, util::Rng& rng) {
   const std::size_t n = pts.size();
-  MS_CHECK_MSG(n >= 4, "hull3 needs at least 4 points");
-  for (const auto& p : pts) {
-    MS_CHECK(std::abs(p.x) <= kMaxCoord && std::abs(p.y) <= kMaxCoord &&
-             std::abs(p.z) <= kMaxCoord);
+  if (n < 4) msearch::invalid_input("hull3 needs at least 4 points", "hull3");
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& p = pts[i];
+    if (std::abs(p.x) > kMaxCoord || std::abs(p.y) > kMaxCoord ||
+        std::abs(p.z) > kMaxCoord)
+      msearch::invalid_input("point " + std::to_string(i) +
+                                 " outside the +-kMaxCoord predicate bound",
+                             "hull3");
   }
   auto order32 = util::random_permutation(n, rng);
   std::vector<std::int32_t> order(order32.begin(), order32.end());
@@ -50,7 +56,7 @@ Hull3 convex_hull3(const std::vector<Point3>& pts, util::Rng& rng) {
     while (j < n && pts[static_cast<std::size_t>(order[j])] ==
                         pts[static_cast<std::size_t>(order[0])])
       ++j;
-    MS_CHECK_MSG(j < n, "all points identical");
+    if (j >= n) msearch::invalid_input("all points identical", "hull3");
     std::swap(order[1], order[j]);
     // third point not collinear.
     auto collinear = [&](std::int32_t a, std::int32_t b, std::int32_t c) {
@@ -64,7 +70,7 @@ Hull3 convex_hull3(const std::vector<Point3>& pts, util::Rng& rng) {
     };
     j = 2;
     while (j < n && collinear(order[0], order[1], order[j])) ++j;
-    MS_CHECK_MSG(j < n, "all points collinear");
+    if (j >= n) msearch::invalid_input("all points collinear", "hull3");
     std::swap(order[2], order[j]);
     j = 3;
     while (j < n && orient3d(pts[static_cast<std::size_t>(order[0])],
@@ -72,7 +78,7 @@ Hull3 convex_hull3(const std::vector<Point3>& pts, util::Rng& rng) {
                              pts[static_cast<std::size_t>(order[2])],
                              pts[static_cast<std::size_t>(order[j])]) == 0)
       ++j;
-    MS_CHECK_MSG(j < n, "all points coplanar");
+    if (j >= n) msearch::invalid_input("all points coplanar", "hull3");
     std::swap(order[3], order[j]);
   }
 

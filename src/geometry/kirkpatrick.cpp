@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "multisearch/validate.hpp"
 #include "util/check.hpp"
 
 namespace meshsearch::geom {
@@ -46,8 +47,13 @@ std::vector<std::array<std::int32_t, 3>> ear_clip(
 
 Kirkpatrick::Kirkpatrick(std::vector<Point2> points, Scalar radius,
                          unsigned max_degree) {
-  MS_CHECK(max_degree >= 4);
-  MS_CHECK_MSG(!points.empty(), "Kirkpatrick needs at least one point");
+  if (max_degree < 4)
+    msearch::invalid_input("Kirkpatrick needs max_degree >= 4", "kirkpatrick");
+  if (points.empty())
+    msearch::invalid_input("Kirkpatrick needs at least one point",
+                           "kirkpatrick");
+  msearch::validate_points_in_bounds(points, "kirkpatrick");
+  msearch::validate_points_distinct(points, "kirkpatrick");
   const Triangulation tin(std::move(points), radius);
   verts_ = tin.vertices();
 

@@ -5,6 +5,7 @@
 #include <deque>
 #include <limits>
 
+#include "mesh/integrity.hpp"
 #include "util/check.hpp"
 #include "util/parallel_for.hpp"
 
@@ -30,10 +31,13 @@ std::size_t route_partial_generic(MeshShape shape,
   struct Packet {
     T value;
     std::uint32_t dr, dc;
+    std::uint64_t sum = 0;  // payload checksum (computed while armed)
   };
   struct Cell {
     std::deque<Packet> horiz, vert;
   };
+  constexpr bool kChecksummed = std::is_trivially_copyable_v<T>;
+  const bool faulty = fault != nullptr && fault->armed();
   std::vector<Cell> state(p);
   std::size_t undelivered = 0;
 #ifndef NDEBUG
@@ -48,7 +52,11 @@ std::size_t route_partial_generic(MeshShape shape,
     seen[d] = 1;
 #endif
     Packet pk{payload_rm[i], static_cast<std::uint32_t>(d / s),
-              static_cast<std::uint32_t>(d % s)};
+              static_cast<std::uint32_t>(d % s), 0};
+    if constexpr (kChecksummed) {
+      // Checksum at injection, verified at every delivery below.
+      if (faulty) pk.sum = integrity::payload_checksum(pk.value);
+    }
     const std::uint32_t r = static_cast<std::uint32_t>(i / s);
     const std::uint32_t c = static_cast<std::uint32_t>(i % s);
     if (r == pk.dr && c == pk.dc) {
@@ -64,10 +72,9 @@ std::size_t route_partial_generic(MeshShape shape,
 
   std::size_t steps = 0;
   // Fault injection mirrors Grid::route_permutation: stalls suppress a
-  // cell's departures for one step, drops leave the packet at its queue head
-  // (blocking that queue for the rest of the step) and the convergence guard
-  // is scaled while armed.
-  const bool faulty = fault != nullptr && fault->armed();
+  // cell's departures for one step, drops and detected corruptions leave
+  // the packet at its queue head (blocking that queue for the rest of the
+  // step) and the convergence guard is scaled while armed.
   const std::uint64_t epoch = faulty ? fault->next_route_epoch() : 0;
   const std::size_t base_cap = 64 * static_cast<std::size_t>(s) + 64;
   const std::size_t cap =
@@ -85,9 +92,17 @@ std::size_t route_partial_generic(MeshShape shape,
     if (!faulty) {
       MS_CHECK_MSG(steps <= cap, "partial routing failed to converge");
     } else if (steps > cap) {
+      ErrorContext ctx;
+      ctx.engine = "cycle";
+      ctx.phase = "route";
+      ctx.site = "route_partial";
+      ctx.seed = fault->config().seed;
+      ctx.occurrence = epoch;
+      ctx.has_seed = true;
       throw FaultExhaustedError(
           "partial routing exceeded its scaled convergence guard under "
-          "injected faults");
+          "injected faults",
+          std::move(ctx));
     }
     struct Move {
       std::size_t from_cell;
@@ -154,11 +169,57 @@ std::size_t route_partial_generic(MeshShape shape,
           blocked[mv.from_cell] = steps;
           continue;
         }
+        if constexpr (kChecksummed) {
+          if (fault->corrupt(epoch, steps,
+                             static_cast<std::uint64_t>(mv.from_cell),
+                             static_cast<std::uint64_t>(mv.to_cell))) {
+            // One payload bit flips in transit; the receiver's checksum
+            // catches it, the copy is discarded and the intact head packet
+            // retransmits next step (same recovery as a drop).
+            auto& q = mv.from_horiz ? state[mv.from_cell].horiz
+                                    : state[mv.from_cell].vert;
+            Packet sent = q.front();
+            integrity::flip_payload_bit(
+                sent.value,
+                fault->corrupt_bit(epoch, steps,
+                                   static_cast<std::uint64_t>(mv.from_cell),
+                                   static_cast<std::uint64_t>(mv.to_cell)));
+            if (integrity::payload_checksum(sent.value) == sent.sum) {
+              ErrorContext ctx;
+              ctx.engine = "cycle";
+              ctx.phase = "route";
+              ctx.site = "route_partial.corrupt";
+              ctx.seed = fault->config().seed;
+              ctx.occurrence = epoch;
+              ctx.has_seed = true;
+              throw IntegrityError(
+                  "corrupted payload passed checksum verification",
+                  std::move(ctx));
+            }
+            fault->count_corrupt_detected();
+            fault->count_corrupt_recovered();
+            blocked[mv.from_cell] = steps;
+            continue;
+          }
+        }
       }
       auto& q = mv.from_horiz ? state[mv.from_cell].horiz
                               : state[mv.from_cell].vert;
       Packet pk = q.front();
       q.pop_front();
+      if constexpr (kChecksummed) {
+        if (faulty && integrity::payload_checksum(pk.value) != pk.sum) {
+          ErrorContext ctx;
+          ctx.engine = "cycle";
+          ctx.phase = "route";
+          ctx.site = "route_partial.verify";
+          ctx.seed = fault->config().seed;
+          ctx.occurrence = epoch;
+          ctx.has_seed = true;
+          throw IntegrityError("routed payload failed checksum verification",
+                               std::move(ctx));
+        }
+      }
       const auto tr = static_cast<std::uint32_t>(mv.to_cell / s);
       const auto tc = static_cast<std::uint32_t>(mv.to_cell % s);
       if (tr == pk.dr && tc == pk.dc) {

@@ -2,30 +2,36 @@
 //
 // The paper's machine model is fault-free; a production-scale server is
 // not. A FaultPlan is a seed-driven oracle answering "does this processor
-// stall / does this link drop a word / does this phase fail?" — every
-// answer is a pure hash of (seed, site, occurrence), so a run with faults
-// armed is exactly as deterministic as a fault-free run: same seed + same
-// fault plan => bit-identical injections, detections, retries and outcomes.
+// stall / does this link drop a word / does this link corrupt a word /
+// does this phase fail?" — every answer is a pure hash of (seed, site,
+// occurrence), so a run with faults armed is exactly as deterministic as a
+// fault-free run: same seed + same fault plan => bit-identical injections,
+// detections, retries and outcomes.
 //
-// Three injection surfaces, matched to the two engines:
+// Four injection surfaces, matched to the two engines:
 //
 //   * cycle engine, routing: a stalled processor emits no packets for one
 //     step; a dropped link delivery is detected by the receiver's per-step
 //     validation and the packet stays at the head of its FIFO queue
-//     (retransmitted next step). Both only add steps — data is never
-//     silently corrupted. The convergence guard is scaled while armed and
-//     throws FaultExhaustedError if congestion + faults exceed it.
+//     (retransmitted next step). A corrupted link delivery flips one bit of
+//     the payload in transit; the receiver's per-payload checksum
+//     (mesh/integrity.hpp) detects the mismatch and the packet is
+//     retransmitted exactly like a drop. All three only add steps — data is
+//     never silently corrupted. The convergence guard is scaled while armed
+//     and throws FaultExhaustedError if congestion + faults exceed it.
 //   * cycle engine, lockstep primitives (shearsort / scan / broadcast): a
-//     failed step is detected and retried, adding steps under the same
-//     primitive label the fault-free run records.
+//     failed or corrupted step is detected and retried, adding steps under
+//     the same primitive label the fault-free run records.
 //   * counting engine, phase draws: the multisearch engines checkpoint
 //     their inputs per phase (Alg 1 steps 0-4, Constrained steps 1-6 as one
 //     unit, Alg 2/3 per log-phase step) and ask draw_phase() how many
-//     attempts fail before one succeeds. Failed attempts re-run (and
-//     re-charge) the phase; the exponential backoff wait between attempts
-//     is charged under trace::Primitive::kBackoff. A phase that fails
-//     max_retries + 1 times throws FaultExhaustedError; the stream
-//     scheduler catches it, degrades capacity and re-plans the batch.
+//     attempts fail before one succeeds. An attempt fails if the phase
+//     draw fires (p_phase) or the end-of-phase checksum audit detects
+//     transit corruption (p_corrupt, an independent draw). Failed attempts
+//     re-run (and re-charge) the phase; the exponential backoff wait
+//     between attempts is charged under trace::Primitive::kBackoff. A
+//     phase that fails max_retries + 1 times throws FaultExhaustedError;
+//     the stream scheduler catches it, degrades capacity and re-plans.
 //
 // The fault-free contract: a default-constructed (disarmed) FaultPlan, or
 // a null CostModel::fault / Grid fault pointer, changes NOTHING — outcomes,
@@ -37,28 +43,36 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
-#include <stdexcept>
 #include <string>
 #include <string_view>
 
 #include "trace/trace.hpp"
+#include "util/error.hpp"
 
 namespace meshsearch::mesh {
 
 /// Thrown when a phase (or a routing) exhausts its retry budget. The stream
 /// scheduler turns this into capacity degradation + batch re-planning;
 /// anything else propagating it is a reported failure, never a silent
-/// wrong answer.
-class FaultExhaustedError : public std::runtime_error {
+/// wrong answer. Carries the fault seed, draw site and occurrence counter
+/// (both in the message and as structured fields), so the exact failing
+/// draw can be replayed from the error alone.
+class FaultExhaustedError : public meshsearch::Error {
  public:
-  explicit FaultExhaustedError(const std::string& what)
-      : std::runtime_error(what) {}
+  explicit FaultExhaustedError(const std::string& message,
+                               ErrorContext ctx = {})
+      : Error(message, std::move(ctx)) {}
+
+  std::uint64_t seed() const noexcept { return context().seed; }
+  const std::string& site() const noexcept { return context().site; }
+  std::uint64_t occurrence() const noexcept { return context().occurrence; }
 };
 
 struct FaultConfig {
   std::uint64_t seed = 0;     ///< fault-plan seed (independent of workloads)
   double p_stall = 0.0;       ///< per (step, cell) processor-stall probability
   double p_drop = 0.0;        ///< per (step, link) word-drop probability
+  double p_corrupt = 0.0;     ///< per (step, link) payload-bit-flip probability
   double p_phase = 0.0;       ///< per-attempt phase-failure probability
   int max_retries = 6;        ///< phase attempts = 1 + up to max_retries
   double backoff_base = 8.0;  ///< backoff after attempt a: base * 2^a steps
@@ -79,7 +93,10 @@ struct PhaseDraw {
 struct FaultStats {
   std::uint64_t injected_stalls = 0;
   std::uint64_t injected_drops = 0;
-  std::uint64_t detections = 0;  ///< stalls + drops + failed phase attempts
+  std::uint64_t corrupt_injected = 0;   ///< payload words corrupted in transit
+  std::uint64_t corrupt_detected = 0;   ///< checksum mismatches caught
+  std::uint64_t corrupt_recovered = 0;  ///< corrupted deliveries retransmitted
+  std::uint64_t detections = 0;  ///< stalls + drops + corruptions + failures
   std::uint64_t phase_failures = 0;
   std::uint64_t phase_retries = 0;  ///< successful re-runs of a failed phase
   std::uint64_t exhausted = 0;      ///< FaultExhaustedError count
@@ -94,16 +111,17 @@ struct FaultStats {
 /// query answers "no fault" without touching any counter, so a disarmed
 /// plan threaded through an engine is indistinguishable from no plan.
 ///
-/// Thread-safety: stall()/drop() are pure hashes plus atomic counters and
-/// may be called from parallel_for bodies (routing move generation);
-/// draw_phase()/lockstep_extra()/next_route_epoch() consume serial draw
-/// counters and must be called from phase-driving (span-owning) threads,
-/// which the engines already guarantee.
+/// Thread-safety: stall()/drop()/corrupt()/corrupt_bit() are pure hashes
+/// plus atomic counters and may be called from parallel_for bodies (routing
+/// move generation); draw_phase()/lockstep_extra()/next_route_epoch()
+/// consume serial draw counters and must be called from phase-driving
+/// (span-owning) threads, which the engines already guarantee.
 class FaultPlan {
  public:
   FaultPlan() = default;
   explicit FaultPlan(const FaultConfig& config) : cfg_(config) {
-    armed_ = cfg_.p_stall > 0 || cfg_.p_drop > 0 || cfg_.p_phase > 0;
+    armed_ = cfg_.p_stall > 0 || cfg_.p_drop > 0 || cfg_.p_corrupt > 0 ||
+             cfg_.p_phase > 0;
   }
 
   bool armed() const { return armed_; }
@@ -118,21 +136,38 @@ class FaultPlan {
   bool drop(std::uint64_t epoch, std::uint64_t step, std::uint64_t from_cell,
             std::uint64_t to_cell);
 
+  /// Does the link from `from_cell` to `to_cell` corrupt its word at `step`
+  /// of routing epoch `epoch`? Pure hash; counts an injection (detection is
+  /// counted by the receiver, via count_corrupt_detected, when the payload
+  /// checksum mismatches).
+  bool corrupt(std::uint64_t epoch, std::uint64_t step,
+               std::uint64_t from_cell, std::uint64_t to_cell);
+
+  /// Which payload bit does a corrupted delivery flip? Deterministic
+  /// companion draw to corrupt(); the result is reduced modulo the payload
+  /// bit width by the caller.
+  std::uint64_t corrupt_bit(std::uint64_t epoch, std::uint64_t step,
+                            std::uint64_t from_cell,
+                            std::uint64_t to_cell) const;
+
   /// Distinct routing executions must see uncorrelated faults: each call
-  /// returns a fresh epoch for the stall()/drop() hashes.
+  /// returns a fresh epoch for the stall()/drop()/corrupt() hashes.
   std::uint64_t next_route_epoch();
 
   /// Extra retried steps for a lockstep primitive that nominally takes
   /// `steps` steps: each step fails (is detected and retried once) with
-  /// p_stall, drawn from a serial counter so successive primitives see
-  /// independent faults. Returns the number of extra steps.
+  /// p_stall, and independently has its word corrupted-and-caught (checksum
+  /// mismatch, one retry) with p_corrupt. Drawn from a serial counter so
+  /// successive primitives see independent faults. Returns the extra steps.
   std::size_t lockstep_extra(std::size_t steps);
 
   /// Draw the retry schedule for one phase execution. Attempt a fails with
-  /// p_phase; after a failed attempt the engine waits backoff_base * 2^a
-  /// steps. Throws FaultExhaustedError when all 1 + max_retries attempts
-  /// fail. Draws are keyed by (seed, name, per-name occurrence counter),
-  /// so the schedule is a deterministic function of the call sequence.
+  /// p_phase, and independently with p_corrupt (the end-of-phase checksum
+  /// audit detecting transit corruption); after a failed attempt the engine
+  /// waits backoff_base * 2^a steps. Throws FaultExhaustedError when all
+  /// 1 + max_retries attempts fail. Draws are keyed by (seed, name,
+  /// per-name occurrence counter), so the schedule is a deterministic
+  /// function of the call sequence.
   PhaseDraw draw_phase(std::string_view name);
 
   /// Shrink surviving capacity by degrade_factor (stream scheduler, after a
@@ -144,6 +179,15 @@ class FaultPlan {
 
   void count_degraded_batch() { ++stats_degraded_; }
   void count_replanned_batch() { ++stats_replanned_; }
+
+  /// Receiver-side bookkeeping for transit corruption: a checksum mismatch
+  /// was detected / the corrupted delivery was retransmitted successfully.
+  void count_corrupt_detected() {
+    stats_corrupt_detected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_corrupt_recovered() {
+    stats_corrupt_recovered_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   FaultStats stats() const;
 
@@ -157,11 +201,15 @@ class FaultPlan {
   std::atomic<std::uint64_t> route_epoch_{0};
   std::atomic<std::uint64_t> stats_stalls_{0};
   std::atomic<std::uint64_t> stats_drops_{0};
+  std::atomic<std::uint64_t> stats_corrupt_injected_{0};
+  std::atomic<std::uint64_t> stats_corrupt_detected_{0};
+  std::atomic<std::uint64_t> stats_corrupt_recovered_{0};
   std::atomic<std::uint64_t> stats_degraded_{0};
   std::atomic<std::uint64_t> stats_replanned_{0};
 
   mutable std::mutex mu_;  ///< serial draw state below
   std::uint64_t lockstep_draws_ = 0;
+  std::uint64_t lockstep_corrupt_draws_ = 0;
   std::map<std::string, std::uint64_t, std::less<>> phase_occurrence_;
   std::uint64_t stats_phase_failures_ = 0;
   std::uint64_t stats_phase_retries_ = 0;

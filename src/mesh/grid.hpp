@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "mesh/fault.hpp"
+#include "mesh/integrity.hpp"
 #include "mesh/snake.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
@@ -57,9 +58,11 @@ class Grid {
   trace::TraceRecorder* trace() const { return trace_; }
 
   /// Attach an optional fault oracle (mesh/fault.hpp): routing injects
-  /// per-step processor stalls and link drops; the lockstep primitives
-  /// (shearsort, snake_scan, broadcast) add detected-and-retried steps.
-  /// Null or disarmed changes nothing. Not owned.
+  /// per-step processor stalls, link drops, and in-transit payload
+  /// corruption (caught by per-payload checksums, mesh/integrity.hpp);
+  /// the lockstep primitives (shearsort, snake_scan, broadcast) add
+  /// detected-and-retried steps. Null or disarmed changes nothing.
+  /// Not owned.
   void set_fault(FaultPlan* f) { fault_ = f; }
   FaultPlan* fault() const { return fault_; }
 
@@ -260,16 +263,27 @@ std::size_t Grid<T>::route_permutation(const std::vector<std::uint32_t>& dest_rm
   struct Packet {
     T value{};
     std::uint32_t dr = 0, dc = 0;  // destination coordinates
+    std::uint64_t sum = 0;         // payload checksum (computed while armed)
   };
+  // Checksums need byte access to the payload; every T the engines route is
+  // trivially copyable, but keep non-copyable instantiations compiling
+  // (without transport integrity — corruption needs bit access too).
+  constexpr bool kChecksummed = std::is_trivially_copyable_v<T>;
   // Per-cell queues; queue[0] = packets still travelling horizontally,
   // queue[1] = packets travelling vertically.
   struct Cell {
     std::deque<Packet> horiz, vert;
   };
   std::vector<Cell> state(p);
+  const bool faulty = fault_ != nullptr && fault_->armed();
   std::size_t undelivered = 0;
   for (std::size_t i = 0; i < p; ++i) {
-    Packet pk{cells_[i], dest_rm[i] / s, dest_rm[i] % s};
+    Packet pk{cells_[i], dest_rm[i] / s, dest_rm[i] % s, 0};
+    if constexpr (kChecksummed) {
+      // Checksum at injection; every delivery below verifies it, so any
+      // in-transit flip is detected-and-retransmitted, never silent.
+      if (faulty) pk.sum = integrity::payload_checksum(pk.value);
+    }
     const std::uint32_t r = static_cast<std::uint32_t>(i / s);
     const std::uint32_t c = static_cast<std::uint32_t>(i % s);
     if (r == pk.dr && c == pk.dc) {
@@ -284,7 +298,6 @@ std::size_t Grid<T>::route_permutation(const std::vector<std::uint32_t>& dest_rm
   }
 
   std::size_t steps = 0;
-  const bool faulty = fault_ != nullptr && fault_->armed();
   // Each route_permutation call is its own fault epoch, so two calls at the
   // same step index draw independent stall/drop decisions.
   const std::uint64_t epoch = faulty ? fault_->next_route_epoch() : 0;
@@ -311,9 +324,17 @@ std::size_t Grid<T>::route_permutation(const std::vector<std::uint32_t>& dest_rm
       MS_CHECK_MSG(steps <= cap,
                    "routing failed to converge (bug in route_permutation)");
     } else if (steps > cap) {
+      ErrorContext ctx;
+      ctx.engine = "cycle";
+      ctx.phase = "route";
+      ctx.site = "route_permutation";
+      ctx.seed = fault_->config().seed;
+      ctx.occurrence = epoch;
+      ctx.has_seed = true;
       throw FaultExhaustedError(
           "routing exceeded its scaled convergence guard under injected "
-          "faults");
+          "faults",
+          std::move(ctx));
     }
     struct Move {
       std::size_t from_cell;
@@ -392,10 +413,63 @@ std::size_t Grid<T>::route_permutation(const std::vector<std::uint32_t>& dest_rm
           blocked[mv.from_cell] = steps;  // head retransmits next step
           continue;
         }
+        if constexpr (kChecksummed) {
+          if (fault_->corrupt(epoch, steps,
+                              static_cast<std::uint64_t>(mv.from_cell),
+                              static_cast<std::uint64_t>(mv.to_cell))) {
+            // The link flips one payload bit of the transmitted copy. The
+            // receiver's checksum verification catches the mismatch, the
+            // corrupted copy is discarded, and the intact head packet
+            // retransmits next step — corruption behaves like a detected
+            // drop, never a silent value change.
+            auto& q = mv.from_horiz ? state[mv.from_cell].horiz
+                                    : state[mv.from_cell].vert;
+            Packet sent = q.front();
+            integrity::flip_payload_bit(
+                sent.value,
+                fault_->corrupt_bit(epoch, steps,
+                                    static_cast<std::uint64_t>(mv.from_cell),
+                                    static_cast<std::uint64_t>(mv.to_cell)));
+            if (integrity::payload_checksum(sent.value) == sent.sum) {
+              // Unreachable by construction (a single-bit flip always
+              // changes the position-mixed fold) — if it ever fires, the
+              // integrity layer itself is broken.
+              ErrorContext ctx;
+              ctx.engine = "cycle";
+              ctx.phase = "route";
+              ctx.site = "route_permutation.corrupt";
+              ctx.seed = fault_->config().seed;
+              ctx.occurrence = epoch;
+              ctx.has_seed = true;
+              throw IntegrityError(
+                  "corrupted payload passed checksum verification",
+                  std::move(ctx));
+            }
+            fault_->count_corrupt_detected();
+            fault_->count_corrupt_recovered();
+            blocked[mv.from_cell] = steps;
+            continue;
+          }
+        }
       }
       auto& q = mv.from_horiz ? state[mv.from_cell].horiz : state[mv.from_cell].vert;
       Packet pk = q.front();
       q.pop_front();
+      if constexpr (kChecksummed) {
+        // Receiver-side validation of every (non-corrupted) delivery: the
+        // payload must still match its injection-time checksum.
+        if (faulty && integrity::payload_checksum(pk.value) != pk.sum) {
+          ErrorContext ctx;
+          ctx.engine = "cycle";
+          ctx.phase = "route";
+          ctx.site = "route_permutation.verify";
+          ctx.seed = fault_->config().seed;
+          ctx.occurrence = epoch;
+          ctx.has_seed = true;
+          throw IntegrityError("routed payload failed checksum verification",
+                               std::move(ctx));
+        }
+      }
       const std::uint32_t tr = static_cast<std::uint32_t>(mv.to_cell / s);
       const std::uint32_t tc = static_cast<std::uint32_t>(mv.to_cell % s);
       if (tr == pk.dr && tc == pk.dc) {

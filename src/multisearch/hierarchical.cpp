@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "multisearch/validate.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
 
@@ -15,28 +16,20 @@ namespace meshsearch::msearch {
 HierarchicalDag::HierarchicalDag(const DistributedGraph& g, double mu,
                                  std::int32_t level_work)
     : g_(&g), mu_(mu), level_work_(level_work) {
-  MS_CHECK_MSG(mu > 1.0, "hierarchical DAG requires mu > 1");
-  MS_CHECK(level_work >= 1);
+  if (!(mu > 1.0))
+    invalid_input("hierarchical DAG requires mu > 1", "HierarchicalDag");
+  if (level_work < 1)
+    invalid_input("hierarchical DAG requires level_work >= 1",
+                  "HierarchicalDag");
+  // Level monotonicity, contiguity, and degree bounds — the full hardened
+  // check (also the front door for the Algorithm-1 builders).
+  validate_hierarchical_graph(g, level_work);
   std::int32_t h = -1;
-  for (const auto& v : g.verts()) {
-    MS_CHECK_MSG(v.level >= 0, "hierarchical DAG vertex without level");
-    h = std::max(h, v.level);
-  }
+  for (const auto& v : g.verts()) h = std::max(h, v.level);
   MS_CHECK(h >= 0);
   level_size_.assign(static_cast<std::size_t>(h) + 1, 0);
   for (const auto& v : g.verts())
     ++level_size_[static_cast<std::size_t>(v.level)];
-  for (std::size_t i = 0; i <= static_cast<std::size_t>(h); ++i)
-    MS_CHECK_MSG(level_size_[i] > 0, "empty level in hierarchical DAG");
-  // Every edge must go from L_i to L_{i+1} (same-level edges are allowed
-  // only in the generalized level_work > 1 model).
-  for (const auto& v : g.verts())
-    for (std::uint8_t d = 0; d < v.degree; ++d) {
-      const std::int32_t nl = g.vert(v.nbr[d]).level;
-      const bool ok =
-          nl == v.level + 1 || (level_work_ > 1 && nl == v.level);
-      MS_CHECK_MSG(ok, "hierarchical DAG edge not between consecutive levels");
-    }
   level_prefix_.assign(level_size_.size() + 1, 0);
   for (std::size_t i = 0; i < level_size_.size(); ++i)
     level_prefix_[i + 1] = level_prefix_[i] + level_size_[i];

@@ -31,6 +31,7 @@
 #include "mesh/fault.hpp"
 #include "mesh/snake.hpp"
 #include "multisearch/graph.hpp"
+#include "multisearch/validate.hpp"
 #include "util/parallel_for.hpp"
 
 namespace meshsearch::msearch {
@@ -270,9 +271,19 @@ HierarchicalRunResult hierarchical_multisearch(
     const HierarchicalDag& dag, const P& prog, std::vector<Query>& queries,
     const mesh::CostModel& m, mesh::MeshShape shape, PlanKind kind,
     bool charge_band_setup) {
+  // Front door: reject malformed input before any phase is charged.
+  const char* engine =
+      kind == PlanKind::kPaper ? "alg1-paper" : "alg1-geometric";
+  validate_graph(dag.graph(), engine);
+  validate_graph_fits(dag.graph(), shape, engine);
+  validate_batch_size(queries.size(), shape.size(), engine);
   const HierarchicalPlan plan = make_hierarchical_plan(dag, shape, kind);
   reset_queries(queries);
   const DistributedGraph& g = dag.graph();
+  // Paranoid mode: snapshot the post-reset input for the shadow oracle.
+  const bool paranoid = paranoid_enabled();
+  std::vector<Query> shadow;
+  if (paranoid) shadow = queries;
   const std::size_t visit_cap =
       static_cast<std::size_t>(dag.height() + 2) *
       static_cast<std::size_t>(4 * dag.level_work() + 8);
@@ -317,6 +328,7 @@ HierarchicalRunResult hierarchical_multisearch(
       hierarchical_cost(dag, plan, shape, m, &sweeps, charge_band_setup,
                         retries ? &*retries : nullptr);
   res.total_visits = total_visits;
+  if (paranoid) paranoid_audit(g, prog, std::move(shadow), queries, engine);
   return res;
 }
 

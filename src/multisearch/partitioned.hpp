@@ -18,6 +18,7 @@
 
 #include "multisearch/constrained.hpp"
 #include "multisearch/recovery.hpp"
+#include "multisearch/validate.hpp"
 #include "trace/trace.hpp"
 
 namespace meshsearch::msearch {
@@ -44,9 +45,20 @@ PartitionedRunResult multisearch_partitioned(
     const DistributedGraph& g, const Splitting& psi_a, const Splitting& psi_b,
     const P& prog, std::vector<Query>& queries, const mesh::CostModel& m,
     mesh::MeshShape shape, bool duplicate_copies = true) {
+  // Front door: reject malformed input before any phase is charged.
+  constexpr const char* kEngine = "partitioned";
+  validate_graph(g, kEngine);
+  validate_splitting_input(g, psi_a, kEngine);
+  validate_splitting_input(g, psi_b, kEngine);
+  validate_graph_fits(g, shape, kEngine);
+  validate_batch_size(queries.size(), shape.size(), kEngine);
   PartitionedRunResult res;
   const double p = static_cast<double>(shape.size());
   reset_queries(queries);
+  // Paranoid mode: snapshot the post-reset input for the shadow oracle.
+  const bool paranoid = paranoid_enabled();
+  std::vector<Query> shadow;
+  if (paranoid) shadow = queries;
   TRACE_SPAN(m.trace, "partitioned multisearch");
   while (!all_done(queries)) {
     trace::SpanScope phase_span(
@@ -106,6 +118,7 @@ PartitionedRunResult multisearch_partitioned(
     res.cost += m.reduce(p);
   }
   res.longest_path = max_steps(queries);
+  if (paranoid) paranoid_audit(g, prog, std::move(shadow), queries, kEngine);
   return res;
 }
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "multisearch/validate.hpp"
+
 namespace meshsearch::msearch {
 
 std::vector<std::size_t> piece_sizes(const Splitting& s) {
@@ -23,12 +25,9 @@ std::size_t max_piece_size(const Splitting& s) {
 }
 
 void validate_splitting(const DistributedGraph& g, const Splitting& s) {
-  MS_CHECK_MSG(s.piece.size() == g.vertex_count(),
-               "splitting size != vertex count");
-  for (std::size_t v = 0; v < s.piece.size(); ++v) {
-    MS_CHECK_MSG(s.piece[v] >= 0, "vertex not covered by any piece");
-    MS_CHECK(static_cast<std::size_t>(s.piece[v]) < s.num_pieces());
-  }
+  // Delegates to the typed front-door validator so a malformed splitting
+  // surfaces as InvalidInputError wherever it is checked.
+  validate_splitting_input(g, s, "splitting");
 }
 
 void validate_alpha_splitting(const DistributedGraph& g, const Splitting& s) {

@@ -56,6 +56,7 @@
 #include "multisearch/partitioned.hpp"
 #include "multisearch/setup.hpp"
 #include "multisearch/splitter.hpp"
+#include "multisearch/validate.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
 
@@ -156,7 +157,9 @@ class PreparedSearch {
         prog_(std::move(prog)),
         m_(&m),
         shape_(shape) {
-    MS_CHECK(g_->vertex_count() <= shape_.size());
+    // Front door: reject malformed input before charging the setup.
+    validate_graph(*g_, engine_kind_name(kind_));
+    validate_graph_fits(*g_, shape_, engine_kind_name(kind_));
     plan_ = make_hierarchical_plan(dag, shape_, plan_kind_);
     labels_ = band_labels(plan_, shape_);
     // Only the log* plan satisfies the Theorem-2 resident-replica storage
@@ -180,12 +183,14 @@ class PreparedSearch {
         m_(&m),
         shape_(shape),
         duplicate_copies_(duplicate_copies) {
-    MS_CHECK_MSG(kind == EngineKind::kAlg2Alpha ||
-                     kind == EngineKind::kAlg3AlphaBeta,
-                 "partitioned PreparedSearch requires an Alg 2/3 kind");
-    MS_CHECK(g_->vertex_count() <= shape_.size());
-    validate_splitting(*g_, psi_a_);
-    validate_splitting(*g_, psi_b_);
+    if (kind != EngineKind::kAlg2Alpha && kind != EngineKind::kAlg3AlphaBeta)
+      invalid_input("partitioned PreparedSearch requires an Alg 2/3 kind",
+                    "PreparedSearch");
+    // Front door: reject malformed input before charging the setup.
+    validate_graph(*g_, engine_kind_name(kind_));
+    validate_graph_fits(*g_, shape_, engine_kind_name(kind_));
+    validate_splitting_input(*g_, psi_a_, engine_kind_name(kind_));
+    validate_splitting_input(*g_, psi_b_, engine_kind_name(kind_));
     setup_cost_ = charge_setup();
   }
 
@@ -240,8 +245,7 @@ class PreparedSearch {
     BatchReport rep;
     rep.size = batch.size();
     if (batch.empty()) return rep;
-    MS_CHECK_MSG(batch.size() <= capacity(),
-                 "batch exceeds mesh capacity (one query per processor)");
+    validate_batch_size(batch.size(), capacity(), engine_kind_name(kind_));
     rep.inject = inject_queries(batch.size(), *m_, shape_);
     switch (kind_) {
       case EngineKind::kAlg1Paper:

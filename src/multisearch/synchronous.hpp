@@ -12,6 +12,7 @@
 #include "mesh/cost.hpp"
 #include "mesh/ops.hpp"
 #include "multisearch/graph.hpp"
+#include "multisearch/validate.hpp"
 #include "trace/trace.hpp"
 
 namespace meshsearch::msearch {
@@ -27,8 +28,18 @@ SynchronousResult synchronous_multisearch(const DistributedGraph& g,
                                           std::vector<Query>& queries,
                                           const mesh::CostModel& m,
                                           mesh::MeshShape shape) {
+  // Front door: reject malformed input before any phase is charged.
+  constexpr const char* kEngine = "synchronous";
+  validate_graph(g, kEngine);
+  validate_graph_fits(g, shape, kEngine);
+  validate_batch_size(queries.size(), shape.size(), kEngine);
   SynchronousResult res;
   const double p = static_cast<double>(shape.size());
+  // Paranoid mode: snapshot the input for the shadow oracle. (This engine
+  // does not reset queries; it continues wherever they stand.)
+  const bool paranoid = paranoid_enabled();
+  std::vector<Query> shadow;
+  if (paranoid) shadow = queries;
   TRACE_SPAN(m.trace, "synchronous multisearch");
   for (;;) {
     // One multistep: every live query fetches the record of its next vertex
@@ -39,6 +50,7 @@ SynchronousResult synchronous_multisearch(const DistributedGraph& g,
     res.cost += mesh::ops::broadcast(m, p);  // "anyone still live?" check
     res.cost += m.rar(p);                    // the fetch itself
   }
+  if (paranoid) paranoid_audit(g, prog, std::move(shadow), queries, kEngine);
   return res;
 }
 

@@ -4,20 +4,29 @@
 // instrument, and a silently-corrupt measurement is worse than a crash.
 // MS_DCHECK compiles away in NDEBUG builds and is used in per-element
 // hot loops of the simulator engines.
+//
+// A tripped check throws CheckFailedError (util/error.hpp), which derives
+// from meshsearch::Error and std::logic_error; the file:line throw site is
+// carried both in the message and in ErrorContext::site.
 #pragma once
 
 #include <sstream>
-#include <stdexcept>
 #include <string>
+
+#include "util/error.hpp"
 
 namespace meshsearch {
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {
+  std::ostringstream site;
+  site << file << ':' << line;
   std::ostringstream os;
-  os << file << ':' << line << ": check failed: " << expr;
+  os << site.str() << ": check failed: " << expr;
   if (!msg.empty()) os << " — " << msg;
-  throw std::logic_error(os.str());
+  ErrorContext ctx;
+  ctx.site = site.str();
+  throw CheckFailedError(os.str(), std::move(ctx));
 }
 
 }  // namespace meshsearch

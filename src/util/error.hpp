@@ -1,0 +1,125 @@
+// Typed error taxonomy for meshsearch.
+//
+// Every error the library throws on purpose derives from meshsearch::Error
+// and carries structured context — which engine, which phase, which
+// site/band, and (for fault-driven errors) the fault seed and occurrence —
+// so a failure can be replayed from the error alone. The taxonomy:
+//
+//   * InvalidInputError  — malformed input rejected at a public entry point
+//     (multisearch/validate.hpp) before any phase is charged. Caller bug.
+//   * CapacityError      — structurally valid input that exceeds a declared
+//     limit (batch larger than mesh capacity, degree above kMaxDegree).
+//     Caller can split/shrink and retry.
+//   * IntegrityError     — data failed an end-to-end check: a payload
+//     checksum mismatch that survived the retransmit path, or a paranoid
+//     shadow-oracle divergence. Simulator bug or unrecovered corruption;
+//     never retryable by the caller.
+//   * CheckFailedError   — an MS_CHECK internal invariant tripped. Always a
+//     library bug.
+//   * mesh::FaultExhaustedError (mesh/fault.hpp) — an injected-fault retry
+//     budget ran out. Expected under armed fault plans; the stream
+//     scheduler catches it and degrades/re-plans.
+//
+// Error derives from std::logic_error (not std::runtime_error) because the
+// MS_CHECK contract predates this taxonomy: a large body of tests and
+// callers pins `std::logic_error` as the thing the library throws, and the
+// taxonomy must slot under it without breaking them. The subclasses are the
+// real vocabulary; the std:: base is compatibility plumbing.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace meshsearch {
+
+/// Structured context attached to every meshsearch::Error. Empty strings /
+/// negative band / has_seed=false mean "not applicable" and are omitted
+/// from the formatted what() text.
+struct ErrorContext {
+  std::string engine;  ///< e.g. "alg1-paper", "stream", "cycle"
+  std::string phase;   ///< e.g. "phase.step2", "route", "paranoid-audit"
+  std::string site;    ///< throw site: file:line, draw-site name, ...
+  std::int64_t band = -1;            ///< band / submesh index, -1 = n/a
+  std::uint64_t seed = 0;            ///< fault-plan seed (if has_seed)
+  std::uint64_t occurrence = 0;      ///< per-site draw occurrence counter
+  bool has_seed = false;             ///< seed/occurrence fields are live
+};
+
+namespace detail {
+
+/// what() text = message + bracketed key=value context, so the full replay
+/// coordinates survive even through a bare catch (std::exception&).
+inline std::string format_error(const std::string& message,
+                                const ErrorContext& ctx) {
+  std::ostringstream os;
+  os << message;
+  bool open = false;
+  const auto sep = [&]() -> const char* {
+    if (open) return " ";
+    open = true;
+    return " [";
+  };
+  const auto field = [&](const char* key, const std::string& value) {
+    if (!value.empty()) os << sep() << key << '=' << value;
+  };
+  field("engine", ctx.engine);
+  field("phase", ctx.phase);
+  field("site", ctx.site);
+  if (ctx.band >= 0) os << sep() << "band=" << ctx.band;
+  if (ctx.has_seed)
+    os << sep() << "seed=" << ctx.seed << " occurrence=" << ctx.occurrence;
+  if (open) os << ']';
+  return os.str();
+}
+
+}  // namespace detail
+
+/// Base of the taxonomy. Catch this to handle any deliberate meshsearch
+/// failure; catch a subclass to handle one class of failure.
+class Error : public std::logic_error {
+ public:
+  explicit Error(const std::string& message, ErrorContext ctx = {})
+      : std::logic_error(detail::format_error(message, ctx)),
+        message_(message),
+        ctx_(std::move(ctx)) {}
+
+  /// The raw message without the bracketed context suffix.
+  const std::string& message() const noexcept { return message_; }
+  const ErrorContext& context() const noexcept { return ctx_; }
+
+ private:
+  std::string message_;
+  ErrorContext ctx_;
+};
+
+/// Malformed input rejected at a public entry point, before any phase is
+/// charged (multisearch/validate.hpp).
+class InvalidInputError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Structurally valid input exceeding a declared limit; split or shrink
+/// and retry.
+class CapacityError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Data failed an end-to-end integrity check (payload checksum survived the
+/// retransmit path wrong, or the paranoid shadow oracle diverged).
+class IntegrityError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An MS_CHECK internal invariant tripped — always a library bug.
+class CheckFailedError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace meshsearch

@@ -75,14 +75,23 @@ bool ThreadPool::in_parallel_region() { return tl_in_region; }
 void ThreadPool::run_chunks(const Job& job, unsigned id, unsigned nparticipants) {
   // Static assignment: participant `id` owns chunks id, id+P, id+2P, ...
   const RegionGuard in_region;
-  try {
-    for (std::size_t c = id; c < job.nchunks; c += nparticipants) {
-      const std::size_t lo = job.begin + c * job.chunk;
-      const std::size_t hi = std::min(job.end, lo + job.chunk);
+  for (std::size_t c = id; c < job.nchunks; c += nparticipants) {
+    const std::size_t lo = job.begin + c * job.chunk;
+    const std::size_t hi = std::min(job.end, lo + job.chunk);
+    try {
       (*job.body)(lo, hi);
+    } catch (...) {
+      // Record the FIRST throwing chunk this participant hit, then abandon
+      // its remaining chunks. parallel_for_chunks rethrows the error with
+      // the globally lowest chunk index: each participant's chunks run in
+      // ascending order, so the owner of the globally earliest throwing
+      // chunk always reaches and records it — which makes the propagated
+      // exception the one thrown at the smallest failing index, invariant
+      // across thread counts and scheduling.
+      errors_[id] = std::current_exception();
+      error_chunks_[id] = c;
+      break;
     }
-  } catch (...) {
-    errors_[id] = std::current_exception();
   }
 }
 
@@ -132,6 +141,7 @@ void ThreadPool::parallel_for_chunks(std::size_t begin, std::size_t end,
   {
     std::lock_guard lock(mu_);
     for (auto& e : errors_) e = nullptr;
+    error_chunks_.assign(errors_.size(), 0);
     job_ = job;
     remaining_ = static_cast<unsigned>(workers_.size());
     ++epoch_;
@@ -142,8 +152,15 @@ void ThreadPool::parallel_for_chunks(std::size_t begin, std::size_t end,
     std::unique_lock lock(mu_);
     cv_done_.wait(lock, [&] { return remaining_ == 0; });
   }
-  for (auto& e : errors_)
-    if (e) std::rethrow_exception(e);
+  // Deterministic propagation: rethrow the error from the lowest chunk
+  // index, not from the lowest participant id (which chunk a participant
+  // owns depends on the thread count).
+  std::size_t winner = errors_.size();
+  for (std::size_t i = 0; i < errors_.size(); ++i)
+    if (errors_[i] &&
+        (winner == errors_.size() || error_chunks_[i] < error_chunks_[winner]))
+      winner = i;
+  if (winner != errors_.size()) std::rethrow_exception(errors_[winner]);
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,

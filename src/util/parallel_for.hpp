@@ -73,9 +73,19 @@ class ThreadPool {
 
   /// Run body over [begin, end) in chunks of at least `grain` indices,
   /// statically assigned across workers. Blocks until all chunks complete.
-  /// Exceptions from body propagate (the first one thrown, by participant
-  /// index order). Nested calls from inside a running body execute
-  /// body(begin, end) serially on the calling thread.
+  ///
+  /// Exception propagation is deterministic: when bodies throw, the
+  /// exception that propagates is the one from the LOWEST chunk index
+  /// (each participant stops at its first throwing chunk and records it;
+  /// the rethrow takes the global minimum). Because chunks and the indices
+  /// within them run in ascending order, that is the exception thrown at
+  /// the smallest failing index — the same one a serial loop would have
+  /// thrown — regardless of thread count or scheduling. Chunks after a
+  /// participant's first throwing chunk are abandoned; chunks owned by
+  /// other participants may still run to completion.
+  ///
+  /// Nested calls from inside a running body execute body(begin, end)
+  /// serially on the calling thread.
   void parallel_for_chunks(std::size_t begin, std::size_t end,
                            const ChunkBody& body, std::size_t grain = 1);
 
@@ -113,7 +123,8 @@ class ThreadPool {
   std::uint64_t epoch_ = 0;       // incremented per parallel_for call
   unsigned remaining_ = 0;        // workers still running current epoch
   bool stop_ = false;
-  std::vector<std::exception_ptr> errors_;
+  std::vector<std::exception_ptr> errors_;   // per participant, first throw
+  std::vector<std::size_t> error_chunks_;    // chunk index of that throw
 };
 
 /// Convenience: run body(i) over [begin, end) on the global pool.

@@ -128,6 +128,66 @@ TEST(FaultPlan, ExhaustedRetryBudgetThrows) {
   EXPECT_EQ(s.phase_failures, 5u);  // 1 initial + max_retries attempts
 }
 
+TEST(FaultPlan, ExhaustedErrorCarriesReplayContext) {
+  mesh::FaultConfig cfg;
+  cfg.seed = 77;
+  cfg.p_phase = 1.0;
+  cfg.max_retries = 1;
+  mesh::FaultPlan plan(cfg);
+  try {
+    plan.draw_phase("phase.doomed");
+    FAIL() << "expected FaultExhaustedError";
+  } catch (const mesh::FaultExhaustedError& e) {
+    // Structured replay coordinates, both as accessors...
+    EXPECT_EQ(e.seed(), 77u);
+    EXPECT_EQ(e.site(), "phase.doomed");
+    EXPECT_EQ(e.occurrence(), 0u);
+    // ...and in the what() text, so they survive a bare catch.
+    const std::string w = e.what();
+    EXPECT_NE(w.find("seed=77"), std::string::npos);
+    EXPECT_NE(w.find("phase.doomed"), std::string::npos);
+    EXPECT_NE(w.find("occurrence=0"), std::string::npos);
+  }
+  // Also catchable as the taxonomy base.
+  EXPECT_THROW(plan.draw_phase("phase.doomed"), meshsearch::Error);
+}
+
+TEST(FaultPlan, CorruptDrawsAreIndependentOfStallAndDropStreams) {
+  // Adding p_corrupt to a plan must not move any stall/drop draw: corruption
+  // uses its own hash-domain tags, so pre-existing fault streams replay
+  // bit-identically when corruption is switched on next to them.
+  mesh::FaultConfig a_cfg;
+  a_cfg.seed = 21;
+  a_cfg.p_stall = 0.2;
+  a_cfg.p_drop = 0.2;
+  mesh::FaultConfig b_cfg = a_cfg;
+  b_cfg.p_corrupt = 0.5;
+  mesh::FaultPlan a(a_cfg), b(b_cfg);
+  for (std::uint64_t site = 0; site < 300; ++site) {
+    EXPECT_EQ(a.stall(2, site, site * 3), b.stall(2, site, site * 3));
+    EXPECT_EQ(a.drop(2, site, site * 3, site + 1),
+              b.drop(2, site, site * 3, site + 1));
+  }
+  // No transit word was actually corrupted by these stall/drop queries.
+  EXPECT_EQ(b.stats().corrupt_injected, 0u);
+}
+
+TEST(FaultPlan, CorruptOnlyPlanIsArmedAndDraws) {
+  mesh::FaultConfig cfg;
+  cfg.seed = 23;
+  cfg.p_corrupt = 0.4;
+  mesh::FaultPlan plan(cfg);
+  EXPECT_TRUE(plan.armed());
+  std::uint64_t corrupted = 0;
+  for (std::uint64_t i = 0; i < 200; ++i)
+    corrupted += static_cast<std::uint64_t>(plan.corrupt(3, i, i, i + 1));
+  EXPECT_GT(corrupted, 0u);
+  EXPECT_LT(corrupted, 200u);
+  EXPECT_EQ(plan.stats().corrupt_injected, corrupted);
+  // The flipped bit is a pure function of the site.
+  EXPECT_EQ(plan.corrupt_bit(3, 5, 6, 7), plan.corrupt_bit(3, 5, 6, 7));
+}
+
 TEST(FaultPlan, DegradeHalvesCapacityButNeverBelowOne) {
   mesh::FaultConfig cfg;
   cfg.p_phase = 0.1;
@@ -597,6 +657,149 @@ TEST(FaultCycle, ArmedRarIsDeterministic) {
   const auto b = run();
   EXPECT_EQ(a.out, b.out);
   EXPECT_EQ(a.steps, b.steps);
+}
+
+TEST(FaultCycle, CorruptionIsDetectedRecoveredAndBitIdentical) {
+  // End-to-end transport integrity: with p_corrupt armed, every corrupted
+  // word is caught by its checksum and retransmitted — the delivered data
+  // matches the fault-free oracle exactly, and the recovery shows up in the
+  // corrupt counters and the step count. Silent corruption would surface as
+  // an outcome mismatch here (or an IntegrityError at delivery).
+  const CycleFixture fx;
+  const auto oracle =
+      mesh::cycle_random_access_read(fx.shape, fx.table, fx.addr, 0);
+  mesh::FaultConfig cfg;
+  cfg.seed = 29;
+  cfg.p_corrupt = 0.02;
+  mesh::FaultPlan plan(cfg);
+  const auto faulty = mesh::cycle_random_access_read(fx.shape, fx.table,
+                                                     fx.addr, 0, nullptr,
+                                                     &plan);
+  EXPECT_EQ(faulty.out, oracle.out);  // recovered, not approximated
+  EXPECT_GT(faulty.steps, oracle.steps);
+  const auto s = plan.stats();
+  EXPECT_GT(s.corrupt_injected, 0u);
+  EXPECT_EQ(s.corrupt_detected, s.corrupt_injected);  // nothing slips through
+  EXPECT_GT(s.corrupt_recovered, 0u);
+  EXPECT_GT(s.detections, 0u);
+}
+
+TEST(FaultCycle, ArmedCorruptionIsDeterministic) {
+  const CycleFixture fx;
+  auto run = [&] {
+    mesh::FaultConfig cfg;
+    cfg.seed = 31;
+    cfg.p_corrupt = 0.03;
+    mesh::FaultPlan plan(cfg);
+    auto r = mesh::cycle_random_access_read(fx.shape, fx.table, fx.addr, 0,
+                                            nullptr, &plan);
+    return std::make_pair(r, plan.stats().corrupt_injected);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first.out, b.first.out);
+  EXPECT_EQ(a.first.steps, b.first.steps);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(FaultCycle, RawCorruptionSurvivesCombining) {
+  const CycleFixture fx;
+  std::vector<std::int64_t> value(fx.shape.size());
+  for (std::size_t i = 0; i < value.size(); ++i)
+    value[i] = static_cast<std::int64_t>(i % 11) + 1;
+  const auto oracle =
+      mesh::cycle_random_access_write(fx.shape, fx.table, fx.addr, value);
+  mesh::FaultConfig cfg;
+  cfg.seed = 37;
+  cfg.p_corrupt = 0.02;
+  mesh::FaultPlan plan(cfg);
+  const auto faulty = mesh::cycle_random_access_write(fx.shape, fx.table,
+                                                      fx.addr, value, nullptr,
+                                                      &plan);
+  EXPECT_EQ(faulty.table, oracle.table);
+  EXPECT_GT(plan.stats().corrupt_injected, 0u);
+}
+
+TEST(FaultRecovery, CorruptionRecoversToFaultFreeOracleOnCountingEngine) {
+  // Counting-engine corruption: the end-of-phase checksum audit catches a
+  // corrupted phase and re-runs it, so the stream's final outcomes match
+  // the fault-free oracle and the corrupt.* counters move.
+  const Alg2Fixture fx;
+  auto make_engine = [&](const mesh::CostModel& m) {
+    return PreparedSearch(EngineKind::kAlg2Alpha, fx.tree.graph(),
+                          fx.tree.alpha_splitting(), fx.tree.alpha_splitting(),
+                          fx.tree.rank_count(), m, fx.shape);
+  };
+  const auto stream0 = fx.stream(3 * fx.shape.size() + 5);
+  const RunRecord oracle =
+      run_stream(make_engine, stream0, static_cast<mesh::FaultPlan*>(nullptr));
+  mesh::FaultConfig cfg;
+  cfg.seed = 41;
+  cfg.p_corrupt = 0.25;
+  mesh::FaultPlan plan(cfg);
+  const RunRecord faulty = run_stream(make_engine, stream0, &plan);
+  const auto s = plan.stats();
+  ASSERT_GT(s.corrupt_injected, 0u) << "workload too small to draw";
+  EXPECT_EQ(s.corrupt_detected, s.corrupt_injected);
+  EXPECT_GT(s.phase_retries, 0u);  // corrupted phases were re-run
+  EXPECT_TRUE(faulty.failed.empty());
+  EXPECT_EQ(diff_outcomes(faulty.out, oracle.out), "");
+  EXPECT_GT(faulty.cost.steps, oracle.cost.steps);
+}
+
+TEST(FaultStream, CorruptMetricsExportedWhenCorruptionArmed) {
+  const Alg2Fixture fx;
+  trace::TraceRecorder rec("counting");
+  mesh::FaultConfig cfg;
+  cfg.seed = 43;
+  cfg.p_corrupt = 0.3;
+  mesh::FaultPlan plan(cfg);
+  mesh::CostModel m;
+  m.trace = &rec;
+  m.fault = &plan;
+  PreparedSearch engine(EngineKind::kAlg2Alpha, fx.tree.graph(),
+                        fx.tree.alpha_splitting(), fx.tree.alpha_splitting(),
+                        fx.tree.rank_count(), m, fx.shape);
+  auto stream = fx.stream(2 * fx.shape.size());
+  StreamScheduler sched(engine, BatchPolicy{});
+  sched.run(stream);
+  std::map<std::string, double> metrics;
+  for (const auto& mt : rec.metrics()) metrics[mt.name] = mt.value;
+  ASSERT_EQ(metrics.count("fault.corrupt.injected"), 1u);
+  ASSERT_EQ(metrics.count("fault.corrupt.detected"), 1u);
+  ASSERT_EQ(metrics.count("fault.corrupt.recovered"), 1u);
+  EXPECT_GT(metrics.at("fault.corrupt.injected"), 0.0);
+  EXPECT_EQ(metrics.at("fault.corrupt.detected"),
+            metrics.at("fault.corrupt.injected"));
+  std::ostringstream trace_json, metrics_json;
+  trace::write_trace_json(rec, trace_json);
+  trace::write_metrics_json(rec, metrics_json);
+  EXPECT_NE(trace_json.str().find("fault.corrupt.injected"),
+            std::string::npos);
+  EXPECT_NE(metrics_json.str().find("fault.corrupt.injected"),
+            std::string::npos);
+}
+
+TEST(FaultCycle, LockstepPrimitivesSurviveCorruption) {
+  // Shearsort / snake scan / broadcast run through the lockstep path, whose
+  // corruption model retransmits within the step. The sorted output must be
+  // exactly the fault-free one.
+  const mesh::MeshShape shape(8);
+  util::Rng rng(53);
+  std::vector<std::int64_t> data(shape.size());
+  for (auto& d : data) d = static_cast<std::int64_t>(rng.uniform(1u << 20));
+  auto clean = mesh::Grid<std::int64_t>::from_snake(shape, data);
+  const std::size_t clean_steps = clean.shearsort();
+  mesh::FaultConfig cfg;
+  cfg.seed = 59;
+  cfg.p_corrupt = 0.01;
+  mesh::FaultPlan plan(cfg);
+  auto faulty = mesh::Grid<std::int64_t>::from_snake(shape, data);
+  faulty.set_fault(&plan);
+  const std::size_t faulty_steps = faulty.shearsort();
+  EXPECT_EQ(faulty.to_snake(), clean.to_snake());
+  EXPECT_GT(faulty_steps, clean_steps);
+  EXPECT_GT(plan.stats().corrupt_injected, 0u);
 }
 
 TEST(FaultCycle, RawCombiningSurvivesInjection) {

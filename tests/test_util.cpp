@@ -184,6 +184,32 @@ TEST(ParallelFor, PropagatesExceptions) {
       std::runtime_error);
 }
 
+TEST(ParallelFor, MultiThrowPropagatesLowestIndexDeterministically) {
+  // When several chunks throw concurrently, the propagated exception must be
+  // the one from the lowest chunk index — equivalently, the exception a
+  // serial loop would have thrown first — at every thread count. Before the
+  // deterministic-propagation fix the winner was the lowest PARTICIPANT id,
+  // which depends on which chunks each thread happens to own.
+  for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+    util::ThreadPool::set_global_threads(threads);
+    std::string caught;
+    try {
+      util::ThreadPool::global().parallel_for(
+          0, 100000,
+          [](std::size_t i) {
+            // Many throwing indices spread across the range so that with
+            // any chunking several participants throw in the same run.
+            if (i % 1000 == 137) throw std::runtime_error(std::to_string(i));
+          },
+          /*grain=*/1);
+    } catch (const std::runtime_error& e) {
+      caught = e.what();
+    }
+    EXPECT_EQ(caught, "137") << "threads=" << threads;
+  }
+  util::ThreadPool::set_global_threads(0);
+}
+
 TEST(ParallelFor, PoolIsReusableAfterException) {
   auto& pool = util::ThreadPool::global();
   try {

@@ -1,0 +1,318 @@
+// Front-door validation (multisearch/validate.hpp), the typed error
+// taxonomy (util/error.hpp), and paranoid mode. Contract: malformed input
+// given to any public entry point throws InvalidInputError / CapacityError
+// BEFORE any phase is charged — never a deep MS_CHECK — and degenerate but
+// legal input (empty batch, single-vertex DAG, 1x1 mesh, duplicate interval
+// endpoints) is handled, not rejected.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datastruct/interval_tree.hpp"
+#include "datastruct/kary_tree.hpp"
+#include "datastruct/workloads.hpp"
+#include "geometry/hull3d.hpp"
+#include "geometry/kirkpatrick.hpp"
+#include "multisearch/hierarchical.hpp"
+#include "multisearch/stream.hpp"
+#include "multisearch/synchronous.hpp"
+#include "multisearch/validate.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace meshsearch;
+using namespace meshsearch::msearch;
+
+// ---------------------------------------------------------------------------
+// Error taxonomy basics.
+// ---------------------------------------------------------------------------
+
+TEST(ErrorTaxonomy, WhatCarriesStructuredContext) {
+  ErrorContext ctx;
+  ctx.engine = "alg1-paper";
+  ctx.phase = "phase.step2";
+  ctx.site = "somewhere";
+  ctx.band = 3;
+  ctx.seed = 42;
+  ctx.occurrence = 7;
+  ctx.has_seed = true;
+  const Error e("it broke", ctx);
+  const std::string w = e.what();
+  EXPECT_NE(w.find("it broke"), std::string::npos);
+  EXPECT_NE(w.find("engine=alg1-paper"), std::string::npos);
+  EXPECT_NE(w.find("phase=phase.step2"), std::string::npos);
+  EXPECT_NE(w.find("band=3"), std::string::npos);
+  EXPECT_NE(w.find("seed=42"), std::string::npos);
+  EXPECT_NE(w.find("occurrence=7"), std::string::npos);
+  EXPECT_EQ(e.message(), "it broke");
+  EXPECT_EQ(e.context().band, 3);
+}
+
+TEST(ErrorTaxonomy, SubclassesAreCatchableAsErrorAndLogicError) {
+  // The compatibility contract: everything slots under std::logic_error.
+  EXPECT_THROW(invalid_input("x", "here"), InvalidInputError);
+  EXPECT_THROW(invalid_input("x", "here"), Error);
+  EXPECT_THROW(invalid_input("x", "here"), std::logic_error);
+  EXPECT_THROW(capacity_error("x", "here"), CapacityError);
+  EXPECT_THROW(capacity_error("x", "here"), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Graph / splitting / shape validators.
+// ---------------------------------------------------------------------------
+
+TEST(Validate, DuplicateEdgeRejected) {
+  DistributedGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);  // parallel edge: legal to build, invalid to run
+  g.add_edge(1, 2);
+  EXPECT_THROW(validate_graph(g, "test"), InvalidInputError);
+}
+
+TEST(Validate, CleanGraphPasses) {
+  DistributedGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_NO_THROW(validate_graph(g, "test"));
+}
+
+TEST(Validate, SplittingSizeMismatchRejected) {
+  DistributedGraph g(4);
+  Splitting s;
+  s.piece = {0, 0, 1};  // one short
+  s.kind = {PieceKind::kHead, PieceKind::kTail};
+  EXPECT_THROW(validate_splitting_input(g, s, "test"), InvalidInputError);
+}
+
+TEST(Validate, GraphLargerThanMeshIsCapacityError) {
+  DistributedGraph g(5);
+  EXPECT_THROW(validate_graph_fits(g, mesh::MeshShape(2), "test"),
+               CapacityError);
+  EXPECT_NO_THROW(validate_graph_fits(g, mesh::MeshShape(4), "test"));
+}
+
+TEST(Validate, OversizedBatchIsCapacityError) {
+  EXPECT_THROW(validate_batch_size(17, 16, "test"), CapacityError);
+  EXPECT_NO_THROW(validate_batch_size(16, 16, "test"));
+  EXPECT_NO_THROW(validate_batch_size(0, 16, "test"));
+}
+
+TEST(Validate, HierarchicalLevelGapRejected) {
+  // 0 -> 2 skips a level; also leaves level 1 empty.
+  DistributedGraph g(3);
+  g.vert(0).level = 0;
+  g.vert(1).level = 0;
+  g.vert(2).level = 2;
+  g.add_edge(0, 2);
+  EXPECT_THROW(HierarchicalDag(g, 2.0), InvalidInputError);
+}
+
+TEST(Validate, HierarchicalMuAtMostOneRejected) {
+  DistributedGraph g(2);
+  g.vert(0).level = 0;
+  g.vert(1).level = 1;
+  g.add_edge(0, 1);
+  EXPECT_THROW(HierarchicalDag(g, 1.0), InvalidInputError);
+  EXPECT_NO_THROW(HierarchicalDag(g, 2.0));
+}
+
+// ---------------------------------------------------------------------------
+// Data-structure builders.
+// ---------------------------------------------------------------------------
+
+TEST(Validate, KaryTreeBadFanOutRejected) {
+  EXPECT_THROW(ds::KaryTree(ds::iota_keys(8), 7, ds::TreeMode::kDirected),
+               InvalidInputError);
+  EXPECT_THROW(ds::KaryTree(ds::iota_keys(8), 1, ds::TreeMode::kDirected),
+               InvalidInputError);
+}
+
+TEST(Validate, KaryTreeUnsortedKeysRejected) {
+  auto keys = ds::iota_keys(8);
+  std::swap(keys[2], keys[5]);
+  EXPECT_THROW(ds::KaryTree(std::move(keys), 2, ds::TreeMode::kDirected),
+               InvalidInputError);
+}
+
+TEST(Validate, IntervalTreeInvertedIntervalRejected) {
+  EXPECT_THROW(ds::IntervalTree({{10, 4, 0}}), InvalidInputError);
+  EXPECT_THROW(ds::IntervalTree({}), InvalidInputError);
+}
+
+TEST(Validate, IntervalTreeDuplicateEndpointsHandled) {
+  // Duplicate and degenerate endpoints are legal — distinct-endpoint
+  // compaction inside the builder must absorb them, not trip a check.
+  EXPECT_NO_THROW(ds::IntervalTree({{5, 5, 0}, {5, 5, 1}, {5, 9, 2}, {9, 9, 3}}));
+}
+
+// ---------------------------------------------------------------------------
+// Geometry builders.
+// ---------------------------------------------------------------------------
+
+TEST(Validate, CollinearPointSetRejected) {
+  std::vector<geom::Point2> pts;
+  for (int i = 0; i < 8; ++i)
+    pts.push_back({i, 2 * i});  // all on y = 2x
+  EXPECT_THROW(validate_point_set_2d(pts, "test"), InvalidInputError);
+  pts.push_back({1, 100});  // one witness off the line
+  EXPECT_NO_THROW(validate_point_set_2d(pts, "test"));
+}
+
+TEST(Validate, DuplicatePointsRejected) {
+  const std::vector<geom::Point2> pts = {{0, 0}, {5, 1}, {2, 7}, {5, 1}};
+  EXPECT_THROW(validate_points_distinct(pts, "test"), InvalidInputError);
+  EXPECT_THROW(geom::Kirkpatrick(pts, 1 << 12), InvalidInputError);
+}
+
+TEST(Validate, Hull3DegenerateInputsRejected) {
+  util::Rng rng(7);
+  EXPECT_THROW(geom::convex_hull3({{0, 0, 0}, {1, 1, 1}, {2, 2, 2}}, rng),
+               InvalidInputError);  // too few
+  // All collinear.
+  std::vector<geom::Point3> line;
+  for (int i = 0; i < 6; ++i) line.push_back({i, i, i});
+  EXPECT_THROW(geom::convex_hull3(line, rng), InvalidInputError);
+  // All coplanar (z = 0).
+  std::vector<geom::Point3> plane = {{0, 0, 0}, {4, 0, 0}, {0, 4, 0},
+                                     {4, 4, 0}, {1, 2, 0}};
+  EXPECT_THROW(geom::convex_hull3(plane, rng), InvalidInputError);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate-but-legal inputs at the engine entry points.
+// ---------------------------------------------------------------------------
+
+struct TinyDag {
+  DistributedGraph g;
+  explicit TinyDag(std::size_t verts = 1) : g(verts) {
+    for (std::size_t i = 0; i < verts; ++i)
+      g.vert(static_cast<Vid>(i)).level = static_cast<std::int32_t>(i);
+    for (std::size_t i = 0; i + 1 < verts; ++i)
+      g.add_edge(static_cast<Vid>(i), static_cast<Vid>(i + 1));
+  }
+};
+
+TEST(Validate, EmptyQuerySetIsHandled) {
+  const TinyDag t(4);
+  const HierarchicalDag dag(t.g, 2.0);
+  std::vector<Query> queries;  // empty batch: valid, nothing to do
+  mesh::CostModel m;
+  const auto shape = t.g.shape_for(0);
+  EXPECT_NO_THROW(
+      hierarchical_multisearch(dag, ds::HashWalk{0}, queries, m, shape));
+}
+
+TEST(Validate, SingleVertexDagRuns) {
+  const TinyDag t(1);
+  const HierarchicalDag dag(t.g, 2.0);
+  auto queries = make_queries(2);
+  mesh::CostModel m;
+  const auto shape = t.g.shape_for(queries.size());
+  EXPECT_NO_THROW(
+      hierarchical_multisearch(dag, ds::HashWalk{0}, queries, m, shape));
+  for (const auto& q : queries) EXPECT_TRUE(q.done);
+}
+
+TEST(Validate, OneByOneMeshRuns) {
+  const TinyDag t(1);
+  const HierarchicalDag dag(t.g, 2.0);
+  auto queries = make_queries(1);
+  mesh::CostModel m;
+  const mesh::MeshShape shape(1);
+  EXPECT_NO_THROW(
+      hierarchical_multisearch(dag, ds::HashWalk{0}, queries, m, shape));
+}
+
+TEST(Validate, EngineRejectsOversizedBatchBeforeRunning) {
+  const TinyDag t(2);
+  const HierarchicalDag dag(t.g, 2.0);
+  auto queries = make_queries(10);
+  mesh::CostModel m;
+  const mesh::MeshShape shape(2);  // 4 processors < 10 queries
+  EXPECT_THROW(
+      hierarchical_multisearch(dag, ds::HashWalk{0}, queries, m, shape),
+      CapacityError);
+}
+
+TEST(Validate, SynchronousEngineValidatesToo) {
+  const TinyDag t(2);
+  auto queries = make_queries(10);
+  mesh::CostModel m;
+  EXPECT_THROW(synchronous_multisearch(t.g, ds::HashWalk{0}, queries, m,
+                                       mesh::MeshShape(2)),
+               CapacityError);
+}
+
+TEST(Validate, PreparedSearchRejectsWrongKind) {
+  ds::KaryTree tree(ds::iota_keys(64), 2, ds::TreeMode::kDirected);
+  const auto shape = tree.graph().shape_for(tree.graph().vertex_count());
+  mesh::CostModel m;
+  EXPECT_THROW(PreparedSearch(EngineKind::kAlg1Paper, tree.graph(),
+                              tree.alpha_splitting(), tree.alpha_splitting(),
+                              tree.rank_count(), m, shape),
+               InvalidInputError);
+}
+
+// ---------------------------------------------------------------------------
+// Paranoid mode.
+// ---------------------------------------------------------------------------
+
+struct ParanoidGuard {
+  explicit ParanoidGuard(int mode) { set_paranoid_override(mode); }
+  ~ParanoidGuard() { set_paranoid_override(-1); }
+};
+
+TEST(Paranoid, OverrideControlsTheSwitch) {
+  {
+    const ParanoidGuard on(1);
+    EXPECT_TRUE(paranoid_enabled());
+  }
+  {
+    const ParanoidGuard off(0);
+    EXPECT_FALSE(paranoid_enabled());
+  }
+}
+
+TEST(Paranoid, CleanEngineRunPassesTheAudit) {
+  const ParanoidGuard on(1);
+  util::Rng rng(91);
+  const auto g = ds::build_hierarchical_dag(600, 2.0, 3, rng);
+  const HierarchicalDag dag(g, 2.0);
+  auto queries = make_queries(64);
+  util::Rng qrng(92);
+  for (auto& q : queries)
+    q.key[0] = static_cast<std::int64_t>(qrng.uniform(1ull << 40));
+  mesh::CostModel m;
+  const auto shape = g.shape_for(queries.size());
+  // A correct engine must sail through the shadow-oracle audit.
+  EXPECT_NO_THROW(
+      hierarchical_multisearch(dag, ds::HashWalk{0}, queries, m, shape));
+}
+
+TEST(Paranoid, AuditDivergenceThrowsIntegrityError) {
+  EXPECT_THROW(msearch::detail::paranoid_mismatch("test-engine", 3, 1, 2),
+               IntegrityError);
+  EXPECT_NO_THROW(
+      msearch::detail::paranoid_checksum_mismatch_check("test-engine", 5, 5));
+  EXPECT_THROW(
+      msearch::detail::paranoid_checksum_mismatch_check("test-engine", 5, 6),
+      IntegrityError);
+}
+
+TEST(Paranoid, OutcomeChecksumIsOrderIndependentAndSensitive) {
+  auto qs = make_queries(8);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    qs[i].acc0 = static_cast<std::int64_t>(i * 31);
+    qs[i].result = static_cast<std::int32_t>(i);
+  }
+  const auto sum = outcome_checksum(qs);
+  std::swap(qs[1], qs[6]);  // order must not matter
+  EXPECT_EQ(outcome_checksum(qs), sum);
+  qs[0].acc0 ^= 1;  // any payload bit must
+  EXPECT_NE(outcome_checksum(qs), sum);
+}
+
+}  // namespace
