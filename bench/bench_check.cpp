@@ -1,0 +1,148 @@
+// bench_check — compare BENCH_<exp>.json reports against committed
+// baselines and fail on regressions.
+//
+// Usage:
+//   bench_check <baseline.json> <current.json>
+//   bench_check --dir <baseline_dir> <current_dir>
+//
+// Dir mode compares every BENCH_*.json in <baseline_dir> against the file of
+// the same name in <current_dir>; a baseline with no current counterpart is
+// a failure (coverage must not silently shrink).
+//
+// Environment:
+//   MESHSEARCH_SKIP_BENCH_GATE=1  skip entirely, exit 0 (for hosts where the
+//                                 benches cannot run)
+//   MESHSEARCH_BENCH_WALL_GATE=1  wall-clock slowdowns past 25% become fatal
+//                                 (default: warn only — wall time is
+//                                 machine-dependent, charged costs are not)
+//
+// Exit codes: 0 ok (or skipped), 1 regression found, 2 usage or I/O error.
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/benchcmp.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using meshsearch::util::BenchCompareOptions;
+using meshsearch::util::BenchCompareResult;
+using meshsearch::util::BenchIssue;
+
+bool env_truthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+const char* kind_name(BenchIssue::Kind k) {
+  switch (k) {
+    case BenchIssue::Kind::kChargedDrift: return "charged-drift";
+    case BenchIssue::Kind::kWallRegression: return "wall-regression";
+    case BenchIssue::Kind::kMissingSeries: return "missing-series";
+    case BenchIssue::Kind::kMissingValue: return "missing-value";
+    case BenchIssue::Kind::kSchema: return "schema";
+  }
+  return "unknown";
+}
+
+/// Compare one file pair; prints every issue. Returns false on regression.
+bool check_pair(const std::string& baseline_path,
+                const std::string& current_path,
+                const BenchCompareOptions& opt, bool& io_error) {
+  const auto base = meshsearch::util::parse_json_file(baseline_path);
+  if (!base.ok) {
+    std::cerr << "bench_check: " << base.error << "\n";
+    io_error = true;
+    return false;
+  }
+  const auto cur = meshsearch::util::parse_json_file(current_path);
+  if (!cur.ok) {
+    std::cerr << "bench_check: " << cur.error << "\n";
+    io_error = true;
+    return false;
+  }
+  const BenchCompareResult res =
+      meshsearch::util::compare_bench(base.value, cur.value, opt);
+  for (const auto& issue : res.issues) {
+    std::ostream& os = issue.fatal ? std::cerr : std::cout;
+    os << (issue.fatal ? "FAIL" : "warn") << " [" << kind_name(issue.kind)
+       << "] " << issue.where << ": " << issue.message;
+    if (issue.baseline != 0 || issue.current != 0)
+      os << " (baseline " << issue.baseline << ", current " << issue.current
+         << ")";
+    os << "\n";
+  }
+  std::cout << "bench_check: " << baseline_path << " vs " << current_path
+            << ": " << res.compared_values << " values compared, "
+            << res.issues.size() << " issue(s), "
+            << (res.ok ? "OK" : "REGRESSION") << "\n";
+  return res.ok;
+}
+
+int usage() {
+  std::cerr << "usage: bench_check <baseline.json> <current.json>\n"
+            << "       bench_check --dir <baseline_dir> <current_dir>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (env_truthy("MESHSEARCH_SKIP_BENCH_GATE")) {
+    std::cout << "bench_check: skipped (MESHSEARCH_SKIP_BENCH_GATE set)\n";
+    return 0;
+  }
+  BenchCompareOptions opt;
+  opt.gate_wall = env_truthy("MESHSEARCH_BENCH_WALL_GATE");
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+
+  bool io_error = false;
+  bool ok = true;
+  if (args[0] == "--dir") {
+    if (args.size() != 3) return usage();
+    const std::filesystem::path base_dir = args[1];
+    const std::filesystem::path cur_dir = args[2];
+    std::error_code ec;
+    std::vector<std::filesystem::path> baselines;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(base_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 &&
+          entry.path().extension() == ".json")
+        baselines.push_back(entry.path());
+    }
+    if (ec) {
+      std::cerr << "bench_check: cannot read " << base_dir << ": "
+                << ec.message() << "\n";
+      return 2;
+    }
+    if (baselines.empty()) {
+      std::cerr << "bench_check: no BENCH_*.json baselines in " << base_dir
+                << "\n";
+      return 2;
+    }
+    std::sort(baselines.begin(), baselines.end());
+    for (const auto& bp : baselines) {
+      const auto cp = cur_dir / bp.filename();
+      if (!std::filesystem::exists(cp)) {
+        std::cerr << "FAIL [missing-value] " << cp.string()
+                  << ": current report missing (bench not run?)\n";
+        ok = false;
+        continue;
+      }
+      if (!check_pair(bp.string(), cp.string(), opt, io_error)) ok = false;
+    }
+  } else {
+    if (args.size() != 2) return usage();
+    ok = check_pair(args[0], args[1], opt, io_error);
+  }
+  if (io_error) return 2;
+  return ok ? 0 : 1;
+}

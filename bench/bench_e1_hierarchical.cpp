@@ -31,6 +31,7 @@ void sweep(double mu, unsigned fanout, unsigned lo, unsigned hi,
   std::vector<double> ns, hier_steps, geom_steps, sync_steps;
   util::Rng rng(7);
   for (const auto n : bench::pow2_sweep(lo, hi)) {
+    const auto wall = bench::time_point("e1.sweep_point");
     const auto g = ds::build_hierarchical_dag(n, mu, fanout, rng);
     const HierarchicalDag dag(g, mu);
     const auto shape = g.shape_for(g.vertex_count());
@@ -113,6 +114,14 @@ void band_report(std::size_t n, double mu, const bench::TraceOptions& topt) {
 
 int main(int argc, char** argv) {
   const auto topt = bench::parse_trace_flag(argc, argv);
+  bench::BenchReport breport("e1_hierarchical", argc, argv);
+  // --smoke: one short sweep for the CI bench gate.
+  if (bench::has_flag(argc, argv, "--smoke")) {
+    breport.set_config("smoke", "1");
+    sweep(2.0, 3, 10, 14, topt);
+    band_report(std::size_t{1} << 14, 2.0, topt);
+    return 0;
+  }
   sweep(2.0, 3, 12, 20, topt);
   sweep(4.0, 4, 12, 20, topt);
   band_report(std::size_t{1} << 20, 2.0, topt);

@@ -76,6 +76,7 @@ RunResult run_one(std::size_t nkeys, Load load, std::int32_t cut_depth,
 
 int main(int argc, char** argv) {
   const auto topt = bench::parse_trace_flag(argc, argv);
+  bench::BenchReport breport("e2_constrained", argc, argv);
   // Part 1: n sweep per load shape.
   for (const Load load : {Load::kUniform, Load::kZipf, Load::kPoint}) {
     bench::section(std::string("E2: Lemma 3, n sweep, load = ") +

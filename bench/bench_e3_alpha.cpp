@@ -62,6 +62,7 @@ ComboResult run(std::size_t teeth, std::size_t tooth_len, std::size_t m_q,
 
 int main(int argc, char** argv) {
   const auto topt = bench::parse_trace_flag(argc, argv);
+  bench::BenchReport breport("e3_alpha", argc, argv);
   // (a) r sweep at fixed n ~ 2^18.
   bench::section("E3: Theorem 5, r sweep at n ~ 2^18");
   const std::size_t teeth = 1 << 9, tooth_len = 1 << 9;  // ~2^18 vertices

@@ -62,6 +62,7 @@ RunOut run(std::size_t nkeys, std::int64_t width, std::uint64_t seed,
 
 int main(int argc, char** argv) {
   const auto topt = bench::parse_trace_flag(argc, argv);
+  bench::BenchReport breport("e4_alpha_beta", argc, argv);
   bench::section("E4: Theorem 7, excursion-width sweep at n = 2^17 keys");
   util::Table t({"range width", "r", "log-phases", "alg steps", "sync steps",
                  "sync/alg", "alg/sqrt(n)"});

@@ -229,6 +229,7 @@ void polygon_tangents(const bench::TraceOptions& topt) {
 
 int main(int argc, char** argv) {
   const auto topt = bench::parse_trace_flag(argc, argv);
+  bench::BenchReport breport("e5_geometry", argc, argv);
   kirkpatrick_sweep(topt);
   dk3_sweep(topt);
   polygon_lines(topt);

@@ -58,6 +58,7 @@ KaryTree endpoint_tree(const std::vector<Interval>& ivs, bool left) {
 
 int main(int argc, char** argv) {
   const auto topt = bench::parse_trace_flag(argc, argv);
+  bench::BenchReport breport("e6_intervals", argc, argv);
   // (a) counting sweep over n.
   bench::section("E6a: multiple interval intersection counting (Alg 2 x2)");
   util::Table t({"intervals", "n(mesh)", "mesh steps", "steps/sqrt(n)",

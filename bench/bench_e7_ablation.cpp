@@ -27,6 +27,7 @@ using ds::KaryTree;
 
 int main(int argc, char** argv) {
   const auto topt = bench::parse_trace_flag(argc, argv);
+  bench::BenchReport breport("e7_ablation", argc, argv);
   // (i) duplication on/off under point congestion.
   bench::section("E7i: copy duplication under point-congested load");
   util::Table t({"n(mesh)", "steps (dup ON)", "steps (dup OFF)",

@@ -32,8 +32,6 @@ using ds::TreeMode;
 
 namespace {
 
-constexpr std::size_t kRatios[] = {1, 2, 4, 8, 16, 32, 64};
-
 struct SweepPoint {
   std::size_t ratio = 0;
   double warm_apq = 0;   ///< amortized steps/query, warm engine
@@ -47,9 +45,11 @@ struct SweepPoint {
 /// PreparedSearch; `make_stream(m)` a stream of m queries.
 template <typename MakeEngine, typename MakeStream>
 std::vector<SweepPoint> sweep(MakeEngine make_engine, MakeStream make_stream,
-                              BatchOrder order) {
+                              BatchOrder order,
+                              const std::vector<std::size_t>& ratios) {
   std::vector<SweepPoint> out;
-  for (const std::size_t ratio : kRatios) {
+  for (const std::size_t ratio : ratios) {
+    const auto wall = bench::time_point("e8.sweep_point");
     SweepPoint pt;
     pt.ratio = ratio;
     BatchPolicy policy;
@@ -109,16 +109,31 @@ void showcase(const bench::TraceOptions& topt) {
   StreamScheduler sched(engine, BatchPolicy{});
   sched.run(stream);
   bench::emit_trace(tm.rec, topt, "e8_showcase_alg1_m16");
+  // The recorder accumulated per-batch latency / queue-wait histograms —
+  // fold them into the BENCH report's wall section.
+  if (bench::BenchReport* report = bench::BenchReport::active())
+    report->add_wall_from(tm.rec);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto topt = bench::parse_trace_flag(argc, argv);
+  bench::BenchReport breport("e8_stream", argc, argv);
+  // --smoke: shrunken sizes and ratio list for the CI bench gate — seconds,
+  // not minutes, while still exercising all four engines and both policies.
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  if (smoke) breport.set_config("smoke", "1");
+  const std::vector<std::size_t> ratios =
+      smoke ? std::vector<std::size_t>{1, 2, 4, 8}
+            : std::vector<std::size_t>{1, 2, 4, 8, 16, 32, 64};
+  const std::size_t dag_n = smoke ? (1 << 11) : (1 << 14);
+  const std::size_t tree2_n = smoke ? (1 << 10) : (1 << 13);
+  const std::size_t tree3_n = smoke ? (1 << 9) : (1 << 12);
 
   // Algorithm 1, both plans: one shared DAG (the sweep only varies m).
   util::Rng rng(41);
-  const auto g = ds::build_hierarchical_dag(1 << 14, 2.0, 3, rng);
+  const auto g = ds::build_hierarchical_dag(dag_n, 2.0, 3, rng);
   const HierarchicalDag dag(g, 2.0);
   const auto shape = g.shape_for(g.vertex_count());
   const mesh::CostModel m;
@@ -131,22 +146,23 @@ int main(int argc, char** argv) {
   };
 
   // Algorithm 2: directed k-ary search tree, alpha splitting.
-  KaryTree tree2(ds::iota_keys(1 << 13), 3, TreeMode::kDirected);
+  KaryTree tree2(ds::iota_keys(tree2_n), 3, TreeMode::kDirected);
   const auto shape2 = tree2.graph().shape_for(tree2.graph().vertex_count());
   auto alg2_stream = [&](std::size_t mq) {
     util::Rng qrng(43);
-    return ds::uniform_key_queries(mq, (1 << 13) + 20, qrng);
+    return ds::uniform_key_queries(mq, tree2_n + 20, qrng);
   };
 
   // Algorithm 3: undirected binary tree, alpha-beta splittings.
-  KaryTree tree3(ds::iota_keys(1 << 12), 2, TreeMode::kUndirected);
+  KaryTree tree3(ds::iota_keys(tree3_n), 2, TreeMode::kUndirected);
   const auto shape3 = tree3.graph().shape_for(tree3.graph().vertex_count());
   const auto [s1, s2] = tree3.alpha_beta_splittings();
   auto alg3_stream = [&](std::size_t mq) {
     auto qs = make_queries(mq);
     util::Rng qrng(44);
     for (auto& q : qs) {
-      const auto a = qrng.uniform_range(-3, (1 << 12) + 3);
+      const auto a =
+          qrng.uniform_range(-3, static_cast<std::int64_t>(tree3_n) + 3);
       q.key[0] = a;
       q.key[1] = a + qrng.uniform_range(0, 30);
     }
@@ -157,23 +173,23 @@ int main(int argc, char** argv) {
     report("alg1-paper", order,
            sweep([&] { return PreparedSearch(dag, PlanKind::kPaper,
                                              ds::HashWalk{0}, m, shape); },
-                 alg1_stream, order));
+                 alg1_stream, order, ratios));
     report("alg1-geometric", order,
            sweep([&] { return PreparedSearch(dag, PlanKind::kGeometric,
                                              ds::HashWalk{0}, m, shape); },
-                 alg1_stream, order));
+                 alg1_stream, order, ratios));
     report("alg2-alpha", order,
            sweep([&] { return PreparedSearch(EngineKind::kAlg2Alpha,
                                              tree2.graph(),
                                              tree2.alpha_splitting(),
                                              tree2.alpha_splitting(),
                                              tree2.rank_count(), m, shape2); },
-                 alg2_stream, order));
+                 alg2_stream, order, ratios));
     report("alg3-alpha-beta", order,
            sweep([&] { return PreparedSearch(EngineKind::kAlg3AlphaBeta,
                                              tree3.graph(), s1, s2,
                                              tree3.euler_scan(), m, shape3); },
-                 alg3_stream, order));
+                 alg3_stream, order, ratios));
   }
 
   showcase(topt);

@@ -263,9 +263,11 @@ void showcase(const bench::TraceOptions& topt, const Sizes& sz) {
 
 int main(int argc, char** argv) {
   const auto topt = bench::parse_trace_flag(argc, argv);
+  bench::BenchReport breport("e9_faults", argc, argv);
   Sizes sz;
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--smoke") == 0) {
+      breport.set_config("smoke", "1");
       sz.dag_n = 1 << 10;
       sz.tree2_n = 1 << 9;
       sz.tree3_n = 1 << 8;

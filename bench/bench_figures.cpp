@@ -20,7 +20,8 @@ using namespace meshsearch;
 using namespace meshsearch::msearch;
 using ds::KaryTree;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReport breport("figures", argc, argv);
   // F1.
   bench::section("Figure 1: hierarchical DAG with mu = 2");
   {

@@ -251,6 +251,7 @@ void thread_sweep(const std::vector<unsigned>& threads) {
 
 int main(int argc, char** argv) {
   const auto topt = bench::parse_trace_flag(argc, argv);
+  bench::BenchReport breport("v1_engines", argc, argv);
   const auto threads = parse_threads_flag(argc, argv);
   cross_engine_table(topt);
   thread_sweep(threads);

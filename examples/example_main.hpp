@@ -7,11 +7,20 @@
 // fault-driven errors the seed and occurrence needed to replay it — then
 // exits 1. Demonstrates the intended error-handling contract: user code
 // catches meshsearch::Error (or a subclass), not raw std::logic_error.
+//
+// With MESHSEARCH_STATS=1 the wrapper additionally prints a one-screen
+// summary of the process-wide stats registry on exit (top counters, gauges,
+// wall-clock histograms, and — when the example ran a stream — the SLO
+// line). Every TraceRecorder mirrors its counters/histograms/metrics into
+// that registry, so the summary needs no wiring inside the example.
 #pragma once
 
+#include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <iostream>
 
+#include "trace/stats.hpp"
 #include "util/error.hpp"
 
 namespace meshsearch::examples {
@@ -28,7 +37,57 @@ inline const char* error_kind(const meshsearch::Error& e) {
   return "error";
 }
 
+/// One-screen dump of the global stats registry (MESHSEARCH_STATS=1): the
+/// top counters by value, every wall-clock histogram as a percentile line,
+/// and the stream SLO summary when stream gauges were recorded.
+inline void print_stats_summary(std::ostream& os) {
+  auto& reg = meshsearch::stats::StatsRegistry::global();
+  if (!reg.enabled()) return;
+  const auto snap = reg.snapshot();
+  os << "\n== stats (MESHSEARCH_STATS=1) ==\n";
+  if (snap.counters.empty() && snap.gauges.empty() &&
+      snap.histograms.empty()) {
+    os << "(no instruments recorded — wire a TraceRecorder into the cost "
+          "model)\n";
+    return;
+  }
+  auto counters = snap.counters;
+  std::sort(counters.begin(), counters.end(),
+            [](const auto& a, const auto& b) { return a.value > b.value; });
+  const std::size_t top = std::min<std::size_t>(counters.size(), 8);
+  for (std::size_t i = 0; i < top; ++i)
+    os << "  counter  " << counters[i].name << " = " << counters[i].value
+       << "\n";
+  if (counters.size() > top)
+    os << "  ... and " << counters.size() - top << " more counters\n";
+  for (const auto& h : snap.histograms) {
+    if (h.hist.empty()) continue;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  wall     %s: n=%zu p50=%.1fus p95=%.1fus max=%.1fus",
+                  h.name.c_str(), static_cast<std::size_t>(h.hist.count()),
+                  h.hist.p50(), h.hist.p95(), h.hist.max());
+    os << line << "\n";
+  }
+  // The stream SLO line, assembled from the deterministic gauges the stream
+  // scheduler records (the latency percentiles are in the histograms above).
+  double degraded = -1, replans = -1, failed = -1, batches = -1;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "stream.degraded_batches") degraded = g.value;
+    else if (g.name == "stream.replans") replans = g.value;
+    else if (g.name == "stream.failed_queries") failed = g.value;
+    else if (g.name == "stream.batches") batches = g.value;
+  }
+  if (batches >= 0)
+    os << "  slo      stream: " << batches << " batches, " << degraded
+       << " degraded, " << replans << " replans, " << failed
+       << " failed queries\n";
+}
+
 inline int guarded_main(int (*run)(int, char**), int argc, char** argv) {
+  struct SummaryOnExit {
+    ~SummaryOnExit() { print_stats_summary(std::cerr); }
+  } summary;
   try {
     return run(argc, argv);
   } catch (const meshsearch::Error& e) {

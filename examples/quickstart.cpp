@@ -12,7 +12,9 @@
 #include "multisearch/partitioned.hpp"
 #include "multisearch/query.hpp"
 #include "multisearch/sequential.hpp"
+#include "multisearch/stream.hpp"
 #include "multisearch/synchronous.hpp"
+#include "trace/trace.hpp"
 
 #include "example_main.hpp"
 
@@ -76,6 +78,35 @@ int run(int argc, char** argv) {
   std::cout << "\nsample answers (key -> predecessor):\n";
   for (std::size_t i = 0; i < std::min<std::size_t>(5, q_alg.size()); ++i)
     std::cout << "  " << q_alg[i].key[0] << " -> " << q_alg[i].acc0 << "\n";
+
+  // 6. Streaming: pay the Algorithm 2 setup once, then serve a longer query
+  //    stream in mesh-capacity batches. The recorder charges every
+  //    primitive and collects the per-batch latency/queue-wait histograms;
+  //    run with MESHSEARCH_STATS=1 to get the observability summary printed
+  //    on exit (see example_main.hpp).
+  trace::TraceRecorder rec("alg2-alpha");
+  mesh::CostModel traced_model;
+  traced_model.trace = &rec;
+  PreparedSearch engine(EngineKind::kAlg2Alpha, tree.graph(),
+                        tree.alpha_splitting(), tree.alpha_splitting(),
+                        tree.predecessor_search(), traced_model, shape);
+  auto stream =
+      ds::uniform_key_queries(4 * engine.capacity(), nkeys + nkeys / 4, rng);
+  StreamScheduler sched(engine, BatchPolicy{});
+  auto sres = sched.run(stream);
+  record_stream_metrics(&rec, sres);
+  std::cout << "\nstreaming " << sres.queries << " queries in "
+            << sres.batches.size() << " warm batches: "
+            << sres.amortized_steps_per_query()
+            << " amortized steps/query (setup fraction "
+            << sres.setup_fraction() << ")\n";
+  const auto& lat = sres.slo.batch_latency_us;
+  if (!lat.empty())
+    std::cout << "batch latency p50 " << lat.p50() << " us, p95 " << lat.p95()
+              << " us, max " << lat.max() << " us; degraded "
+              << sres.slo.degraded_batches << ", replans " << sres.slo.replans
+              << ", failed queries " << sres.slo.failed_queries << "\n";
+
   return mismatch.empty() && mismatch2.empty() ? 0 : 1;
 }
 

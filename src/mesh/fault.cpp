@@ -218,6 +218,10 @@ FaultStats FaultPlan::stats() const {
 void record_fault_metrics(trace::TraceRecorder* rec, const FaultPlan& plan) {
   if (rec == nullptr || !plan.armed()) return;
   const FaultStats s = plan.stats();
+  // rec->metric() is backed by the recorder's StatsRegistry, so these land
+  // in the same store the wall-clock histograms and stream.* SLO gauges use
+  // — all three exporters (Perfetto, metrics JSON, metrics_table) read the
+  // fault.* family from that one source.
   rec->metric("fault.injected_stalls", static_cast<double>(s.injected_stalls));
   rec->metric("fault.injected_drops", static_cast<double>(s.injected_drops));
   rec->metric("fault.corrupt.injected",

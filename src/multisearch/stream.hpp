@@ -42,6 +42,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -59,6 +60,7 @@
 #include "multisearch/validate.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
+#include "util/stats.hpp"
 
 namespace meshsearch::msearch {
 
@@ -109,8 +111,27 @@ struct BatchReport {
   bool degraded = false;  ///< retry budget exhausted even after re-planning;
                           ///< the batch's queries are REPORTED failed, never
                           ///< silently wrong (see StreamResult::failed_queries)
+  /// Wall-clock observability (NOT part of the determinism contract, which
+  /// pins outcomes, charges, and attribution only — DESIGN.md decision 13).
+  double wall_us = 0;        ///< wall time this batch attempt took
+  double queue_wait_us = 0;  ///< wall time since run() start before it began
 
   mesh::Cost total() const { return setup + inject + run; }
+};
+
+/// Per-stream service-level report: what a tenant of the future multi-tenant
+/// service would be handed after its stream completes. Latency and queue-wait
+/// percentiles are wall-clock (util::LogHistogram — the repo's one
+/// percentile implementation); degraded/replan/failure counts summarize the
+/// fault story. Everything here is observability: two bit-identical runs may
+/// report different latencies, never different outcomes.
+struct StreamSlo {
+  util::LogHistogram batch_latency_us;  ///< per-batch-attempt wall latency
+  util::LogHistogram queue_wait_us;     ///< wall wait before each attempt ran
+  std::size_t batches = 0;              ///< attempts that produced a report
+  std::size_t degraded_batches = 0;     ///< reported-failed batches
+  std::size_t replans = 0;              ///< re-plan generations executed
+  std::size_t failed_queries = 0;       ///< |StreamResult::failed_queries|
 };
 
 struct StreamResult {
@@ -123,6 +144,7 @@ struct StreamResult {
   mesh::Cost setup;   ///< sum of per-batch setup attributions
   mesh::Cost inject;
   mesh::Cost run;
+  StreamSlo slo;      ///< wall-clock latency percentiles + error report
 
   mesh::Cost total() const { return setup + inject + run; }
   double amortized_steps_per_query() const;
@@ -334,6 +356,16 @@ class StreamScheduler {
     std::size_t serial = 0;  ///< span numbering: one per attempt, run order
     bool setup_attributed = false;
     std::vector<Query> batch;
+    // Wall-clock SLO instrumentation: queue wait = time between run() start
+    // and the attempt beginning; latency = the attempt itself. Histograms
+    // live on the result AND (via the recorder) in the StatsRegistry; they
+    // never feed back into scheduling, so determinism is untouched.
+    const auto wall_epoch = std::chrono::steady_clock::now();
+    const auto wall_us_since = [](std::chrono::steady_clock::time_point t0) {
+      return std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - t0)
+          .count();
+    };
     while (!work.empty()) {
       Pending cur = std::move(work.front());
       work.pop_front();
@@ -342,6 +374,8 @@ class StreamScheduler {
       ++serial;
       BatchReport rep;
       rep.replans = cur.replans;
+      rep.queue_wait_us = wall_us_since(wall_epoch);
+      const auto attempt_begin = std::chrono::steady_clock::now();
       // Cold setup rides on the first report actually emitted; a failed
       // attempt whose report is discarded carries it to the next one.
       const bool attribute_setup = cold && !resetup_every_batch_ &&
@@ -363,6 +397,14 @@ class StreamScheduler {
         for (std::size_t k = 0; k < cur.indices.size(); ++k)
           stream[cur.indices[k]] = batch[k];
         if (attribute_setup) setup_attributed = true;
+        rep.wall_us = wall_us_since(attempt_begin);
+        res.slo.batch_latency_us.observe(rep.wall_us);
+        res.slo.queue_wait_us.observe(rep.queue_wait_us);
+        if (rec != nullptr) {
+          rec->stat_observe("stream.batch_latency_us", rep.wall_us);
+          rec->stat_observe("stream.queue_wait_us", rep.queue_wait_us);
+          rec->stat_add("stream.batches_run");
+        }
         res.batches.push_back(rep);
       } catch (const mesh::FaultExhaustedError&) {
         if (fault == nullptr) throw;  // not ours to recover
@@ -370,6 +412,8 @@ class StreamScheduler {
         fault->degrade();
         if (cur.replans < max_replans) {
           fault->count_replanned_batch();
+          ++res.slo.replans;
+          if (rec != nullptr) rec->stat_add("stream.replans");
           const std::size_t cap =
               fault->effective_capacity(engine_->capacity());
           for (std::size_t at = 0; at < cur.indices.size(); at += cap) {
@@ -388,6 +432,15 @@ class StreamScheduler {
           res.failed_queries.insert(res.failed_queries.end(),
                                     cur.indices.begin(), cur.indices.end());
           if (attribute_setup) setup_attributed = true;
+          rep.wall_us = wall_us_since(attempt_begin);
+          res.slo.batch_latency_us.observe(rep.wall_us);
+          res.slo.queue_wait_us.observe(rep.queue_wait_us);
+          if (rec != nullptr) {
+            rec->stat_observe("stream.batch_latency_us", rep.wall_us);
+            rec->stat_observe("stream.queue_wait_us", rep.queue_wait_us);
+            rec->stat_add("stream.batches_run");
+            rec->stat_add("stream.degraded_batches");
+          }
           res.batches.push_back(rep);
         }
       }

@@ -51,14 +51,36 @@ void write_trace_json(const TraceRecorder& rec, std::ostream& os) {
   os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"engine\":\""
      << escape(rec.engine()) << "\",\"total_steps\":" << num(rec.total_steps())
      << ",\"time_unit\":\"1 us = 1 simulated mesh step\"";
-  // Named metrics (stream.*, fault.*) ride in otherData so both JSON
-  // formats carry them, not just the flat metrics export.
+  // Named metrics (stream.*, fault.*), runtime counters, and wall-clock
+  // histogram summaries ride in otherData so both JSON formats carry them,
+  // not just the flat metrics export. All three read from the recorder's
+  // StatsRegistry — one source.
+  const auto stats_snap = rec.stats().snapshot();
   os << ",\"metrics\":{";
   bool first_metric = true;
-  for (const auto& m : rec.metrics()) {
+  for (const auto& g : stats_snap.gauges) {
     if (!first_metric) os << ",";
     first_metric = false;
-    os << "\"" << escape(m.name) << "\":" << num(m.value);
+    os << "\"" << escape(g.name) << "\":" << num(g.value);
+  }
+  os << "},\"counters\":{";
+  bool first_counter = true;
+  for (const auto& c : stats_snap.counters) {
+    if (!first_counter) os << ",";
+    first_counter = false;
+    os << "\"" << escape(c.name) << "\":" << c.value;
+  }
+  os << "},\"wall\":{";
+  bool first_hist = true;
+  for (const auto& h : stats_snap.histograms) {
+    if (h.hist.empty()) continue;
+    if (!first_hist) os << ",";
+    first_hist = false;
+    os << "\"" << escape(h.name) << "\":{\"count\":" << h.hist.count()
+       << ",\"p50_us\":" << num(h.hist.p50())
+       << ",\"p95_us\":" << num(h.hist.p95())
+       << ",\"p99_us\":" << num(h.hist.p99())
+       << ",\"max_us\":" << num(h.hist.max()) << "}";
   }
   os << "}},\"traceEvents\":[";
   bool first = true;
@@ -120,13 +142,40 @@ void write_metrics_json(const TraceRecorder& rec, std::ostream& os) {
        << ",\"sim_steps\":" << num(s.sim_end - s.sim_begin)
        << ",\"wall_us\":" << num(s.wall_end_us - s.wall_begin_us) << "}";
   }
+  const auto stats_snap = rec.stats().snapshot();
   os << "],\"metrics\":[";
   first = true;
-  for (const auto& m : rec.metrics()) {
+  for (const auto& g : stats_snap.gauges) {
     if (!first) os << ",";
     first = false;
-    os << "{\"name\":\"" << escape(m.name) << "\",\"value\":" << num(m.value)
+    os << "{\"name\":\"" << escape(g.name) << "\",\"value\":" << num(g.value)
        << "}";
+  }
+  os << "],\"counters\":[";
+  first = true;
+  for (const auto& c : stats_snap.counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << escape(c.name) << "\",\"value\":" << c.value
+       << "}";
+  }
+  // Wall-clock histograms (observability only — never part of the
+  // determinism contract): merged percentiles per histogram name.
+  os << "],\"wall_histograms\":[";
+  first = true;
+  for (const auto& h : stats_snap.histograms) {
+    if (h.hist.empty()) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << escape(h.name) << "\",\"count\":" << h.hist.count()
+       << ",\"sum_us\":" << num(h.hist.sum())
+       << ",\"mean_us\":" << num(h.hist.mean())
+       << ",\"min_us\":" << num(h.hist.min())
+       << ",\"p50_us\":" << num(h.hist.p50())
+       << ",\"p90_us\":" << num(h.hist.p90())
+       << ",\"p95_us\":" << num(h.hist.p95())
+       << ",\"p99_us\":" << num(h.hist.p99())
+       << ",\"max_us\":" << num(h.hist.max()) << "}";
   }
   os << "]}";
 }
@@ -167,12 +216,29 @@ util::Table metrics_table(const TraceRecorder& rec) {
     t.add_row({std::string(primitive_name(key.prim)), key.p,
                static_cast<std::int64_t>(stat.calls), stat.steps,
                total > 0 ? stat.steps / total : 0.0});
-  // Named metrics ride below the histogram: the value lands in the "steps"
-  // column (it is the row's only number; fractions like
-  // metric:stream.setup_fraction read naturally next to the share column).
-  for (const auto& m : rec.metrics())
-    t.add_row({"metric:" + m.name, std::string(), std::string(), m.value,
+  // Named metrics, runtime counters, and wall-clock percentiles ride below
+  // the histogram: the value lands in the "steps" column (it is the row's
+  // only number; fractions like metric:stream.setup_fraction read naturally
+  // next to the share column). One source: the recorder's StatsRegistry.
+  const auto snap = rec.stats().snapshot();
+  for (const auto& g : snap.gauges)
+    t.add_row({"metric:" + g.name, std::string(), std::string(), g.value,
                std::string()});
+  for (const auto& c : snap.counters)
+    t.add_row({"counter:" + c.name, std::string(), std::string(),
+               static_cast<double>(c.value), std::string()});
+  for (const auto& h : snap.histograms) {
+    if (h.hist.empty()) continue;
+    t.add_row({"wall:" + h.name + ".p50_us", std::string(),
+               static_cast<std::int64_t>(h.hist.count()), h.hist.p50(),
+               std::string()});
+    t.add_row({"wall:" + h.name + ".p95_us", std::string(), std::string(),
+               h.hist.p95(), std::string()});
+    t.add_row({"wall:" + h.name + ".p99_us", std::string(), std::string(),
+               h.hist.p99(), std::string()});
+    t.add_row({"wall:" + h.name + ".max_us", std::string(), std::string(),
+               h.hist.max(), std::string()});
+  }
   return t;
 }
 

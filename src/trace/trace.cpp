@@ -59,17 +59,27 @@ void TraceRecorder::begin_span(std::string_view name) {
 }
 
 void TraceRecorder::end_span() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  MS_CHECK_MSG(!open_.empty(), "end_span without a matching begin_span");
-  MS_CHECK_MSG(span_owner_ == std::this_thread::get_id(),
-               "end_span from a non-owning thread while spans are open "
-               "(spans are single-thread-at-a-time; keep SpanScope outside "
-               "parallel_for regions — see trace.hpp)");
-  Span& s = spans_[open_.back()];
-  open_.pop_back();
-  s.sim_end = sim_now_;
-  s.wall_end_us = wall_now_us();
-  s.closed = true;
+  std::string name;
+  double wall_us = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    MS_CHECK_MSG(!open_.empty(), "end_span without a matching begin_span");
+    MS_CHECK_MSG(span_owner_ == std::this_thread::get_id(),
+                 "end_span from a non-owning thread while spans are open "
+                 "(spans are single-thread-at-a-time; keep SpanScope outside "
+                 "parallel_for regions — see trace.hpp)");
+    Span& s = spans_[open_.back()];
+    open_.pop_back();
+    s.sim_end = sim_now_;
+    s.wall_end_us = wall_now_us();
+    s.closed = true;
+    name = s.name;
+    wall_us = s.wall_end_us - s.wall_begin_us;
+  }
+  // Wall-clock phase histogram — outside mu_ (the registry locks for itself
+  // and never calls back into the recorder). Observability only: charged
+  // cost, outcomes, and attribution are untouched.
+  stat_observe(span_histogram_name(name), wall_us);
 }
 
 double TraceRecorder::total_steps() const {
@@ -88,18 +98,47 @@ std::vector<Event> TraceRecorder::events() const {
 }
 
 void TraceRecorder::metric(std::string_view name, double value) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  for (auto& m : metrics_)
-    if (m.name == name) {
-      m.value = value;
-      return;
-    }
-  metrics_.push_back(Metric{std::string(name), value});
+  stats_.set(name, value);
+  auto& g = stats::StatsRegistry::global();
+  if (g.enabled()) g.set(name, value);
 }
 
 std::vector<Metric> TraceRecorder::metrics() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return metrics_;
+  const auto snap = stats_.snapshot();
+  std::vector<Metric> out;
+  out.reserve(snap.gauges.size());
+  for (const auto& g : snap.gauges) out.push_back(Metric{g.name, g.value});
+  return out;
+}
+
+void TraceRecorder::stat_add(std::string_view name, std::uint64_t delta) {
+  stats_.add(name, delta);
+  auto& g = stats::StatsRegistry::global();
+  if (g.enabled()) g.add(name, delta);
+}
+
+void TraceRecorder::stat_observe(std::string_view name, double value_us) {
+  stats_.observe(name, value_us);
+  auto& g = stats::StatsRegistry::global();
+  if (g.enabled()) g.observe(name, value_us);
+}
+
+std::string span_histogram_name(std::string_view span_name) {
+  // "stream.batch 17" -> "stream.batch": strip one trailing " <digits>".
+  std::string_view base = span_name;
+  const auto sp = base.find_last_of(' ');
+  if (sp != std::string_view::npos && sp + 1 < base.size()) {
+    bool digits = true;
+    for (std::size_t i = sp + 1; i < base.size(); ++i)
+      if (base[i] < '0' || base[i] > '9') {
+        digits = false;
+        break;
+      }
+    if (digits) base = base.substr(0, sp);
+  }
+  std::string out = "wall.phase.";
+  out += base;
+  return out;
 }
 
 std::vector<Span> TraceRecorder::spans() const {

@@ -41,6 +41,8 @@
 #include <thread>
 #include <vector>
 
+#include "trace/stats.hpp"
+
 namespace meshsearch::trace {
 
 /// The mesh primitives both engines account for. The counting engine
@@ -148,25 +150,48 @@ class TraceRecorder {
 
   /// Set (or overwrite) a named scalar metric. Thread-safe; insertion order
   /// is preserved so exported reports read in the order the run emitted.
+  /// Backed by a StatsRegistry gauge, so the lookup is hashed (a bench
+  /// setting 10k metrics per sweep stays linear, not quadratic) and all
+  /// exporters read metrics, counters, and histograms from one source.
+  /// Mirrored to the process-global registry when MESHSEARCH_STATS=1.
   void metric(std::string_view name, double value);
 
   /// Snapshot of the named metrics in first-insertion order.
   std::vector<Metric> metrics() const;
+
+  /// Runtime (wall-clock) stats riding alongside the charged-cost trace.
+  /// end_span() records each closed span's wall duration into the histogram
+  /// "wall.phase.<name>" (trailing " <number>" suffixes are collapsed so
+  /// per-batch spans share one histogram). Wall-clock values are
+  /// observability only — they are NOT part of the 1-vs-8-thread
+  /// bit-identity contract, which pins outcomes, charges, and attribution
+  /// (DESIGN.md §5, decision 13).
+  stats::StatsRegistry& stats() { return stats_; }
+  const stats::StatsRegistry& stats() const { return stats_; }
+
+  /// Fan-out conveniences: update this recorder's registry and mirror to
+  /// the process-global registry when it is enabled (MESHSEARCH_STATS=1).
+  void stat_add(std::string_view name, std::uint64_t delta = 1);
+  void stat_observe(std::string_view name, double value_us);
 
  private:
   double wall_now_us() const;
 
   std::string engine_;
   std::chrono::steady_clock::time_point epoch_;
+  stats::StatsRegistry stats_{/*enabled=*/true};
   mutable std::mutex mu_;
   double sim_now_ = 0;
   std::map<PrimitiveKey, PrimitiveStat> counters_;
   std::vector<Event> events_;
   std::vector<Span> spans_;
-  std::vector<Metric> metrics_;
   std::vector<std::size_t> open_;  ///< stack of indices into spans_
   std::thread::id span_owner_;     ///< owner while open_ is non-empty
 };
+
+/// Histogram key for a span name: per-batch spans like "stream.batch 17"
+/// collapse to "stream.batch" so one histogram aggregates all batches.
+std::string span_histogram_name(std::string_view span_name);
 
 /// RAII span guard. A null recorder makes every operation a no-op, so call
 /// sites need no branching.

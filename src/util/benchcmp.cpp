@@ -1,0 +1,256 @@
+#include "util/benchcmp.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace meshsearch::util {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+/// Render a scalar JSON cell for use as a row key / diff message.
+std::string cell_key(const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kString: return v.as_string();
+    case JsonValue::Kind::kBool: return v.as_bool() ? "true" : "false";
+    case JsonValue::Kind::kNumber: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.as_number());
+      return buf;
+    }
+    default: return "<non-scalar>";
+  }
+}
+
+double rel_diff(double base, double cur) {
+  const double denom = std::max(std::abs(base), std::abs(cur));
+  if (denom == 0) return 0;
+  return std::abs(cur - base) / denom;
+}
+
+void add_issue(BenchCompareResult& res, BenchIssue::Kind kind, bool fatal,
+               std::string where, double base, double cur,
+               std::string message) {
+  BenchIssue issue;
+  issue.kind = kind;
+  issue.fatal = fatal;
+  issue.where = std::move(where);
+  issue.baseline = base;
+  issue.current = cur;
+  issue.message = std::move(message);
+  if (fatal) res.ok = false;
+  res.issues.push_back(std::move(issue));
+}
+
+const JsonValue* find_series(const JsonValue& doc, std::string_view name) {
+  const JsonValue* series = doc.find("series");
+  if (series == nullptr || !series->is_array()) return nullptr;
+  for (const JsonValue& s : series->as_array())
+    if (s.is_object() && s.get_string("name") == name) return &s;
+  return nullptr;
+}
+
+const JsonValue* find_wall(const JsonValue& doc, std::string_view name) {
+  const JsonValue* wall = doc.find("wall");
+  if (wall == nullptr || !wall->is_array()) return nullptr;
+  for (const JsonValue& w : wall->as_array())
+    if (w.is_object() && w.get_string("name") == name) return &w;
+  return nullptr;
+}
+
+/// Match a baseline row to a current row by first-column key; rows whose key
+/// repeats match in order of appearance, so re-running the same config lines
+/// up even when a sweep visits the same parameter twice.
+const JsonValue* match_row(const JsonValue& rows, const std::string& key,
+                           std::size_t occurrence) {
+  std::size_t seen = 0;
+  for (const JsonValue& row : rows.as_array()) {
+    if (!row.is_array() || row.as_array().empty()) continue;
+    if (cell_key(row.as_array().front()) != key) continue;
+    if (seen == occurrence) return &row;
+    ++seen;
+  }
+  return nullptr;
+}
+
+void compare_value(BenchCompareResult& res, const BenchCompareOptions& opt,
+                   const std::string& where, bool wall_class,
+                   const JsonValue& base, const JsonValue& cur) {
+  ++res.compared_values;
+  if (base.is_number() && cur.is_number()) {
+    const double b = base.as_number();
+    const double c = cur.as_number();
+    if (wall_class) {
+      // Wall clock: only a slowdown past tolerance counts; faster is fine.
+      if (c > b && b > 0 && (c - b) / b > opt.wall_tolerance)
+        add_issue(res, BenchIssue::Kind::kWallRegression, opt.gate_wall, where,
+                  b, c, "wall-clock regression");
+      return;
+    }
+    if (rel_diff(b, c) > opt.charged_tolerance)
+      add_issue(res, BenchIssue::Kind::kChargedDrift, true, where, b, c,
+                "charged value drifted");
+    return;
+  }
+  // Non-numeric cells (flags like "oracle ok") must match exactly; any
+  // difference means a deterministic output changed.
+  if (cell_key(base) != cell_key(cur))
+    add_issue(res, BenchIssue::Kind::kChargedDrift, !wall_class, where, 0, 0,
+              "cell changed: '" + cell_key(base) + "' -> '" + cell_key(cur) +
+                  "'");
+}
+
+}  // namespace
+
+bool is_wall_metric(std::string_view name) {
+  const std::string n = lower(name);
+  return contains(n, "wall") || contains(n, "_us") || contains(n, "_ms") ||
+         contains(n, "latency") || contains(n, "seconds");
+}
+
+std::string validate_bench_schema(const JsonValue& doc) {
+  if (!doc.is_object()) return "document is not a JSON object";
+  if (doc.get_string("schema") != kBenchSchemaV1)
+    return "schema field is not '" + std::string(kBenchSchemaV1) + "'";
+  if (doc.get_string("exp").empty()) return "missing 'exp' string";
+  const JsonValue* series = doc.find("series");
+  if (series == nullptr || !series->is_array())
+    return "missing 'series' array";
+  for (std::size_t i = 0; i < series->as_array().size(); ++i) {
+    const JsonValue& s = series->as_array()[i];
+    const std::string at = "series[" + std::to_string(i) + "]";
+    if (!s.is_object()) return at + " is not an object";
+    if (s.get_string("name").empty()) return at + " missing 'name'";
+    const JsonValue* cols = s.find("columns");
+    if (cols == nullptr || !cols->is_array())
+      return at + " missing 'columns' array";
+    for (const JsonValue& c : cols->as_array())
+      if (!c.is_string()) return at + " has a non-string column name";
+    const JsonValue* rows = s.find("rows");
+    if (rows == nullptr || !rows->is_array()) return at + " missing 'rows'";
+    for (const JsonValue& row : rows->as_array()) {
+      if (!row.is_array()) return at + " has a non-array row";
+      if (row.as_array().size() != cols->as_array().size())
+        return at + " has a row whose width differs from 'columns'";
+    }
+  }
+  const JsonValue* wall = doc.find("wall");
+  if (wall != nullptr) {
+    if (!wall->is_array()) return "'wall' is not an array";
+    for (const JsonValue& w : wall->as_array()) {
+      if (!w.is_object() || w.get_string("name").empty())
+        return "'wall' entry missing 'name'";
+    }
+  }
+  return {};
+}
+
+BenchCompareResult compare_bench(const JsonValue& baseline,
+                                 const JsonValue& current,
+                                 const BenchCompareOptions& opt) {
+  BenchCompareResult res;
+  for (const auto* doc : {&baseline, &current}) {
+    const std::string err = validate_bench_schema(*doc);
+    if (!err.empty()) {
+      add_issue(res, BenchIssue::Kind::kSchema, true,
+                doc == &baseline ? "baseline" : "current", 0, 0, err);
+    }
+  }
+  if (!res.ok) return res;
+
+  if (baseline.get_string("exp") != current.get_string("exp"))
+    add_issue(res, BenchIssue::Kind::kSchema, true, "exp", 0, 0,
+              "experiment id mismatch: '" + baseline.get_string("exp") +
+                  "' vs '" + current.get_string("exp") + "'");
+
+  // Every baseline series/row/cell must still exist and agree.
+  for (const JsonValue& bs : baseline.find("series")->as_array()) {
+    const std::string sname = bs.get_string("name");
+    const JsonValue* cs = find_series(current, sname);
+    if (cs == nullptr) {
+      add_issue(res, BenchIssue::Kind::kMissingSeries, true, sname, 0, 0,
+                "series missing from current report");
+      continue;
+    }
+    const auto& bcols = bs.find("columns")->as_array();
+    const auto& ccols = cs->find("columns")->as_array();
+    // Map baseline column index -> current column index by header name.
+    std::vector<std::ptrdiff_t> col_map(bcols.size(), -1);
+    for (std::size_t j = 0; j < bcols.size(); ++j) {
+      for (std::size_t k = 0; k < ccols.size(); ++k) {
+        if (ccols[k].as_string() == bcols[j].as_string()) {
+          col_map[j] = static_cast<std::ptrdiff_t>(k);
+          break;
+        }
+      }
+      if (col_map[j] < 0)
+        add_issue(res, BenchIssue::Kind::kMissingValue, true,
+                  sname + "." + bcols[j].as_string(),
+                  0, 0, "column missing from current report");
+    }
+    const JsonValue* brows = bs.find("rows");
+    const JsonValue* crows = cs->find("rows");
+    std::map<std::string, std::size_t> key_occurrence;
+    for (const JsonValue& brow : brows->as_array()) {
+      if (!brow.is_array() || brow.as_array().empty()) continue;
+      const std::string key = cell_key(brow.as_array().front());
+      const std::size_t occ = key_occurrence[key]++;
+      const JsonValue* crow = match_row(*crows, key, occ);
+      const std::string rowat = sname + "[" + key + "]";
+      if (crow == nullptr) {
+        add_issue(res, BenchIssue::Kind::kMissingValue, true, rowat, 0, 0,
+                  "row missing from current report");
+        continue;
+      }
+      for (std::size_t j = 1; j < brow.as_array().size(); ++j) {
+        if (col_map[j] < 0) continue;  // already reported above
+        const std::string& col = bcols[j].as_string();
+        compare_value(res, opt, rowat + "." + col, is_wall_metric(col),
+                      brow.as_array()[j],
+                      crow->as_array()[static_cast<std::size_t>(col_map[j])]);
+      }
+    }
+  }
+
+  // Wall-clock histogram section: always wall-class, percentiles only
+  // (counts depend on config knobs that legitimately evolve).
+  const JsonValue* bwall = baseline.find("wall");
+  if (bwall != nullptr && bwall->is_array()) {
+    for (const JsonValue& bw : bwall->as_array()) {
+      const std::string wname = bw.get_string("name");
+      const JsonValue* cw = find_wall(current, wname);
+      if (cw == nullptr) {
+        add_issue(res, BenchIssue::Kind::kMissingValue, opt.gate_wall,
+                  "wall." + wname, 0, 0,
+                  "wall histogram missing from current report");
+        continue;
+      }
+      for (const char* field : {"p50_us", "p95_us", "p99_us", "max_us"}) {
+        const JsonValue* bf = bw.find(field);
+        const JsonValue* cf = cw->find(field);
+        if (bf == nullptr || cf == nullptr || !bf->is_number() ||
+            !cf->is_number())
+          continue;
+        compare_value(res, opt, "wall." + wname + "." + field,
+                      /*wall_class=*/true, *bf, *cf);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace meshsearch::util

@@ -1,0 +1,72 @@
+// Schema validation and regression comparison for BENCH_<exp>.json files —
+// the machine-readable bench reports every bench binary emits (see
+// bench/bench_common.hpp for the writer, bench/bench_check.cpp for the CLI).
+//
+// Two metric classes, compared differently:
+//   * charged-class (default): simulated-step costs and other deterministic
+//     outputs. Bit-reproducible across hosts and thread counts (the
+//     determinism contract), so ANY drift beyond a tiny tolerance — the
+//     tolerance only absorbs libm ulp differences across toolchains — is a
+//     regression, in either direction (a cheaper charge still means the cost
+//     model changed and the baseline must be re-committed deliberately).
+//   * wall-class (name matches wall/us/ms/latency): machine-dependent
+//     wall-clock measurements. Only slowdowns beyond wall_tolerance count,
+//     and they are fatal only when gate_wall is set (CI on the baseline
+//     host); elsewhere they are reported as warnings, and
+//     MESHSEARCH_SKIP_BENCH_GATE=1 skips the whole gate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace meshsearch::util {
+
+inline constexpr std::string_view kBenchSchemaV1 = "meshsearch.bench.v1";
+
+struct BenchCompareOptions {
+  double charged_tolerance = 1e-6;  ///< relative; absorbs libm ulp drift only
+  double wall_tolerance = 0.25;     ///< relative slowdown allowed on wall metrics
+  bool gate_wall = false;           ///< wall slowdowns fatal (vs warnings)
+};
+
+struct BenchIssue {
+  enum class Kind : std::uint8_t {
+    kChargedDrift = 0,  ///< deterministic value changed
+    kWallRegression,    ///< wall metric slowed past tolerance
+    kMissingSeries,     ///< baseline series absent from current report
+    kMissingValue,      ///< baseline row/column absent from current report
+    kSchema,            ///< document fails v1 schema validation
+  };
+  Kind kind = Kind::kSchema;
+  bool fatal = false;
+  std::string where;  ///< "series[row].column" path
+  double baseline = 0;
+  double current = 0;
+  std::string message;
+};
+
+struct BenchCompareResult {
+  bool ok = true;  ///< no fatal issue
+  std::size_t compared_values = 0;
+  std::vector<BenchIssue> issues;  ///< fatal issues and warnings, in order
+};
+
+/// Wall-class metric name? (machine-dependent, tolerance-compared)
+bool is_wall_metric(std::string_view name);
+
+/// Validate a parsed document against the BENCH v1 schema. Empty string when
+/// valid, else a human-readable description of the first problem.
+std::string validate_bench_schema(const JsonValue& doc);
+
+/// Compare `current` against `baseline` (both schema-valid BENCH documents).
+/// Every baseline value must exist in the current report; extra current
+/// values are ignored (new coverage is not a regression).
+BenchCompareResult compare_bench(const JsonValue& baseline,
+                                 const JsonValue& current,
+                                 const BenchCompareOptions& opt = {});
+
+}  // namespace meshsearch::util

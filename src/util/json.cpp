@@ -1,0 +1,400 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace meshsearch::util {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const JsonValue* hit = nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) hit = &v;  // duplicate keys: last one wins, as parsed
+  return hit;
+}
+
+double JsonValue::get_number(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string()
+                                        : std::move(fallback);
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+JsonValue JsonValue::make_number(double n) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+JsonValue JsonValue::make_array(std::vector<JsonValue> a) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(a);
+  return v;
+}
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> o) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(o);
+  return v;
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (raw) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double n, std::string& out) {
+  if (!std::isfinite(n)) {
+    out += "null";  // JSON has no NaN/inf
+    return;
+  }
+  // Integers render without a fraction so committed baselines stay tidy;
+  // %.17g otherwise guarantees double round-trip through strtod.
+  if (n == static_cast<double>(static_cast<long long>(n)) &&
+      std::abs(n) < 9.0e15) {
+    out += std::to_string(static_cast<long long>(n));
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", n);
+  out += buf;
+}
+
+void dump_value(const JsonValue& v, int indent, int depth, std::string& out) {
+  const bool pretty = indent >= 0;
+  const auto newline_pad = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: out += "null"; break;
+    case JsonValue::Kind::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case JsonValue::Kind::kNumber: dump_number(v.as_number(), out); break;
+    case JsonValue::Kind::kString: dump_string(v.as_string(), out); break;
+    case JsonValue::Kind::kArray: {
+      if (v.as_array().empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        newline_pad(depth + 1);
+        dump_value(item, indent, depth + 1, out);
+      }
+      newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      if (v.as_object().empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, item] : v.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        newline_pad(depth + 1);
+        dump_string(k, out);
+        out += pretty ? ": " : ":";
+        dump_value(item, indent, depth + 1, out);
+      }
+      newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonParseResult run() {
+    JsonParseResult res;
+    skip_ws();
+    res.value = parse_value(res);
+    if (!failed_) {
+      skip_ws();
+      if (pos_ != text_.size()) fail(res, "trailing characters after document");
+    }
+    res.ok = !failed_;
+    return res;
+  }
+
+ private:
+  void fail(JsonParseResult& res, const std::string& why) {
+    if (failed_) return;
+    failed_ = true;
+    std::ostringstream os;
+    os << why << " at offset " << pos_;
+    res.error = os.str();
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value(JsonParseResult& res) {
+    if (failed_ || depth_ > kMaxDepth) {
+      fail(res, "nesting too deep");
+      return {};
+    }
+    if (pos_ >= text_.size()) {
+      fail(res, "unexpected end of input");
+      return {};
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(res);
+    if (c == '[') return parse_array(res);
+    if (c == '"') return JsonValue::make_string(parse_string(res));
+    if (c == 't') {
+      if (literal("true")) return JsonValue::make_bool(true);
+    } else if (c == 'f') {
+      if (literal("false")) return JsonValue::make_bool(false);
+    } else if (c == 'n') {
+      if (literal("null")) return JsonValue::make_null();
+    } else if (c == '-' || (c >= '0' && c <= '9')) {
+      return parse_number(res);
+    }
+    fail(res, "unexpected character");
+    return {};
+  }
+
+  JsonValue parse_object(JsonParseResult& res) {
+    ++depth_;
+    consume('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (!failed_) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail(res, "expected object key string");
+        break;
+      }
+      std::string key = parse_string(res);
+      skip_ws();
+      if (!consume(':')) {
+        fail(res, "expected ':' after object key");
+        break;
+      }
+      skip_ws();
+      members.emplace_back(std::move(key), parse_value(res));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      fail(res, "expected ',' or '}' in object");
+    }
+    --depth_;
+    return JsonValue::make_object(std::move(members));
+  }
+
+  JsonValue parse_array(JsonParseResult& res) {
+    ++depth_;
+    consume('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (!failed_) {
+      skip_ws();
+      items.push_back(parse_value(res));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      fail(res, "expected ',' or ']' in array");
+    }
+    --depth_;
+    return JsonValue::make_array(std::move(items));
+  }
+
+  std::string parse_string(JsonParseResult& res) {
+    consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail(res, "truncated \\u escape");
+              return out;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail(res, "bad hex digit in \\u escape");
+                return out;
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // combined — this reader only sees ASCII from our own writers).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail(res, "bad escape character");
+            return out;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail(res, "unterminated string");
+    return out;
+  }
+
+  JsonValue parse_number(JsonParseResult& res) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0' || !std::isfinite(v)) {
+      fail(res, "malformed number");
+      return {};
+    }
+    return JsonValue::make_number(v);
+  }
+
+  static constexpr int kMaxDepth = 256;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_value(*this, indent, 0, out);
+  return out;
+}
+
+JsonParseResult parse_json(std::string_view text) {
+  return Parser(text).run();
+}
+
+JsonParseResult parse_json_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good()) {
+    JsonParseResult res;
+    res.error = "cannot open " + path;
+    return res;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  JsonParseResult res = parse_json(buf.str());
+  if (!res.ok) res.error = path + ": " + res.error;
+  return res;
+}
+
+}  // namespace meshsearch::util

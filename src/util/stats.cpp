@@ -7,6 +7,101 @@
 
 namespace meshsearch::util {
 
+std::size_t LogHistogram::bucket_index(double v) {
+  if (!(v > kMinValue)) return 0;  // NaN and tiny values collapse into 0
+  // Bucket 1 + k holds values in (kMinValue * 2^(k/S), kMinValue * 2^((k+1)/S)].
+  const double octaves = std::log2(v / kMinValue);
+  const auto k = static_cast<std::int64_t>(
+      std::ceil(octaves * static_cast<double>(kSubBuckets)) - 1);
+  const auto idx = static_cast<std::size_t>(std::max<std::int64_t>(0, k)) + 1;
+  return std::min(idx, kBucketCount - 1);
+}
+
+double LogHistogram::bucket_upper(std::size_t i) {
+  if (i == 0) return kMinValue;
+  return kMinValue *
+         std::exp2(static_cast<double>(i) / static_cast<double>(kSubBuckets));
+}
+
+double LogHistogram::bucket_value(std::size_t i) {
+  if (i == 0) return kMinValue;
+  // Geometric midpoint of (upper(i-1), upper(i)] — halves the worst-case
+  // relative error vs reporting the bucket edge.
+  return kMinValue * std::exp2((static_cast<double>(i) - 0.5) /
+                               static_cast<double>(kSubBuckets));
+}
+
+void LogHistogram::observe(double v, std::uint64_t times) {
+  if (times == 0) return;
+  if (!(v >= 0)) v = 0;  // negative and NaN clamp to 0
+  buckets_[bucket_index(v)] += times;
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_ += times;
+  sum_ += v * static_cast<double>(times);
+}
+
+void LogHistogram::add_bucket(std::size_t i, std::uint64_t count) {
+  MS_CHECK(i < kBucketCount);
+  if (count == 0) return;
+  const double v = bucket_value(i);
+  buckets_[i] += count;
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_ += count;
+  sum_ += v * static_cast<double>(count);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LogHistogram::override_moments(double sum, double min, double max) {
+  if (count_ == 0) return;
+  sum_ = sum;
+  min_ = min;
+  max_ = max;
+}
+
+double LogHistogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LogHistogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t target = std::max<std::uint64_t>(1, rank);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cum += buckets_[i];
+    if (cum >= target)
+      return std::clamp(bucket_value(i), min_, max_);
+  }
+  return max_;
+}
+
 Summary summarize(std::span<const double> xs) {
   Summary s;
   s.count = xs.size();
@@ -27,6 +122,12 @@ Summary summarize(std::span<const double> xs) {
   s.median = sorted.size() % 2 == 1
                  ? sorted[mid]
                  : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  LogHistogram h;
+  for (double x : sorted) h.observe(x);
+  s.p50 = h.p50();
+  s.p90 = h.p90();
+  s.p95 = h.p95();
+  s.p99 = h.p99();
   return s;
 }
 

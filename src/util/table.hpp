@@ -26,6 +26,11 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
 
+  /// Structured access for the machine-readable bench report (BENCH_*.json):
+  /// column headers and raw cells in insertion order.
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<Cell>>& row_data() const { return rows_; }
+
  private:
   static std::string render(const Cell& c);
   std::vector<std::string> headers_;
