@@ -1,0 +1,62 @@
+#include "mesh/curve.hpp"
+
+namespace meshsearch::mesh {
+
+namespace {
+// One step of the classical Hilbert rotation: reflect/transpose the
+// sub-square so the recursion always works on the same base orientation.
+void hilbert_rot(std::size_t s, std::uint32_t& x, std::uint32_t& y,
+                 std::size_t rx, std::size_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      x = static_cast<std::uint32_t>(s - 1) - x;
+      y = static_cast<std::uint32_t>(s - 1) - y;
+    }
+    const std::uint32_t t = x;
+    x = y;
+    y = t;
+  }
+}
+}  // namespace
+
+std::size_t coord_to_hilbert(std::uint32_t side, Coord c) {
+  MS_DCHECK(c.row < side && c.col < side);
+  std::uint32_t x = c.col;
+  std::uint32_t y = c.row;
+  std::size_t d = 0;
+  for (std::size_t s = side / 2; s > 0; s /= 2) {
+    const std::size_t rx = (x & s) ? 1 : 0;
+    const std::size_t ry = (y & s) ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    hilbert_rot(s, x, y, rx, ry);
+  }
+  return d;
+}
+
+Coord hilbert_to_coord(std::uint32_t side, std::size_t d) {
+  MS_DCHECK(d < static_cast<std::size_t>(side) * side);
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  std::size_t t = d;
+  for (std::size_t s = 1; s < side; s *= 2) {
+    const std::size_t rx = 1 & (t / 2);
+    const std::size_t ry = 1 & (t ^ rx);
+    hilbert_rot(s, x, y, rx, ry);
+    x += static_cast<std::uint32_t>(s * rx);
+    y += static_cast<std::uint32_t>(s * ry);
+    t /= 4;
+  }
+  return Coord{y, x};
+}
+
+std::vector<std::uint32_t> hilbert_order(const MeshShape& shape) {
+  const std::size_t n = shape.size();
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t h = 0; h < n; ++h) {
+    const Coord c = hilbert_to_coord(shape.side(), h);
+    perm[h] = static_cast<std::uint32_t>(shape.coord_to_snake(c));
+  }
+  return perm;
+}
+
+}  // namespace meshsearch::mesh

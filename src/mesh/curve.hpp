@@ -1,0 +1,39 @@
+// Hilbert-curve indexing on a square mesh.
+//
+// The snake is meshsearch's canonical array order (snake.hpp): consecutive
+// snake indices are grid neighbours, which is what the sort/scan primitives
+// need, and every cost bound in the paper is stated along it. The Hilbert
+// curve is the locality-tuned alternative: consecutive indices are still
+// grid neighbours, but in addition any aligned 2^k x 2^k quadrant maps to one
+// contiguous index range, so block-local phases (band routing, submesh
+// duplication) touch contiguous memory instead of `side`-strided rows.
+//
+// DESIGN.md §5 decision 14: the SoA data plane keeps snake order canonical —
+// charged costs and outcomes are pinned to it — and uses the Hilbert
+// permutation as an opt-in storage order for wall-clock experiments. The
+// helpers here are pure index arithmetic (no cost charged); converting an
+// array between orders is a host-side relabeling, not a mesh operation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mesh/snake.hpp"
+
+namespace meshsearch::mesh {
+
+/// Hilbert index of grid cell (row, col) on a side x side grid (side a power
+/// of two). Inverse of hilbert_to_coord; bijective on [0, side^2).
+std::size_t coord_to_hilbert(std::uint32_t side, Coord c);
+
+/// Grid cell of Hilbert index d on a side x side grid.
+Coord hilbert_to_coord(std::uint32_t side, std::size_t d);
+
+/// Permutation taking snake order to Hilbert order: perm[h] = snake index of
+/// the processor at Hilbert position h. Applying `out[h] = data[perm[h]]`
+/// re-lays an array into Hilbert storage order; the inverse relabeling
+/// restores snake order bit-exactly.
+std::vector<std::uint32_t> hilbert_order(const MeshShape& shape);
+
+}  // namespace meshsearch::mesh

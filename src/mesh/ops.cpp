@@ -1,5 +1,21 @@
 #include "mesh/ops.hpp"
 
-// The counting engine is header-only (templates); this TU anchors the module
-// in the library target.
-namespace meshsearch::mesh::ops {}
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace meshsearch::mesh::ops::detail {
+
+void throw_address_violation(const char* op, std::size_t index, Addr addr,
+                             std::size_t table_size) {
+  std::ostringstream os;
+  os << op << ": address out of range: addr[" << index << "]=" << addr
+     << " table_size=" << table_size;
+  ErrorContext ctx;
+  ctx.engine = "counting";
+  ctx.phase = op;
+  ctx.site = "mesh/ops.hpp";
+  throw IntegrityError(os.str(), std::move(ctx));
+}
+
+}  // namespace meshsearch::mesh::ops::detail

@@ -1,0 +1,137 @@
+#include "mesh/ops_soa.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "util/parallel_for.hpp"
+
+namespace meshsearch::mesh::ops::soa {
+
+namespace {
+constexpr std::size_t kRadix = 256;
+constexpr std::size_t kPasses = 8;  // 8 bits x 8 passes covers uint64
+}  // namespace
+
+void radix_sort_u64(std::uint64_t* keys, std::uint32_t* payload, std::size_t n,
+                    SortScratch& scratch) {
+  if (n < 2) return;
+  const std::size_t nchunks = util::fixed_chunk_count(n);
+  scratch.keys.resize(n);
+  if (payload != nullptr) scratch.payload.resize(n);
+  scratch.hist.assign(nchunks * kRadix, 0);
+
+  std::uint64_t* src_k = keys;
+  std::uint64_t* dst_k = scratch.keys.data();
+  std::uint32_t* src_p = payload;
+  std::uint32_t* dst_p = payload != nullptr ? scratch.payload.data() : nullptr;
+  std::uint32_t* hist = scratch.hist.data();
+
+  for (std::size_t pass = 0; pass < kPasses; ++pass) {
+    const unsigned shift = static_cast<unsigned>(8 * pass);
+    std::memset(hist, 0, nchunks * kRadix * sizeof(std::uint32_t));
+    // Per-chunk digit histograms over the FIXED chunking — bit-identical at
+    // any thread count (DESIGN.md §5.6).
+    util::for_fixed_chunks(n, [&](std::size_t c, std::size_t lo,
+                                  std::size_t hi) {
+      std::uint32_t* h = hist + c * kRadix;
+      for (std::size_t i = lo; i < hi; ++i)
+        ++h[(src_k[i] >> shift) & 0xff];
+    });
+    // Serial prefix in (digit-major, chunk-minor) order turns the counts
+    // into per-(chunk, digit) start cursors; skip passes whose digit is
+    // constant (common for narrow key ranges — only the live bytes pay).
+    bool constant = false;
+    {
+      std::uint32_t pos = 0;
+      for (std::size_t d = 0; d < kRadix && !constant; ++d) {
+        std::uint32_t digit_total = 0;
+        for (std::size_t c = 0; c < nchunks; ++c)
+          digit_total += hist[c * kRadix + d];
+        if (digit_total == n) constant = true;
+      }
+      if (!constant) {
+        for (std::size_t d = 0; d < kRadix; ++d) {
+          for (std::size_t c = 0; c < nchunks; ++c) {
+            std::uint32_t& slot = hist[c * kRadix + d];
+            const std::uint32_t count = slot;
+            slot = pos;
+            pos += count;
+          }
+        }
+      }
+    }
+    if (constant) continue;
+    // Stable scatter: each (chunk, digit) cursor owns a disjoint output
+    // range, and a chunk writes its elements in input order.
+    if (payload != nullptr) {
+      util::for_fixed_chunks(n, [&](std::size_t c, std::size_t lo,
+                                    std::size_t hi) {
+        std::uint32_t* h = hist + c * kRadix;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::uint32_t dst = h[(src_k[i] >> shift) & 0xff]++;
+          dst_k[dst] = src_k[i];
+          dst_p[dst] = src_p[i];
+        }
+      });
+      std::swap(src_p, dst_p);
+    } else {
+      util::for_fixed_chunks(n, [&](std::size_t c, std::size_t lo,
+                                    std::size_t hi) {
+        std::uint32_t* h = hist + c * kRadix;
+        for (std::size_t i = lo; i < hi; ++i)
+          dst_k[h[(src_k[i] >> shift) & 0xff]++] = src_k[i];
+      });
+    }
+    std::swap(src_k, dst_k);
+  }
+  // Skipped passes may leave the result in the scratch buffers.
+  if (src_k != keys) {
+    std::memcpy(keys, src_k, n * sizeof(std::uint64_t));
+    if (payload != nullptr)
+      std::memcpy(payload, src_p, n * sizeof(std::uint32_t));
+  } else if (payload != nullptr && src_p != payload) {
+    std::memcpy(payload, src_p, n * sizeof(std::uint32_t));
+  }
+}
+
+namespace {
+SortScratch& local_scratch() {
+  thread_local SortScratch scratch;
+  return scratch;
+}
+}  // namespace
+
+void sort_values(std::vector<std::int64_t>& vals) {
+  // int64 -> uint64 is the signed/unsigned-variant aliasing exception, so
+  // the bias flip and the sort run in place on the vector's own storage.
+  auto* u = reinterpret_cast<std::uint64_t*>(vals.data());
+  const std::size_t n = vals.size();
+  for (std::size_t i = 0; i < n; ++i) u[i] ^= std::uint64_t{1} << 63;
+  radix_sort_u64(u, nullptr, n, local_scratch());
+  for (std::size_t i = 0; i < n; ++i) u[i] ^= std::uint64_t{1} << 63;
+}
+
+std::vector<std::uint32_t> sort_index(std::span<const std::int64_t> keys) {
+  const std::size_t n = keys.size();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  SortScratch& scratch = local_scratch();
+  std::vector<std::uint64_t> k(n);
+  for (std::size_t i = 0; i < n; ++i) k[i] = order_key(keys[i]);
+  radix_sort_u64(k.data(), order.data(), n, scratch);
+  return order;
+}
+
+void valid_mask(std::span<const Addr> addr, std::vector<std::uint8_t>& mask) {
+  mask.resize(addr.size());
+  for (std::size_t i = 0; i < addr.size(); ++i)
+    mask[i] = static_cast<std::uint8_t>(addr[i] != kNone);
+}
+
+ScratchArena& route_scratch() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace meshsearch::mesh::ops::soa

@@ -1,0 +1,121 @@
+// SoA kernel layer for the counting engine (DESIGN.md §5, decision 14).
+//
+// The counting engine's hot call sites keep their data as structure-of-arrays
+// — integer keys, payload indices, and segment flags in separate contiguous
+// vectors, indexed by the snake position of the owning processor — and the
+// kernels here transform those arrays with branch-light, cache-friendly
+// passes:
+//
+//   * radix_sort_u64 / sort_values / sort_index — LSD radix sort on integer
+//     keys (8-bit digits), replacing comparison std::stable_sort at the
+//     integer-key call sites. Stable, and deterministic at any host thread
+//     count: the histogram pass uses the fixed-chunk parallel_for scheme
+//     (util::kFixedChunks), the per-(chunk, digit) cursors partition the
+//     output, and the scatter order within a chunk is the input order.
+//   * valid_mask — hoists the per-element kNone test of the random-access
+//     primitives into a 0/1 mask array the main pass consumes branch-free.
+//   * ScratchArena — generation-stamped membership set replacing route's
+//     per-call `seen` allocation (no O(n) clear between calls).
+//   * prefetch — portable wrapper over __builtin_prefetch for the
+//     software-pipelined pointer-chase loops (graph.hpp, hierarchical.hpp,
+//     constrained.hpp). On the latency-bound random-access sweeps this is
+//     the single largest wall-clock lever (measured ~8x on the visit loop).
+//
+// Everything here moves wall-clock time only. Charged costs are computed by
+// the callers (mesh/ops.hpp) from the mesh geometry alone, and every kernel
+// produces bit-identical data to the scalar reference it replaced.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace meshsearch::mesh::ops {
+
+/// Address type for random access operations; kNone marks "no request".
+/// (Defined here so both the AoS primitives in ops.hpp and the SoA kernels
+/// share one vocabulary without an include cycle.)
+using Addr = std::int64_t;
+inline constexpr Addr kNone = -1;
+
+namespace soa {
+
+/// Prefetch distance for the software-pipelined pointer-chase loops: far
+/// enough to cover DRAM latency at ~1 visit per handful of cycles, small
+/// enough that the prefetched lines survive in L1/L2.
+inline constexpr std::size_t kPrefetchDistance = 16;
+
+inline void prefetch(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p);
+#else
+  (void)p;
+#endif
+}
+
+/// Order-preserving bijection from signed to unsigned keys: flipping the
+/// sign bit makes unsigned radix order equal signed numeric order.
+inline std::uint64_t order_key(std::int64_t k) {
+  return static_cast<std::uint64_t>(k) ^ (std::uint64_t{1} << 63);
+}
+
+/// Reusable buffers for radix_sort_u64 (ping-pong arrays + histograms).
+/// Callers that sort repeatedly keep one alive to avoid re-allocation.
+struct SortScratch {
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint32_t> payload;
+  std::vector<std::uint32_t> hist;
+};
+
+/// Stable LSD radix sort of keys[0..n) ascending (unsigned order), with the
+/// optional payload array permuted alongside. Digit histograms are built
+/// over the fixed chunking and merged in chunk order; each (chunk, digit)
+/// pair owns a disjoint output range, so the result is bit-identical at any
+/// thread count. Passes whose digit is constant across all keys are skipped.
+void radix_sort_u64(std::uint64_t* keys, std::uint32_t* payload, std::size_t n,
+                    SortScratch& scratch);
+
+/// Sort a vector of signed 64-bit values ascending in place (radix;
+/// equivalent to std::stable_sort with std::less). Uses a thread-local
+/// SortScratch.
+void sort_values(std::vector<std::int64_t>& vals);
+
+/// Stable order permutation of `keys`: returns `order` with order[r] = index
+/// of the r-th smallest key, equal keys in index order (exactly what
+/// std::stable_sort of iota by key produces).
+std::vector<std::uint32_t> sort_index(std::span<const std::int64_t> keys);
+
+/// mask[i] = 1 where addr[i] != kNone — one vectorizable compare pass, so
+/// the consuming loop tests a byte instead of branching on a sentinel.
+void valid_mask(std::span<const Addr> addr, std::vector<std::uint8_t>& mask);
+
+/// Generation-stamped membership set: begin() starts a new epoch in O(1)
+/// (amortized — a stamp wrap or growth pays one clear), mark(i) inserts i
+/// and reports whether it was absent. Replaces the per-call
+/// `std::vector<uint8_t> seen(n, 0)` pattern in route's collision check.
+class ScratchArena {
+ public:
+  void begin(std::size_t n) {
+    if (n > stamp_.size()) stamp_.resize(n, 0);
+    if (++gen_ == 0) {  // stamp wrap: all stamps are stale, clear once
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      gen_ = 1;
+    }
+  }
+  /// True when i was not yet marked this epoch (and marks it).
+  bool mark(std::size_t i) {
+    if (stamp_[i] == gen_) return false;
+    stamp_[i] = gen_;
+    return true;
+  }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t gen_ = 0;
+};
+
+/// Thread-local arena shared by the route-family primitives.
+ScratchArena& route_scratch();
+
+}  // namespace soa
+}  // namespace meshsearch::mesh::ops

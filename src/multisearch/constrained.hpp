@@ -115,8 +115,12 @@ ConstrainedStats constrained_multisearch(const DistributedGraph& g,
     st.cost += m.sort(p) + m.route(p);
   }
 
-  // Step 5: move marked queries to copies, <= cap queries per copy.
-  std::vector<std::vector<std::uint32_t>> copy_queries(total_copies);
+  // Step 5: move marked queries to copies, <= cap queries per copy. The
+  // copy -> queries map is CSR (one flat array + offsets) rather than a
+  // vector-of-vectors; two passes make the identical round-robin assignment
+  // (count per copy, then cursor fill in marked_idx order).
+  std::vector<std::size_t> copy_off(total_copies + 1, 0);
+  std::vector<std::uint32_t> copy_data;
   {
     TRACE_SPAN(m.trace, "cm.step5: distribute queries");
     st.cost += m.sort(p) + m.scan(p) + m.route(p);
@@ -129,8 +133,17 @@ ConstrainedStats constrained_multisearch(const DistributedGraph& g,
     for (const auto i : marked_idx) {
       const auto pc = static_cast<std::size_t>(
           psi.piece[static_cast<std::size_t>(queries[i].current)]);
-      const std::size_t c = copy_base[pc] + next_copy[pc];
-      copy_queries[c].push_back(i);
+      ++copy_off[copy_base[pc] + next_copy[pc] + 1];
+      next_copy[pc] = (next_copy[pc] + 1) % gamma[pc];
+    }
+    for (std::size_t c = 0; c < total_copies; ++c) copy_off[c + 1] += copy_off[c];
+    copy_data.resize(copy_off[total_copies]);
+    std::vector<std::size_t> cursor(copy_off.begin(), copy_off.end() - 1);
+    std::fill(next_copy.begin(), next_copy.end(), 0);
+    for (const auto i : marked_idx) {
+      const auto pc = static_cast<std::size_t>(
+          psi.piece[static_cast<std::size_t>(queries[i].current)]);
+      copy_data[cursor[copy_base[pc] + next_copy[pc]]++] = i;
       next_copy[pc] = (next_copy[pc] + 1) % gamma[pc];
     }
   }
@@ -144,14 +157,24 @@ ConstrainedStats constrained_multisearch(const DistributedGraph& g,
   std::vector<std::size_t> visits(total_copies, 0);
   std::vector<std::size_t> batches(total_copies, 1);
   util::parallel_for(0, total_copies, [&](std::size_t c) {
+    const std::size_t q_lo = copy_off[c];
+    const std::size_t q_hi = copy_off[c + 1];
     // Without duplication (ablation) an overloaded copy timeshares its
     // submesh in ceil(q / cap) sequential batches per round.
-    batches[c] = std::max<std::size_t>(1, (copy_queries[c].size() + cap - 1) / cap);
+    batches[c] = std::max<std::size_t>(1, (q_hi - q_lo + cap - 1) / cap);
     std::size_t r = 0;
     for (; r < max_rounds; ++r) {
       bool any = false;
-      for (const auto i : copy_queries[c]) {
-        Query& q = queries[i];
+      for (std::size_t j = q_lo; j < q_hi; ++j) {
+        // Pipeline the dependent vertex read a few queries ahead (pure
+        // latency hiding; queries are independent).
+        if (j + mesh::ops::soa::kPrefetchDistance < q_hi) {
+          const Query& qa =
+              queries[copy_data[j + mesh::ops::soa::kPrefetchDistance]];
+          if (qa.current != kNoVertex && qa.next != kNoVertex)
+            mesh::ops::soa::prefetch(&g.vert(qa.next));
+        }
+        Query& q = queries[copy_data[j]];
         if (q.done) continue;
         if (q.next == kNoVertex) {
           q.done = true;  // path ends at current vertex — unmark

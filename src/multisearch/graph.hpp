@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "mesh/ops_soa.hpp"
 #include "mesh/snake.hpp"
 #include "multisearch/types.hpp"
 #include "util/check.hpp"
@@ -86,17 +87,23 @@ template <SearchProgram P>
 std::size_t advance_all(const DistributedGraph& g, const P& prog,
                         std::vector<Query>& queries) {
   // Fixed chunking (not thread-count-derived): see DESIGN.md §5.6.
-  constexpr std::size_t kChunks = 64;
-  const std::size_t chunk =
-      std::max<std::size_t>(1, (queries.size() + kChunks - 1) / kChunks);
-  const std::size_t nchunks = (queries.size() + chunk - 1) / chunk;
+  const std::size_t nchunks = util::fixed_chunk_count(queries.size());
   std::vector<std::size_t> advanced(nchunks, 0);
-  util::parallel_for(std::size_t{0}, nchunks, [&](std::size_t c) {
+  util::for_fixed_chunks(queries.size(), [&](std::size_t c, std::size_t lo,
+                                             std::size_t hi) {
     std::size_t local = 0;
-    const std::size_t lo = c * chunk;
-    const std::size_t hi = std::min(queries.size(), lo + chunk);
-    for (std::size_t i = lo; i < hi; ++i)
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Software pipeline: the visit is a dependent random read of the
+      // target vertex; issuing the prefetch kPrefetchDistance queries ahead
+      // hides most of the DRAM latency. Queries are independent, so this
+      // cannot change any outcome.
+      if (i + mesh::ops::soa::kPrefetchDistance < hi) {
+        const Query& qa = queries[i + mesh::ops::soa::kPrefetchDistance];
+        if (qa.current != kNoVertex && qa.next != kNoVertex)
+          mesh::ops::soa::prefetch(&g.vert(qa.next));
+      }
       local += advance_one(g, prog, queries[i]) ? 1 : 0;
+    }
     advanced[c] = local;
   });
   std::size_t total = 0;

@@ -257,19 +257,22 @@ std::vector<std::int32_t> band_labels(const HierarchicalPlan& plan,
     const std::uint32_t ratio = g_i / std::max<std::uint32_t>(1, g_next);
     if (ratio == 0) continue;
     // Top-left B_i-block of every B_{i+1}-block: block coordinates that are
-    // multiples of `ratio` in both directions. Processors are independent,
-    // so the pass runs host-parallel; bands stay sequential because later
-    // (smaller-index) bands overwrite.
-    util::parallel_for(
-        std::size_t{0}, shape.size(),
-        [&](std::size_t idx) {
-          const auto block = part_i.block_of(idx);
-          const std::uint32_t br = block / g_i, bc = block % g_i;
-          if (br % ratio == 0 && bc % ratio == 0 && (br / ratio) < g_next &&
-              (bc / ratio) < g_next)
-            labels[idx] = static_cast<std::int32_t>(bi);
-        },
-        /*grain=*/4096);
+    // multiples of `ratio` in both directions. Iterate the g_next^2
+    // qualifying blocks directly and fill each one — size/ratio^2 writes
+    // instead of a predicate test over all shape.size() processors. Blocks
+    // own disjoint index sets, so the pass runs host-parallel; bands stay
+    // sequential because later (smaller-index) bands overwrite.
+    const std::size_t nsel = static_cast<std::size_t>(g_next) * g_next;
+    util::parallel_for(std::size_t{0}, nsel, [&](std::size_t s) {
+      const std::uint32_t br =
+          static_cast<std::uint32_t>(s / g_next) * ratio;
+      const std::uint32_t bc =
+          static_cast<std::uint32_t>(s % g_next) * ratio;
+      const std::uint32_t block = br * g_i + bc;
+      for (std::size_t local = 0; local < part_i.block_size(); ++local)
+        labels[part_i.global_of(block, local)] =
+            static_cast<std::int32_t>(bi);
+    });
   }
   return labels;
 }

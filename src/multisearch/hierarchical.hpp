@@ -29,6 +29,7 @@
 
 #include "mesh/cost.hpp"
 #include "mesh/fault.hpp"
+#include "mesh/ops_soa.hpp"
 #include "mesh/snake.hpp"
 #include "multisearch/graph.hpp"
 #include "multisearch/validate.hpp"
@@ -214,27 +215,52 @@ std::size_t advance_through_levels(const DistributedGraph& g, const P& prog,
                                    std::vector<Query>& queries,
                                    std::int32_t hi, std::size_t visit_cap,
                                    std::vector<std::int32_t>& sweeps) {
-  // Chunking is FIXED (kChunks, not thread-count-derived) so the per-chunk
-  // reductions below are bit-identical at any MESHSEARCH_THREADS value.
-  constexpr std::size_t kChunks = 64;
-  const std::size_t chunk =
-      std::max<std::size_t>(1, (queries.size() + kChunks - 1) / kChunks);
-  const std::size_t nchunks = (queries.size() + chunk - 1) / chunk;
+  // Chunking is FIXED (util::kFixedChunks, not thread-count-derived) so the
+  // per-chunk reductions below are bit-identical at any MESHSEARCH_THREADS
+  // value.
+  const std::size_t nchunks = util::fixed_chunk_count(queries.size());
   std::vector<std::size_t> totals(nchunks, 0);
   std::vector<std::vector<std::int32_t>> maxima(nchunks);
-  util::parallel_for(std::size_t{0}, nchunks, [&](std::size_t c) {
+  util::for_fixed_chunks(queries.size(), [&](std::size_t c, std::size_t lo_q,
+                                             std::size_t hi_q) {
     // Accumulate into chunk-locals and store once at the end: totals and
     // maxima rows of adjacent chunks share cache lines, and this loop is
     // the hottest in the simulator (false sharing showed up as a top cost).
-    std::vector<std::int32_t> per_level(sweeps.size(), 0);
     std::vector<std::int32_t> chunk_max(sweeps.size(), 0);
     std::size_t chunk_total = 0;
-    const std::size_t lo_q = c * chunk;
-    const std::size_t hi_q = std::min(queries.size(), lo_q + chunk);
-    for (std::size_t i = lo_q; i < hi_q; ++i) {
-      Query& q = queries[i];
-      std::fill(per_level.begin(), per_level.end(), 0);
-      while (!q.done) {
+    // Round-robin over the live queries instead of draining each query to
+    // completion: with many independent pointer chases in flight, each
+    // iteration can prefetch the vertex a query kPrefetchDistance slots
+    // ahead will touch, hiding the DRAM latency that dominates this loop.
+    // Queries are independent and the reductions are per-query sums/maxima,
+    // so the interleaving cannot change any outcome or counter. Because
+    // edge levels are non-decreasing along any path (validated at the
+    // engine front door), a query's visits at one level form a single
+    // contiguous run — run_len IS the per-(query, level) visit count the
+    // old per_level histogram tracked, flushed into chunk_max when the
+    // level changes or the query leaves the band.
+    std::vector<std::uint32_t> live;
+    std::vector<std::int32_t> run_lvl, run_len;
+    live.reserve(hi_q - lo_q);
+    for (std::size_t i = lo_q; i < hi_q; ++i)
+      if (!queries[i].done) live.push_back(static_cast<std::uint32_t>(i));
+    run_lvl.assign(live.size(), -1);
+    run_len.assign(live.size(), 0);
+    while (!live.empty()) {
+      std::size_t w = 0;
+      const std::size_t n_live = live.size();
+      for (std::size_t k = 0; k < n_live; ++k) {
+        if (k + mesh::ops::soa::kPrefetchDistance < n_live) {
+          const Query& qa =
+              queries[live[k + mesh::ops::soa::kPrefetchDistance]];
+          if (qa.current != kNoVertex && qa.next != kNoVertex)
+            mesh::ops::soa::prefetch(&g.vert(qa.next));
+        }
+        const std::uint32_t qi = live[k];
+        Query& q = queries[qi];
+        std::int32_t rl = run_lvl[k];
+        std::int32_t rn = run_len[k];
+        bool keep = false;
         MS_CHECK_MSG(static_cast<std::size_t>(q.steps) <= visit_cap,
                      "query exceeded the per-level work bound");
         // Peek the level of the vertex the query would visit next.
@@ -242,16 +268,36 @@ std::size_t advance_through_levels(const DistributedGraph& g, const P& prog,
         const Vid peek = q.current == kNoVertex ? prog.start(q) : q.next;
         if (peek == kNoVertex) {
           q.done = true;
-          break;
+        } else {
+          const std::int32_t lvl = g.vert(peek).level;
+          // lvl > hi: belongs to a later band; drop from this pass.
+          if (lvl <= hi && advance_one(g, prog, q)) {
+            if (lvl != rl) {
+              MS_DCHECK(lvl > rl);  // monotone levels => contiguous runs
+              if (rn > 0)
+                chunk_max[static_cast<std::size_t>(rl)] =
+                    std::max(chunk_max[static_cast<std::size_t>(rl)], rn);
+              rl = lvl;
+              rn = 0;
+            }
+            ++rn;
+            ++chunk_total;
+            keep = true;
+          }
         }
-        const std::int32_t lvl = g.vert(peek).level;
-        if (lvl > hi) break;  // belongs to a later band
-        if (!advance_one(g, prog, q)) break;
-        ++per_level[static_cast<std::size_t>(lvl)];
-        ++chunk_total;
+        if (keep) {
+          live[w] = qi;
+          run_lvl[w] = rl;
+          run_len[w] = rn;
+          ++w;
+        } else if (rn > 0) {
+          chunk_max[static_cast<std::size_t>(rl)] =
+              std::max(chunk_max[static_cast<std::size_t>(rl)], rn);
+        }
       }
-      for (std::size_t l = 0; l < per_level.size(); ++l)
-        chunk_max[l] = std::max(chunk_max[l], per_level[l]);
+      live.resize(w);
+      run_lvl.resize(w);
+      run_len.resize(w);
     }
     totals[c] = chunk_total;
     maxima[c] = std::move(chunk_max);

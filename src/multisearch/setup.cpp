@@ -48,8 +48,10 @@ LevelIndexResult compute_level_indices(const DistributedGraph& g,
 
   // In-degrees of the reversed peel: a vertex is removable once all of its
   // out-neighbours are labelled. The degree init is pure per-vertex; the
-  // predecessor-list build stays serial (concurrent push_back would race and
-  // reorder adjacency, breaking the determinism contract).
+  // predecessor build is CSR (count, prefix, cursor fill) instead of a
+  // vector-of-vectors — one flat allocation, and the peel loop below walks
+  // contiguous ranges. The fill sweeps v ascending, so each target's
+  // predecessor list keeps exactly the order the old push_back build gave.
   std::vector<std::int32_t> unlabelled_succ(n, 0);
   util::parallel_for(
       std::size_t{0}, n,
@@ -57,12 +59,22 @@ LevelIndexResult compute_level_indices(const DistributedGraph& g,
         unlabelled_succ[v] = g.vert(static_cast<Vid>(v)).degree;
       },
       /*grain=*/4096);
-  std::vector<std::vector<Vid>> preds(n);
+  std::vector<std::size_t> pred_off(n + 1, 0);
   for (std::size_t v = 0; v < n; ++v) {
     const auto& rec = g.vert(static_cast<Vid>(v));
     for (std::uint8_t d = 0; d < rec.degree; ++d)
-      preds[static_cast<std::size_t>(rec.nbr[d])].push_back(
-          static_cast<Vid>(v));
+      ++pred_off[static_cast<std::size_t>(rec.nbr[d]) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) pred_off[v + 1] += pred_off[v];
+  std::vector<Vid> pred_data(pred_off.empty() ? 0 : pred_off[n]);
+  {
+    std::vector<std::size_t> cursor(pred_off.begin(), pred_off.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto& rec = g.vert(static_cast<Vid>(v));
+      for (std::uint8_t d = 0; d < rec.degree; ++d)
+        pred_data[cursor[static_cast<std::size_t>(rec.nbr[d])]++] =
+            static_cast<Vid>(v);
+    }
   }
 
   // Peel from the sinks (level h) upward, assigning DESCENDING tags; a
@@ -71,14 +83,10 @@ LevelIndexResult compute_level_indices(const DistributedGraph& g,
   // (identical to the serial sweep order at any thread count).
   std::vector<Vid> frontier;
   {
-    constexpr std::size_t kChunks = 64;
-    const std::size_t chunk =
-        std::max<std::size_t>(1, (n + kChunks - 1) / kChunks);
-    const std::size_t nchunks = n == 0 ? 0 : (n + chunk - 1) / chunk;
+    const std::size_t nchunks = util::fixed_chunk_count(n);
     std::vector<std::vector<Vid>> found(nchunks);
-    util::parallel_for(std::size_t{0}, nchunks, [&](std::size_t c) {
-      const std::size_t lo = c * chunk;
-      const std::size_t hi = std::min(n, lo + chunk);
+    util::for_fixed_chunks(n, [&](std::size_t c, std::size_t lo,
+                                  std::size_t hi) {
       for (std::size_t v = lo; v < hi; ++v)
         if (unlabelled_succ[v] == 0) found[c].push_back(static_cast<Vid>(v));
     });
@@ -107,9 +115,13 @@ LevelIndexResult compute_level_indices(const DistributedGraph& g,
     remaining -= frontier.size();
     std::vector<Vid> next;
     for (const auto v : frontier) {
-      for (const auto u : preds[static_cast<std::size_t>(v)])
+      const std::size_t lo = pred_off[static_cast<std::size_t>(v)];
+      const std::size_t hi = pred_off[static_cast<std::size_t>(v) + 1];
+      for (std::size_t j = lo; j < hi; ++j) {
+        const Vid u = pred_data[j];
         if (--unlabelled_succ[static_cast<std::size_t>(u)] == 0)
           next.push_back(u);
+      }
     }
     ++tag;
     frontier = std::move(next);

@@ -35,11 +35,15 @@ std::vector<std::vector<std::uint32_t>> plan_batches(
           order.begin() + static_cast<std::ptrdiff_t>(lo);
       const auto end = order.begin() + static_cast<std::ptrdiff_t>(
                                            std::min(order.size(), lo + w));
-      std::sort(begin, end, [&](std::uint32_t a, std::uint32_t c) {
+      // stable_sort on the keys alone: `order` is ascending within the
+      // window, so stability IS the arrival-order tie-break. (A plain
+      // std::sort without a total order here once made the schedule depend
+      // on the libstdc++ introsort cutoffs for duplicate keys.)
+      std::stable_sort(begin, end, [&](std::uint32_t a, std::uint32_t c) {
         const Query& qa = stream[a];
         const Query& qc = stream[c];
-        return std::tie(qa.key[0], qa.key[1], qa.key[2], a) <
-               std::tie(qc.key[0], qc.key[1], qc.key[2], c);
+        return std::tie(qa.key[0], qa.key[1], qa.key[2]) <
+               std::tie(qc.key[0], qc.key[1], qc.key[2]);
       });
     }
   }

@@ -153,4 +153,33 @@ void parallel_for(std::size_t begin, std::size_t end, Body&& body,
   ThreadPool::global().parallel_for_chunks(begin, end, chunked, grain);
 }
 
+/// Caller-fixed chunking for thread-count-invariant reductions (DESIGN.md
+/// §5.6): the pool's own chunk boundaries depend on its thread count, so any
+/// per-chunk partial result that feeds a deterministic merge must instead be
+/// keyed by this FIXED partition of [0, n) into kFixedChunks near-equal
+/// ranges. Merging the partials in ascending chunk index then yields the
+/// same bits at 1 or N threads.
+inline constexpr std::size_t kFixedChunks = 64;
+
+/// Number of non-empty fixed chunks covering [0, n).
+inline std::size_t fixed_chunk_count(std::size_t n) {
+  return n < kFixedChunks ? n : kFixedChunks;
+}
+
+/// Run body(chunk, lo, hi) for each fixed chunk covering [0, n), with the
+/// chunks themselves distributed over the pool. `chunk` indexes the fixed
+/// partition (stable across thread counts), so per-chunk state the caller
+/// allocated as arrays of fixed_chunk_count(n) entries is written
+/// race-free and merged deterministically afterwards.
+template <typename Body>
+  requires std::invocable<Body&, std::size_t, std::size_t, std::size_t>
+void for_fixed_chunks(std::size_t n, Body&& body) {
+  const std::size_t nchunks = fixed_chunk_count(n);
+  parallel_for(0, nchunks, [&](std::size_t c) {
+    const std::size_t lo = n * c / nchunks;
+    const std::size_t hi = n * (c + 1) / nchunks;
+    body(c, lo, hi);
+  });
+}
+
 }  // namespace meshsearch::util

@@ -103,27 +103,42 @@ double LogHistogram::percentile(double q) const {
 }
 
 Summary summarize(std::span<const double> xs) {
+  // No full sort: moments come from linear passes, the exact median from a
+  // selection (nth_element), and p50-p99 from LogHistogram — which is THE
+  // percentile implementation (bucketed estimates, same path the streaming
+  // wall-clock stats use), not a second exact one to keep in sync.
   Summary s;
   s.count = xs.size();
   if (xs.empty()) return s;
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
-  s.min = sorted.front();
-  s.max = sorted.back();
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  s.min = *mn;
+  s.max = *mx;
   double sum = 0;
-  for (double x : sorted) sum += x;
-  s.mean = sum / static_cast<double>(sorted.size());
-  double var = 0;
-  for (double x : sorted) var += (x - s.mean) * (x - s.mean);
-  s.stddev = sorted.size() > 1
-                 ? std::sqrt(var / static_cast<double>(sorted.size() - 1))
-                 : 0.0;
-  const std::size_t mid = sorted.size() / 2;
-  s.median = sorted.size() % 2 == 1
-                 ? sorted[mid]
-                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
   LogHistogram h;
-  for (double x : sorted) h.observe(x);
+  for (double x : xs) {
+    sum += x;
+    h.observe(x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(var / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  std::vector<double> sel(xs.begin(), xs.end());
+  const std::size_t mid = sel.size() / 2;
+  std::nth_element(sel.begin(),
+                   sel.begin() + static_cast<std::ptrdiff_t>(mid), sel.end());
+  if (sel.size() % 2 == 1) {
+    s.median = sel[mid];
+  } else {
+    // nth_element leaves the lower half (unordered) before `mid`; its max
+    // is the other middle order statistic.
+    const double lo =
+        *std::max_element(sel.begin(),
+                          sel.begin() + static_cast<std::ptrdiff_t>(mid));
+    s.median = 0.5 * (lo + sel[mid]);
+  }
   s.p50 = h.p50();
   s.p90 = h.p90();
   s.p95 = h.p95();

@@ -15,9 +15,11 @@
 #include "datastruct/workloads.hpp"
 #include "geometry/dk_polygon.hpp"
 #include "geometry/hull2d.hpp"
+#include "mesh/curve.hpp"
 #include "mesh/cycle_ops.hpp"
 #include "mesh/grid.hpp"
 #include "mesh/ops.hpp"
+#include "util/error.hpp"
 #include "multisearch/hierarchical.hpp"
 #include "multisearch/partitioned.hpp"
 #include "multisearch/query.hpp"
@@ -269,5 +271,173 @@ TEST_P(PrimitiveFuzz, EnginesAgreeOnRandomPrimitiveSequences) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PrimitiveFuzz,
                          ::testing::Range<std::uint64_t>(0, 50));
+
+// ---------------------------------------------------------------------------
+// SoA kernel layer: radix sort vs stable_sort, arena, bounds promotion
+// ---------------------------------------------------------------------------
+
+class SoaKernels : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Adversarial key distributions, one per seed residue: the radix sort must
+// equal std::stable_sort bit-for-bit on every one of them.
+std::vector<std::int64_t> soa_test_keys(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed * 0x2545f4914f6cdd1dull + 11);
+  std::vector<std::int64_t> keys(n);
+  switch (seed % 6) {
+    case 0:  // full signed 64-bit range (sign-bit flip must be correct)
+      for (auto& k : keys)
+        k = static_cast<std::int64_t>(rng.uniform(~0ull));
+      break;
+    case 1:  // all equal
+      std::fill(keys.begin(), keys.end(),
+                rng.uniform_range(-1000, 1000));
+      break;
+    case 2:  // pre-sorted ascending
+      for (std::size_t i = 0; i < n; ++i)
+        keys[i] = static_cast<std::int64_t>(i) - 50;
+      break;
+    case 3:  // reverse-sorted
+      for (std::size_t i = 0; i < n; ++i)
+        keys[i] = static_cast<std::int64_t>(n - i);
+      break;
+    case 4:  // 1-bit keys (maximal duplication; stability does the work)
+      for (auto& k : keys) k = rng.bernoulli(0.5) ? 1 : 0;
+      break;
+    default:  // narrow range (most radix passes constant -> skipped)
+      for (auto& k : keys) k = rng.uniform_range(-3, 3);
+      break;
+  }
+  return keys;
+}
+
+TEST_P(SoaKernels, RadixSortValuesMatchesStableSort) {
+  util::Rng rng(GetParam() * 0x9e3779b97f4a7c15ull + 3);
+  const std::size_t n = rng.uniform(5000);
+  auto keys = soa_test_keys(GetParam(), n);
+  auto expect = keys;
+  std::stable_sort(expect.begin(), expect.end());
+  mesh::ops::soa::sort_values(keys);
+  EXPECT_EQ(keys, expect);
+}
+
+TEST_P(SoaKernels, RadixSortIndexMatchesStableSortOrder) {
+  util::Rng rng(GetParam() * 0xda3e39cb94b95bdbull + 7);
+  const std::size_t n = rng.uniform(5000);
+  const auto keys = soa_test_keys(GetParam() + 1, n);
+  std::vector<std::uint32_t> expect(n);
+  std::iota(expect.begin(), expect.end(), 0u);
+  std::stable_sort(expect.begin(), expect.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return keys[a] < keys[b];
+                   });
+  const auto order = mesh::ops::soa::sort_index(
+      std::span<const std::int64_t>(keys));
+  // Equality with the stable order is exactly the stability property: equal
+  // keys keep ascending index order.
+  EXPECT_EQ(order, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoaKernels,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+TEST(SoaKernelsEdge, TinyInputs) {
+  std::vector<std::int64_t> empty;
+  mesh::ops::soa::sort_values(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<std::int64_t> one{42};
+  mesh::ops::soa::sort_values(one);
+  EXPECT_EQ(one, (std::vector<std::int64_t>{42}));
+  std::vector<std::int64_t> two{5, -5};
+  mesh::ops::soa::sort_values(two);
+  EXPECT_EQ(two, (std::vector<std::int64_t>{-5, 5}));
+  EXPECT_TRUE(
+      mesh::ops::soa::sort_index(std::span<const std::int64_t>{}).empty());
+}
+
+TEST(SoaKernelsEdge, ScratchArenaEpochsAndGrowth) {
+  mesh::ops::soa::ScratchArena arena;
+  arena.begin(4);
+  EXPECT_TRUE(arena.mark(0));
+  EXPECT_FALSE(arena.mark(0));  // duplicate within the epoch
+  EXPECT_TRUE(arena.mark(3));
+  arena.begin(4);               // new epoch: everything unmarked again
+  EXPECT_TRUE(arena.mark(0));
+  arena.begin(16);              // growth keeps old stamps stale
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_TRUE(arena.mark(i));
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_FALSE(arena.mark(i));
+}
+
+TEST(SoaKernelsEdge, HilbertCurveIsABijectionOfGridNeighbours) {
+  for (const std::uint32_t side : {1u, 2u, 4u, 8u, 32u}) {
+    const mesh::MeshShape shape(side);
+    std::vector<std::uint8_t> hit(shape.size(), 0);
+    mesh::Coord prev{};
+    for (std::size_t d = 0; d < shape.size(); ++d) {
+      const mesh::Coord c = mesh::hilbert_to_coord(side, d);
+      ASSERT_LT(c.row, side);
+      ASSERT_LT(c.col, side);
+      EXPECT_EQ(mesh::coord_to_hilbert(side, c), d);  // inverse round-trip
+      const std::size_t rm = static_cast<std::size_t>(c.row) * side + c.col;
+      EXPECT_FALSE(hit[rm]);
+      hit[rm] = 1;
+      if (d > 0) {  // consecutive Hilbert indices are grid neighbours
+        const std::size_t dist =
+            (c.row > prev.row ? c.row - prev.row : prev.row - c.row) +
+            (c.col > prev.col ? c.col - prev.col : prev.col - c.col);
+        EXPECT_EQ(dist, 1u);
+      }
+      prev = c;
+    }
+    // hilbert_order is a permutation of the snake indices.
+    const auto perm = mesh::hilbert_order(shape);
+    std::vector<std::uint8_t> seen(shape.size(), 0);
+    for (const auto s : perm) {
+      ASSERT_LT(s, shape.size());
+      EXPECT_FALSE(seen[s]);
+      seen[s] = 1;
+    }
+  }
+}
+
+// Satellite: the random-access primitives reject out-of-range addresses in
+// RELEASE builds too, with a typed IntegrityError naming the site.
+TEST(SoaKernelsEdge, RandomAccessBoundsAreAlwaysOn) {
+  const mesh::CostModel m;
+  const std::vector<std::int64_t> table(8, 0);
+  const auto expect_violation = [](auto&& fn, const char* phase) {
+    try {
+      fn();
+      FAIL() << phase << " accepted an out-of-range address";
+    } catch (const IntegrityError& e) {
+      EXPECT_EQ(e.context().engine, "counting");
+      EXPECT_EQ(e.context().phase, phase);
+      EXPECT_NE(e.message().find("out of range"), std::string::npos);
+    }
+  };
+  std::vector<mesh::ops::Addr> addr(3, mesh::ops::kNone);
+  addr[1] = 8;  // == table size: one past the end
+  expect_violation(
+      [&] {
+        std::vector<std::int64_t> out;
+        mesh::ops::random_access_read<std::int64_t>(table, addr, out, m, 8.0);
+      },
+      "random_access_read");
+  addr[1] = -2;  // negative but not the kNone sentinel
+  expect_violation(
+      [&] {
+        std::vector<std::int64_t> t(8, 0);
+        const std::vector<std::int64_t> vals(3, 1);
+        mesh::ops::random_access_write<std::int64_t>(
+            addr, vals, t, std::plus<std::int64_t>{}, m, 8.0);
+      },
+      "random_access_write");
+  addr[1] = 1000;
+  expect_violation(
+      [&] {
+        std::vector<std::uint32_t> counts;
+        mesh::ops::random_access_count(addr, counts, 8, m, 8.0);
+      },
+      "random_access_count");
+}
 
 }  // namespace

@@ -421,6 +421,37 @@ TEST(StreamPolicy, LocalityReorderSortsEachWindowByKey) {
   }
 }
 
+// Regression: the window reorder once used an unstable std::sort, so with
+// heavily duplicated locality keys the schedule depended on introsort
+// internals instead of being a pure function of the stream. Ties must keep
+// arrival order.
+TEST(StreamPolicy, LocalityReorderKeepsArrivalOrderOnDuplicateKeys) {
+  auto stream = make_queries(512);
+  util::Rng rng(77);
+  for (auto& q : stream) {
+    q.key[0] = rng.uniform_range(0, 2);  // 3 distinct keys: huge tie groups
+    q.key[1] = rng.uniform_range(0, 1);
+    q.key[2] = 0;
+  }
+  BatchPolicy policy;
+  policy.batch_size = 64;
+  policy.window = 256;
+  policy.order = BatchOrder::kLocalityReorder;
+  const auto batches = plan_batches(stream, policy, 1024);
+  std::vector<std::uint32_t> flat;
+  for (const auto& b : batches) flat.insert(flat.end(), b.begin(), b.end());
+  ASSERT_EQ(flat.size(), stream.size());
+  for (std::size_t i = 1; i < flat.size(); ++i) {
+    if (i % 256 == 0) continue;  // window boundary
+    const Query& qa = stream[flat[i - 1]];
+    const Query& qb = stream[flat[i]];
+    const auto ka = std::tie(qa.key[0], qa.key[1], qa.key[2]);
+    const auto kb = std::tie(qb.key[0], qb.key[1], qb.key[2]);
+    EXPECT_TRUE(ka < kb || (ka == kb && flat[i - 1] < flat[i]))
+        << "duplicate keys broke arrival order at position " << i;
+  }
+}
+
 TEST(StreamPolicy, BatchSizeClampedToCapacity) {
   const Alg1Fixture fx;
   const auto stream = fx.stream(300);

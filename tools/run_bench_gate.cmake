@@ -27,7 +27,10 @@ file(MAKE_DIRECTORY "${WORK_DIR}")
 
 # The smoke set: every experiment with a committed baseline. Keep in sync
 # with bench/baselines/ (bench_check fails if a baseline has no report).
-set(SMOKE_BENCHES bench_e1_hierarchical bench_e8_stream)
+# bench_v1_engines --smoke is the counting-kernel sweep: its charged table
+# and data checksum pin the SoA kernels to the scalar reference, and its
+# wall histograms feed the wall gate when MESHSEARCH_BENCH_WALL_GATE=1.
+set(SMOKE_BENCHES bench_e1_hierarchical bench_e8_stream bench_v1_engines)
 
 foreach(b ${SMOKE_BENCHES})
   message(STATUS "bench gate: running ${b} --smoke")
