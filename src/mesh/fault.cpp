@@ -216,32 +216,37 @@ FaultStats FaultPlan::stats() const {
 }
 
 void record_fault_metrics(trace::TraceRecorder* rec, const FaultPlan& plan) {
+  record_fault_metrics(rec, plan, "");
+}
+
+void record_fault_metrics(trace::TraceRecorder* rec, const FaultPlan& plan,
+                          std::string_view prefix) {
   if (rec == nullptr || !plan.armed()) return;
   const FaultStats s = plan.stats();
   // rec->metric() is backed by the recorder's StatsRegistry, so these land
   // in the same store the wall-clock histograms and stream.* SLO gauges use
   // — all three exporters (Perfetto, metrics JSON, metrics_table) read the
-  // fault.* family from that one source.
-  rec->metric("fault.injected_stalls", static_cast<double>(s.injected_stalls));
-  rec->metric("fault.injected_drops", static_cast<double>(s.injected_drops));
-  rec->metric("fault.corrupt.injected",
-              static_cast<double>(s.corrupt_injected));
-  rec->metric("fault.corrupt.detected",
-              static_cast<double>(s.corrupt_detected));
-  rec->metric("fault.corrupt.recovered",
-              static_cast<double>(s.corrupt_recovered));
-  rec->metric("fault.detections", static_cast<double>(s.detections));
-  rec->metric("fault.phase_failures", static_cast<double>(s.phase_failures));
-  rec->metric("fault.phase_retries", static_cast<double>(s.phase_retries));
-  rec->metric("fault.exhausted", static_cast<double>(s.exhausted));
-  rec->metric("fault.lockstep_retried_steps",
-              static_cast<double>(s.lockstep_retried_steps));
-  rec->metric("fault.backoff_steps", s.backoff_steps);
-  rec->metric("fault.degraded_batches",
-              static_cast<double>(s.degraded_batches));
-  rec->metric("fault.replanned_batches",
-              static_cast<double>(s.replanned_batches));
-  rec->metric("fault.capacity_factor", s.capacity_factor);
+  // fault.* family from that one source. The prefix puts a per-stream plan's
+  // family under its owner's namespace (e.g. "tenant.acme." -> the service
+  // layer's per-tenant fault report).
+  const auto metric = [&](const char* name, double value) {
+    rec->metric(std::string(prefix) + name, value);
+  };
+  metric("fault.injected_stalls", static_cast<double>(s.injected_stalls));
+  metric("fault.injected_drops", static_cast<double>(s.injected_drops));
+  metric("fault.corrupt.injected", static_cast<double>(s.corrupt_injected));
+  metric("fault.corrupt.detected", static_cast<double>(s.corrupt_detected));
+  metric("fault.corrupt.recovered", static_cast<double>(s.corrupt_recovered));
+  metric("fault.detections", static_cast<double>(s.detections));
+  metric("fault.phase_failures", static_cast<double>(s.phase_failures));
+  metric("fault.phase_retries", static_cast<double>(s.phase_retries));
+  metric("fault.exhausted", static_cast<double>(s.exhausted));
+  metric("fault.lockstep_retried_steps",
+         static_cast<double>(s.lockstep_retried_steps));
+  metric("fault.backoff_steps", s.backoff_steps);
+  metric("fault.degraded_batches", static_cast<double>(s.degraded_batches));
+  metric("fault.replanned_batches", static_cast<double>(s.replanned_batches));
+  metric("fault.capacity_factor", s.capacity_factor);
 }
 
 }  // namespace meshsearch::mesh

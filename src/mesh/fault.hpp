@@ -224,4 +224,10 @@ class FaultPlan {
 /// plan is a no-op, preserving fault-free trace bit-identity.
 void record_fault_metrics(trace::TraceRecorder* rec, const FaultPlan& plan);
 
+/// Same, with every metric name prefixed — the service layer passes
+/// trace::tenant_metric(tenant, "") so a per-stream plan's fault.* family
+/// lands under "tenant.<name>.fault.*" instead of the global namespace.
+void record_fault_metrics(trace::TraceRecorder* rec, const FaultPlan& plan,
+                          std::string_view prefix);
+
 }  // namespace meshsearch::mesh

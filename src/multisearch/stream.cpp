@@ -19,7 +19,12 @@ const char* engine_kind_name(EngineKind k) {
 std::vector<std::vector<std::uint32_t>> plan_batches(
     const std::vector<Query>& stream, const BatchPolicy& policy,
     std::size_t capacity) {
-  MS_CHECK_MSG(capacity > 0, "plan_batches requires a non-empty mesh");
+  // Caller error, not a library invariant: a zero-processor mesh cannot
+  // serve a batch, so reject it at the front door like every other
+  // malformed input (used to be an MS_CHECK).
+  if (capacity == 0)
+    invalid_input("plan_batches requires a mesh with at least one processor",
+                  "plan_batches");
   const std::size_t b = policy.batch_size == 0
                             ? capacity
                             : std::min(policy.batch_size, capacity);
@@ -54,6 +59,88 @@ std::vector<std::vector<std::uint32_t>> plan_batches(
                          order.begin() + static_cast<std::ptrdiff_t>(hi));
   }
   return batches;
+}
+
+BatchSource::BatchSource(const std::vector<Query>& stream,
+                         const BatchPolicy& policy, std::size_t capacity) {
+  for (auto& b : plan_batches(stream, policy, capacity)) enqueue(std::move(b));
+}
+
+void BatchSource::enqueue(std::vector<std::uint32_t> indices) {
+  if (indices.empty()) return;
+  queries_ += indices.size();
+  work_.push_back(PendingBatch{std::move(indices), 0});
+}
+
+PendingBatch BatchSource::pop() {
+  MS_CHECK_MSG(!work_.empty(), "pop on an empty BatchSource");
+  PendingBatch out = std::move(work_.front());
+  work_.pop_front();
+  queries_ -= out.indices.size();
+  return out;
+}
+
+PendingBatch BatchSource::pop_upto(std::size_t limit) {
+  MS_CHECK_MSG(limit >= 1, "pop_upto requires a positive limit");
+  MS_CHECK_MSG(!work_.empty(), "pop_upto on an empty BatchSource");
+  PendingBatch out;
+  out.replans = work_.front().replans;
+  while (!work_.empty() && out.indices.size() < limit &&
+         work_.front().replans == out.replans) {
+    PendingBatch& front = work_.front();
+    const std::size_t take =
+        std::min(limit - out.indices.size(), front.indices.size());
+    out.indices.insert(out.indices.end(), front.indices.begin(),
+                       front.indices.begin() + static_cast<std::ptrdiff_t>(take));
+    queries_ -= take;
+    if (take == front.indices.size()) {
+      work_.pop_front();
+    } else {
+      front.indices.erase(
+          front.indices.begin(),
+          front.indices.begin() + static_cast<std::ptrdiff_t>(take));
+      break;  // limit reached
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<PendingBatch> split_pieces(const PendingBatch& failed,
+                                       std::size_t cap) {
+  MS_CHECK_MSG(cap >= 1, "requeue_split requires a positive capacity");
+  std::vector<PendingBatch> pieces;
+  for (std::size_t at = 0; at < failed.indices.size(); at += cap) {
+    PendingBatch piece;
+    piece.replans = failed.replans + 1;
+    piece.indices.assign(
+        failed.indices.begin() + static_cast<std::ptrdiff_t>(at),
+        failed.indices.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                     at + cap, failed.indices.size())));
+    pieces.push_back(std::move(piece));
+  }
+  return pieces;
+}
+
+}  // namespace
+
+void BatchSource::requeue_split_back(const PendingBatch& failed,
+                                     std::size_t cap) {
+  for (auto& piece : split_pieces(failed, cap)) {
+    queries_ += piece.indices.size();
+    work_.push_back(std::move(piece));
+  }
+}
+
+void BatchSource::requeue_split_front(const PendingBatch& failed,
+                                      std::size_t cap) {
+  auto pieces = split_pieces(failed, cap);
+  // Prepend keeping piece order: insert in reverse so pieces[0] ends first.
+  for (auto it = pieces.rbegin(); it != pieces.rend(); ++it) {
+    queries_ += it->indices.size();
+    work_.push_front(std::move(*it));
+  }
 }
 
 double StreamResult::amortized_steps_per_query() const {

@@ -95,9 +95,85 @@ struct BatchPolicy {
 /// query indices, in arrival order or locality order. Every index appears
 /// in exactly one batch; no batch is empty. Deterministic (key ties break
 /// by arrival index).
+///
+/// Edge contracts (each a defined behavior, not caller discipline):
+///   * empty stream        -> no batches (an empty vector), nothing charged;
+///   * batch_size == 0     -> batches of exactly `capacity` (the largest the
+///                            initial configuration admits);
+///   * batch_size > capacity -> silently clamped to `capacity` (the clamp is
+///                            a guarantee: no plan ever oversubscribes the
+///                            mesh);
+///   * capacity == 0       -> InvalidInputError (a mesh with no processors
+///                            cannot serve a batch; this is caller error,
+///                            not a library invariant violation).
 std::vector<std::vector<std::uint32_t>> plan_batches(
     const std::vector<Query>& stream, const BatchPolicy& policy,
     std::size_t capacity);
+
+/// One pending unit of work in a batch queue: stream/arrival positions plus
+/// the fault re-plan generation that produced this slicing (0 = original).
+struct PendingBatch {
+  std::vector<std::uint32_t> indices;  ///< stream positions, arrival order
+  std::uint32_t replans = 0;           ///< re-plan generation
+};
+
+/// The queue of pending batches a scheduler drains. Extracted from
+/// StreamScheduler so the multi-tenant service layer (src/service/) can
+/// feed per-tenant queues through the same machinery:
+///
+///   * StreamScheduler plans a whole stream up front (the two-argument
+///     constructor wraps plan_batches) and pops planned batches whole;
+///   * ServiceScheduler enqueues arrivals as they are admitted and pops
+///     deficit-sized slices (pop_upto) for fair batching between tenants;
+///   * both requeue a fault-exhausted batch as capacity-clamped pieces at
+///     the next re-plan generation — at the back for the stream scheduler
+///     (its batches are independent) and at the front for the service (a
+///     tenant's queries must not be overtaken by its later arrivals).
+///
+/// Deterministic by construction: a pure function of the enqueue/pop call
+/// sequence, no clocks, no randomness.
+class BatchSource {
+ public:
+  BatchSource() = default;
+  /// Plan `stream` into capacity-clamped batches under `policy` and queue
+  /// them all (the StreamScheduler path). Same contracts as plan_batches.
+  BatchSource(const std::vector<Query>& stream, const BatchPolicy& policy,
+              std::size_t capacity);
+
+  /// Append one batch of positions at re-plan generation 0 (the arrival
+  /// path). An empty batch is a no-op.
+  void enqueue(std::vector<std::uint32_t> indices);
+
+  bool empty() const { return work_.empty(); }
+  std::size_t pending_batches() const { return work_.size(); }
+  /// Total queued query positions across all pending batches.
+  std::size_t pending_queries() const { return queries_; }
+  /// Re-plan generation of the front batch (0 on an empty source).
+  std::uint32_t front_replans() const {
+    return work_.empty() ? 0 : work_.front().replans;
+  }
+
+  /// Pop the whole front batch. MS_CHECKs non-empty.
+  PendingBatch pop();
+
+  /// Pop up to `limit` positions off the front, splitting the front batch
+  /// if it is larger and coalescing across consecutive batches of EQUAL
+  /// re-plan generation (mixing generations would let a fresh arrival
+  /// inherit — or reset — another batch's retry budget). `limit` must be
+  /// >= 1.
+  PendingBatch pop_upto(std::size_t limit);
+
+  /// Requeue a fault-exhausted batch as pieces of at most `cap` positions,
+  /// each at generation `failed.replans + 1`, preserving index order.
+  /// _back appends (stream scheduler), _front prepends keeping piece order
+  /// (service scheduler: the tenant's own later work must not overtake).
+  void requeue_split_back(const PendingBatch& failed, std::size_t cap);
+  void requeue_split_front(const PendingBatch& failed, std::size_t cap);
+
+ private:
+  std::deque<PendingBatch> work_;
+  std::size_t queries_ = 0;  ///< invariant: sum of work_[i].indices.size()
+};
 
 /// Cost of one batch, split the way the amortization argument needs.
 struct BatchReport {
@@ -336,7 +412,7 @@ class StreamScheduler {
   StreamResult run(std::vector<Query>& stream) {
     StreamResult res;
     res.queries = stream.size();
-    const auto planned = plan_batches(stream, policy_, engine_->capacity());
+    BatchSource work(stream, policy_, engine_->capacity());
     // The scheduler traces into the same sink the engine charges through.
     trace::TraceRecorder* rec = engine_->model().trace;
     mesh::FaultPlan* fault = engine_->model().fault;
@@ -347,12 +423,6 @@ class StreamScheduler {
             : 0;
     TRACE_SPAN(rec, "stream");
     const bool cold = engine_->batches_served() == 0;
-    struct Pending {
-      std::vector<std::uint32_t> indices;  ///< stream positions
-      std::uint32_t replans = 0;
-    };
-    std::deque<Pending> work;
-    for (const auto& b : planned) work.push_back(Pending{b, 0});
     std::size_t serial = 0;  ///< span numbering: one per attempt, run order
     bool setup_attributed = false;
     std::vector<Query> batch;
@@ -367,8 +437,7 @@ class StreamScheduler {
           .count();
     };
     while (!work.empty()) {
-      Pending cur = std::move(work.front());
-      work.pop_front();
+      PendingBatch cur = work.pop();
       trace::SpanScope batch_span(rec,
                                   "stream.batch " + std::to_string(serial));
       ++serial;
@@ -414,17 +483,8 @@ class StreamScheduler {
           fault->count_replanned_batch();
           ++res.slo.replans;
           if (rec != nullptr) rec->stat_add("stream.replans");
-          const std::size_t cap =
-              fault->effective_capacity(engine_->capacity());
-          for (std::size_t at = 0; at < cur.indices.size(); at += cap) {
-            Pending piece;
-            piece.replans = cur.replans + 1;
-            piece.indices.assign(
-                cur.indices.begin() + static_cast<std::ptrdiff_t>(at),
-                cur.indices.begin() + static_cast<std::ptrdiff_t>(std::min(
-                                          at + cap, cur.indices.size())));
-            work.push_back(std::move(piece));
-          }
+          work.requeue_split_back(cur,
+                                  fault->effective_capacity(engine_->capacity()));
         } else {
           fault->count_degraded_batch();
           rep.size = cur.indices.size();

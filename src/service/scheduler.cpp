@@ -1,0 +1,246 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "multisearch/validate.hpp"
+#include "util/check.hpp"
+
+namespace meshsearch::service {
+
+namespace {
+
+double wall_us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+const char* schedule_policy_name(SchedulePolicy p) {
+  switch (p) {
+    case SchedulePolicy::kDeficitRoundRobin: return "drr";
+    case SchedulePolicy::kExhaustive: return "exhaustive";
+  }
+  return "unknown";
+}
+
+ServiceScheduler::ServiceScheduler(ServiceConfig cfg,
+                                   trace::TraceRecorder* trace)
+    : cfg_(cfg), trace_(trace) {}
+
+TenantSession& ServiceScheduler::add_tenant(std::string name, Engine& engine,
+                                            TenantQuota quota) {
+  for (const auto& t : tenants_)
+    if (t->name() == name)
+      msearch::invalid_input("tenant '" + name + "' already registered",
+                             "ServiceScheduler");
+  if (quota.max_outstanding == 0)
+    msearch::invalid_input("tenant quota requires max_outstanding >= 1",
+                           "ServiceScheduler");
+  if (quota.weight == 0)
+    msearch::invalid_input("tenant quota requires weight >= 1",
+                           "ServiceScheduler");
+  tenants_.push_back(std::make_unique<TenantSession>(std::move(name), engine,
+                                                     quota, &clock_));
+  deficit_.push_back(0.0);
+  return *tenants_.back();
+}
+
+TenantSession& ServiceScheduler::tenant(const std::string& name) {
+  for (const auto& t : tenants_)
+    if (t->name() == name) return *t;
+  msearch::invalid_input("unknown tenant '" + name + "'", "ServiceScheduler");
+}
+
+const TenantSession& ServiceScheduler::tenant(const std::string& name) const {
+  for (const auto& t : tenants_)
+    if (t->name() == name) return *t;
+  msearch::invalid_input("unknown tenant '" + name + "'", "ServiceScheduler");
+}
+
+bool ServiceScheduler::idle() const {
+  for (const auto& t : tenants_)
+    if (!t->queue_.empty()) return false;
+  return true;
+}
+
+std::size_t ServiceScheduler::quantum_for(const TenantSession& t) const {
+  const std::size_t base =
+      cfg_.quantum == 0 ? t.engine().capacity() : cfg_.quantum;
+  return base * t.quota().weight;
+}
+
+void ServiceScheduler::advance_clock_to(double steps) {
+  MS_CHECK_MSG(steps >= clock_, "advance_clock_to cannot move time backwards");
+  clock_ = steps;
+}
+
+void ServiceScheduler::resolve(TenantSession& t, std::uint32_t idx,
+                               bool failed, double attempt_start) {
+  t.state_[idx] = failed ? QueryState::kFailed : QueryState::kDone;
+  MS_CHECK(t.outstanding_ > 0);
+  --t.outstanding_;
+  if (failed)
+    ++t.failed_;
+  else
+    ++t.completed_;
+  const double admitted = t.submit_steps_[idx];
+  const double latency = clock_ - admitted;
+  t.queue_wait_steps_.observe(attempt_start - admitted);
+  t.latency_steps_.observe(latency);
+  if (t.callback_) {
+    CompletionEvent ev;
+    ev.ticket = idx;
+    ev.query = &t.stream_[idx];
+    ev.failed = failed;
+    ev.latency_steps = latency;
+    t.callback_(ev);
+  }
+}
+
+ServiceScheduler::ServeOutcome ServiceScheduler::serve_slice(
+    TenantSession& t, std::size_t window) {
+  msearch::PendingBatch cur = t.queue_.pop_upto(window);
+  ServeOutcome out;
+  out.taken = cur.indices.size();
+  Engine& engine = t.engine();
+  engine.bind_sinks(trace_, t.fault_);
+  // Span per attempt, like "stream.batch N": closing it lands the wall
+  // latency in the shared wall.phase.service.batch histogram.
+  trace::SpanScope span(trace_, "service.batch " + std::to_string(serial_));
+  ++serial_;
+  const double attempt_start = clock_;
+  const auto wall_begin = std::chrono::steady_clock::now();
+  // The engine runs on a COPY of the tenant's slice: a fault-exhausted
+  // attempt leaves every query at its pre-batch checkpoint for free.
+  std::vector<msearch::Query> batch;
+  batch.reserve(cur.indices.size());
+  for (const auto idx : cur.indices) batch.push_back(t.stream_[idx]);
+  try {
+    const msearch::BatchReport rep = engine.run_batch(batch);
+    clock_ += (rep.inject + rep.run).steps;
+    t.inject_ += rep.inject;
+    t.run_ += rep.run;
+    ++t.batches_;
+    const double wall = wall_us_since(wall_begin);
+    t.batch_latency_us_.observe(wall);
+    if (trace_ != nullptr) {
+      trace_->stat_observe(trace::tenant_metric(t.name_, "batch_latency_us"),
+                           wall);
+      trace_->stat_add(trace::tenant_metric(t.name_, "batches_run"));
+    }
+    for (std::size_t k = 0; k < cur.indices.size(); ++k) {
+      t.stream_[cur.indices[k]] = batch[k];
+      resolve(t, cur.indices[k], /*failed=*/false, attempt_start);
+    }
+    out.resolved = cur.indices.size();
+  } catch (const mesh::FaultExhaustedError&) {
+    if (t.fault_ == nullptr) throw;  // not ours to recover
+    out.faulted = true;
+    t.fault_->degrade();
+    const auto max_replans = static_cast<std::uint32_t>(
+        std::max(0, t.fault_->config().max_replans));
+    if (cur.replans < max_replans) {
+      t.fault_->count_replanned_batch();
+      ++t.replans_;
+      if (trace_ != nullptr)
+        trace_->stat_add(trace::tenant_metric(t.name_, "replans"));
+      // Front, not back: the tenant's own later arrivals must not overtake
+      // its failed queries.
+      t.queue_.requeue_split_front(
+          cur, t.fault_->effective_capacity(engine.capacity()));
+    } else {
+      t.fault_->count_degraded_batch();
+      ++t.degraded_batches_;
+      ++t.batches_;
+      const double wall = wall_us_since(wall_begin);
+      t.batch_latency_us_.observe(wall);
+      if (trace_ != nullptr) {
+        trace_->stat_observe(trace::tenant_metric(t.name_, "batch_latency_us"),
+                             wall);
+        trace_->stat_add(trace::tenant_metric(t.name_, "batches_run"));
+        trace_->stat_add(trace::tenant_metric(t.name_, "degraded_batches"));
+      }
+      // Reported failed, never silently wrong: the tickets stay at their
+      // checkpoint state and flip to kFailed.
+      for (const auto idx : cur.indices)
+        resolve(t, idx, /*failed=*/true, attempt_start);
+      out.resolved = cur.indices.size();
+    }
+  }
+  return out;
+}
+
+std::size_t ServiceScheduler::pump() {
+  std::size_t resolved = 0;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    TenantSession& t = *tenants_[i];
+    if (t.queue_.empty()) {
+      deficit_[i] = 0;  // no banking while idle
+      continue;
+    }
+    if (cfg_.policy == SchedulePolicy::kExhaustive) {
+      // Unfair baseline: drain this tenant before anyone else runs.
+      while (!t.queue_.empty())
+        resolved += serve_slice(t, t.slice_cap()).resolved;
+      deficit_[i] = 0;
+      continue;
+    }
+    deficit_[i] += static_cast<double>(quantum_for(t));
+    while (!t.queue_.empty() && deficit_[i] >= 1.0) {
+      const std::size_t window = std::min(
+          t.slice_cap(), static_cast<std::size_t>(deficit_[i]));
+      const ServeOutcome out = serve_slice(t, window);
+      deficit_[i] -= static_cast<double>(out.taken);
+      resolved += out.resolved;
+      // A faulted attempt ends the tenant's turn: its retries queue behind
+      // everyone else's round instead of taxing co-resident tenants now.
+      if (out.faulted) break;
+    }
+    if (t.queue_.empty()) deficit_[i] = 0;
+  }
+  return resolved;
+}
+
+std::size_t ServiceScheduler::run_until_idle() {
+  std::size_t resolved = 0;
+  while (!idle()) resolved += pump();
+  return resolved;
+}
+
+std::vector<TenantReport> ServiceScheduler::reports() const {
+  std::vector<TenantReport> out;
+  out.reserve(tenants_.size());
+  for (const auto& t : tenants_) out.push_back(t->report());
+  return out;
+}
+
+void ServiceScheduler::export_metrics() const {
+  if (trace_ == nullptr) return;
+  // Deterministic counts and charges only — wall histograms already went
+  // through stat_observe, keeping rec->metric() bit-identical across runs.
+  const auto metric = [&](const TenantSession& t, const char* name,
+                          double value) {
+    trace_->metric(trace::tenant_metric(t.name_, name), value);
+  };
+  for (const auto& tp : tenants_) {
+    const TenantSession& t = *tp;
+    metric(t, "submitted", static_cast<double>(t.stream_.size()));
+    metric(t, "completed", static_cast<double>(t.completed_));
+    metric(t, "failed_queries", static_cast<double>(t.failed_));
+    metric(t, "rejected_queries", static_cast<double>(t.rejected_queries_));
+    metric(t, "batches", static_cast<double>(t.batches_));
+    metric(t, "degraded_batches", static_cast<double>(t.degraded_batches_));
+    metric(t, "replans", static_cast<double>(t.replans_));
+    metric(t, "charged_steps", (t.inject_ + t.run_).steps);
+    if (t.fault_ != nullptr)
+      mesh::record_fault_metrics(trace_, *t.fault_,
+                                 trace::tenant_metric(t.name_, ""));
+  }
+  trace_->metric("service.tenants", static_cast<double>(tenants_.size()));
+  trace_->metric("service.clock_steps", clock_);
+}
+
+}  // namespace meshsearch::service

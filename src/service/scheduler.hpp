@@ -1,0 +1,137 @@
+// ServiceScheduler: deficit-round-robin fair batching between tenants.
+//
+// One mesh, many tenants, each with a queue of admitted queries. The
+// scheduler's job is the inter-stream analogue of StreamScheduler's
+// intra-stream loop: pick whose queries ride the next capacity-clamped
+// batch. Two policies:
+//
+//   * kDeficitRoundRobin (default) — classic DRR with queries as the cost
+//     unit. Each pump() round visits tenants in registration order; a
+//     backlogged tenant earns quantum * weight credits (quantum defaults to
+//     its engine's mesh capacity) and is served front-of-queue slices
+//     (BatchSource::pop_upto) no larger than its remaining credit until the
+//     credit or the queue runs out. Credits of an emptied queue are
+//     forfeited (no banking while idle) — the property the fairness tests
+//     pin: a light tenant's queue wait is bounded by one round of everyone
+//     else's quanta, regardless of how deep a heavy tenant's backlog is.
+//   * kExhaustive — serve each tenant to empty before moving on: the unfair
+//     baseline the fairness suite compares against (first-registered tenant
+//     starves the rest).
+//
+// Time is a VIRTUAL clock in simulated mesh steps: each successful batch
+// advances it by the batch's charged inject + run steps, and the open-loop
+// bench advances it across idle gaps with advance_clock_to(). Queue-wait and
+// latency histograms read this clock, so they are deterministic functions of
+// the submit/pump sequence — bit-identical at any thread count, safe to pin
+// in bench baselines. (A failed attempt advances nothing: its charge was
+// abandoned mid-phase. Its queries' eventual latency still includes the
+// steps of every batch served between admission and completion.) The
+// scheduler itself is single-threaded — "async" means submit now, answers
+// later, in the event-loop sense; parallelism lives inside the engines,
+// which is what keeps the repo's 1-vs-8-thread bit-identity contract intact
+// here for free.
+//
+// Fault handling follows StreamScheduler's degradation contract per tenant:
+// a batch that exhausts its retry budget shrinks ONLY that tenant's
+// surviving capacity, its pieces are requeued at the FRONT of that tenant's
+// queue (a tenant's earlier queries must not be overtaken by its later
+// ones), and the tenant's turn ends so co-resident tenants are not taxed by
+// its retries. After max_replans generations the piece is reported failed
+// (kFailed tickets, TenantReport::failed_queries) — never silently wrong.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/tenant.hpp"
+
+namespace meshsearch::service {
+
+enum class SchedulePolicy : std::uint8_t {
+  kDeficitRoundRobin = 0,
+  kExhaustive,  ///< drain each tenant in turn — the unfair baseline
+};
+
+const char* schedule_policy_name(SchedulePolicy p);
+
+struct ServiceConfig {
+  SchedulePolicy policy = SchedulePolicy::kDeficitRoundRobin;
+  /// DRR credits (in queries) a weight-1 tenant earns per round; 0 = that
+  /// tenant's engine capacity (one full mesh batch per round).
+  std::size_t quantum = 0;
+};
+
+class ServiceScheduler {
+ public:
+  explicit ServiceScheduler(ServiceConfig cfg = {},
+                            trace::TraceRecorder* trace = nullptr);
+
+  ServiceScheduler(const ServiceScheduler&) = delete;
+  ServiceScheduler& operator=(const ServiceScheduler&) = delete;
+
+  /// Register a tenant on a warm engine. Names must be unique (else
+  /// InvalidInputError). The returned session is stable for the scheduler's
+  /// lifetime.
+  TenantSession& add_tenant(std::string name, Engine& engine,
+                            TenantQuota quota = {});
+
+  TenantSession& tenant(const std::string& name);
+  const TenantSession& tenant(const std::string& name) const;
+  std::size_t tenant_count() const { return tenants_.size(); }
+
+  /// No tenant has pending work.
+  bool idle() const;
+
+  /// One scheduling round over all tenants under the configured policy.
+  /// Returns queries resolved (answered or reported failed) this round.
+  std::size_t pump();
+
+  /// pump() until idle. Returns total queries resolved. Terminates even
+  /// under armed faults: every attempt either resolves queries or advances
+  /// the failed slice's re-plan generation, and generations are capped.
+  std::size_t run_until_idle();
+
+  /// The service's virtual clock: cumulative charged steps of every
+  /// successful batch, plus explicit idle advances.
+  double now_steps() const { return clock_; }
+
+  /// Advance the clock across an idle gap (open-loop arrivals). `steps`
+  /// must not move backwards.
+  void advance_clock_to(double steps);
+
+  std::vector<TenantReport> reports() const;
+
+  /// Record per-tenant metrics (tenant.<name>.* — deterministic counts and
+  /// charges only) plus each armed fault plan's tenant.<name>.fault.*
+  /// family and service-level totals into the scheduler's trace recorder.
+  /// No-op without a recorder.
+  void export_metrics() const;
+
+ private:
+  struct ServeOutcome {
+    std::size_t taken = 0;     ///< queries popped for the attempt
+    std::size_t resolved = 0;  ///< answered or reported failed
+    bool faulted = false;      ///< attempt threw FaultExhaustedError
+  };
+
+  /// Pop one slice of at most `window` queries off `t`'s queue and run it,
+  /// handling fault degradation per the tenant's plan.
+  ServeOutcome serve_slice(TenantSession& t, std::size_t window);
+
+  /// Resolve one query: state, accounting, histograms, callback.
+  void resolve(TenantSession& t, std::uint32_t idx, bool failed,
+               double attempt_start);
+
+  std::size_t quantum_for(const TenantSession& t) const;
+
+  ServiceConfig cfg_;
+  trace::TraceRecorder* trace_;
+  std::vector<std::unique_ptr<TenantSession>> tenants_;
+  std::vector<double> deficit_;  ///< parallel to tenants_
+  double clock_ = 0;             ///< virtual time, simulated mesh steps
+  std::size_t serial_ = 0;       ///< batch span numbering, attempt order
+};
+
+}  // namespace meshsearch::service

@@ -1,0 +1,92 @@
+#include "service/tenant.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/error.hpp"
+
+namespace meshsearch::service {
+
+TenantSession::TenantSession(std::string name, Engine& engine,
+                             TenantQuota quota, const double* clock)
+    : name_(std::move(name)), engine_(&engine), quota_(quota), clock_(clock) {
+  MS_CHECK_MSG(clock_ != nullptr, "TenantSession requires a service clock");
+}
+
+Submission TenantSession::submit(std::vector<msearch::Query> queries) {
+  Submission sub;
+  sub.first = stream_.size();
+  if (queries.empty()) return sub;
+  const std::size_t n = queries.size();
+  if (outstanding_ + n > quota_.max_outstanding) {
+    // Reject the whole call before anything is enqueued or charged; the
+    // caller can split/shrink and retry once earlier work completes.
+    ++rejected_submissions_;
+    rejected_queries_ += n;
+    ErrorContext ctx;
+    ctx.engine = "service";
+    ctx.phase = "admission";
+    ctx.site = name_;
+    throw CapacityError(
+        "tenant '" + name_ + "' submit of " + std::to_string(n) +
+            " queries exceeds max_outstanding quota (" +
+            std::to_string(outstanding_) + " outstanding, quota " +
+            std::to_string(quota_.max_outstanding) + ")",
+        std::move(ctx));
+  }
+  sub.count = n;
+  std::vector<std::uint32_t> indices;
+  indices.reserve(n);
+  const double now = *clock_;
+  for (auto& q : queries) {
+    indices.push_back(static_cast<std::uint32_t>(stream_.size()));
+    stream_.push_back(std::move(q));
+    state_.push_back(QueryState::kPending);
+    submit_steps_.push_back(now);
+  }
+  queue_.enqueue(std::move(indices));
+  outstanding_ += n;
+  return sub;
+}
+
+QueryState TenantSession::poll(Ticket t) const {
+  MS_CHECK_MSG(t < state_.size(), "poll on an unknown ticket");
+  return state_[t];
+}
+
+const msearch::Query& TenantSession::result(Ticket t) const {
+  MS_CHECK_MSG(t < state_.size(), "result on an unknown ticket");
+  MS_CHECK_MSG(state_[t] != QueryState::kPending,
+               "result on a still-pending ticket (poll first)");
+  return stream_[t];
+}
+
+std::size_t TenantSession::slice_cap() const {
+  std::size_t cap = engine_->capacity();
+  if (quota_.max_batch != 0) cap = std::min(cap, quota_.max_batch);
+  if (fault_ != nullptr && fault_->armed())
+    cap = fault_->effective_capacity(cap);
+  return std::max<std::size_t>(1, cap);
+}
+
+TenantReport TenantSession::report() const {
+  TenantReport rep;
+  rep.tenant = name_;
+  rep.submitted = stream_.size();
+  rep.completed = completed_;
+  rep.failed_queries = failed_;
+  rep.outstanding = outstanding_;
+  rep.rejected_submissions = rejected_submissions_;
+  rep.rejected_queries = rejected_queries_;
+  rep.batches = batches_;
+  rep.degraded_batches = degraded_batches_;
+  rep.replans = replans_;
+  rep.inject = inject_;
+  rep.run = run_;
+  rep.queue_wait_steps = queue_wait_steps_;
+  rep.latency_steps = latency_steps_;
+  rep.batch_latency_us = batch_latency_us_;
+  return rep;
+}
+
+}  // namespace meshsearch::service

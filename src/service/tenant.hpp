@@ -1,0 +1,180 @@
+// Tenant sessions: admission control, async completion, per-tenant report.
+//
+// A TenantSession is one tenant's view of the service: it owns the tenant's
+// submitted queries, the pending-batch queue the ServiceScheduler drains
+// (msearch::BatchSource), and the tenant's service-level accounting. The
+// contracts:
+//
+//   * Admission is all-or-nothing and charge-free. submit() either admits
+//     every query of the call or throws CapacityError BEFORE any engine work
+//     — the rejected caller has consumed nothing but the admission check
+//     itself, and the error context names the tenant (ctx.site) so a
+//     multiplexed caller can tell whose quota tripped.
+//   * Completion is asynchronous. submit() returns tickets immediately;
+//     answers materialize when the scheduler runs the tenant's batches.
+//     poll(ticket) observes the state machine kPending -> kDone/kFailed,
+//     result(ticket) reads the answered query, and an optional on_complete
+//     callback fires per query as its batch finishes (from inside the
+//     scheduler's pump — keep callbacks cheap and do not call back into the
+//     service from them).
+//   * kFailed is a reported outcome, not an exception: queries in a batch
+//     that exhausted its fault retry budget after max_replans re-plans are
+//     marked failed and counted in the report (failed_queries), exactly the
+//     StreamScheduler degradation contract — never a silent wrong answer.
+//
+// Latency accounting runs on the service's virtual clock (simulated mesh
+// steps, see scheduler.hpp): queue_wait = admission -> attempt start,
+// latency = admission -> completion. Both are deterministic functions of the
+// submit/pump call sequence, so percentile tables built from them are safe
+// to pin in bench baselines. Wall-clock histograms ride alongside as
+// observability only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mesh/fault.hpp"
+#include "service/engine.hpp"
+#include "util/stats.hpp"
+
+namespace meshsearch::service {
+
+class ServiceScheduler;
+
+/// Per-tenant admission and scheduling limits.
+struct TenantQuota {
+  /// Queued + running queries the tenant may have in flight. A submit that
+  /// would exceed this is rejected whole with CapacityError.
+  std::size_t max_outstanding = 1024;
+  /// Per-slice cap on queries handed to the engine in one batch; 0 = the
+  /// engine's mesh capacity. Always additionally clamped to capacity (and
+  /// to the fault plan's surviving capacity when one is armed).
+  std::size_t max_batch = 0;
+  /// Deficit-round-robin weight: a weight-w tenant earns w quanta per round.
+  std::uint32_t weight = 1;
+};
+
+enum class QueryState : std::uint8_t {
+  kPending = 0,  ///< admitted, not yet answered
+  kDone,         ///< answered; result(ticket) holds the outcome
+  kFailed,       ///< batch degraded after max_replans; reported, not answered
+};
+
+/// Ticket = the query's position in the tenant's submission order.
+using Ticket = std::uint64_t;
+
+/// Receipt for one submit() call: `count` consecutive tickets from `first`.
+struct Submission {
+  Ticket first = 0;
+  std::size_t count = 0;
+};
+
+struct CompletionEvent {
+  Ticket ticket = 0;
+  const msearch::Query* query = nullptr;  ///< answered query (tenant-owned)
+  bool failed = false;                    ///< kFailed (degraded batch)
+  double latency_steps = 0;               ///< admission -> completion, sim
+};
+using CompletionFn = std::function<void(const CompletionEvent&)>;
+
+/// Snapshot of one tenant's service-level accounting.
+struct TenantReport {
+  std::string tenant;
+  std::size_t submitted = 0;        ///< admitted queries
+  std::size_t completed = 0;        ///< answered (kDone)
+  std::size_t failed_queries = 0;   ///< reported-failed (kFailed)
+  std::size_t outstanding = 0;      ///< still pending at snapshot time
+  std::size_t rejected_submissions = 0;  ///< submit() calls refused
+  std::size_t rejected_queries = 0;      ///< queries in refused calls
+  std::size_t batches = 0;          ///< attempts that produced an outcome
+  std::size_t degraded_batches = 0;
+  std::size_t replans = 0;          ///< re-plan generations executed
+  mesh::Cost inject;  ///< charged on this tenant's behalf
+  mesh::Cost run;
+  /// Simulated-step SLO histograms — deterministic, baseline-safe.
+  util::LogHistogram queue_wait_steps;  ///< admission -> attempt start
+  util::LogHistogram latency_steps;     ///< admission -> completion
+  /// Wall-clock per-attempt latency — observability only.
+  util::LogHistogram batch_latency_us;
+
+  mesh::Cost charged() const { return inject + run; }
+};
+
+class TenantSession {
+ public:
+  /// Built by ServiceScheduler::add_tenant. `clock` points at the service's
+  /// virtual clock (stable for the scheduler's lifetime).
+  TenantSession(std::string name, Engine& engine, TenantQuota quota,
+                const double* clock);
+
+  TenantSession(const TenantSession&) = delete;
+  TenantSession& operator=(const TenantSession&) = delete;
+
+  const std::string& name() const { return name_; }
+  Engine& engine() const { return *engine_; }
+  const TenantQuota& quota() const { return quota_; }
+
+  /// Admit `queries` or throw CapacityError (tenant named in the error
+  /// context, nothing enqueued, nothing charged). An empty call is a no-op
+  /// returning count 0. Admitted queries are answered asynchronously by the
+  /// scheduler; the Submission's tickets are `first .. first + count - 1`.
+  Submission submit(std::vector<msearch::Query> queries);
+
+  QueryState poll(Ticket t) const;
+  /// The answered (or reported-failed, checkpoint-state) query. MS_CHECKs
+  /// that the ticket is resolved — poll first.
+  const msearch::Query& result(Ticket t) const;
+  /// Register a per-query completion callback (replaces any previous one).
+  void on_complete(CompletionFn fn) { callback_ = std::move(fn); }
+
+  std::size_t submitted() const { return stream_.size(); }
+  std::size_t outstanding() const { return outstanding_; }
+
+  /// Arm per-tenant fault injection: this tenant's batches run under `plan`
+  /// (not owned, may be null = fault-free). Other tenants are untouched —
+  /// the isolation the fault tests pin.
+  void set_fault(mesh::FaultPlan* plan) { fault_ = plan; }
+  mesh::FaultPlan* fault() const { return fault_; }
+
+  TenantReport report() const;
+
+ private:
+  friend class ServiceScheduler;
+
+  /// Largest slice the scheduler may hand the engine right now: mesh
+  /// capacity, clamped by quota.max_batch and the fault plan's surviving
+  /// capacity.
+  std::size_t slice_cap() const;
+
+  std::string name_;
+  Engine* engine_;
+  TenantQuota quota_;
+  const double* clock_;  ///< service virtual clock (owned by the scheduler)
+
+  std::vector<msearch::Query> stream_;   ///< all admitted queries, by ticket
+  std::vector<QueryState> state_;        ///< parallel to stream_
+  std::vector<double> submit_steps_;     ///< admission clock, parallel
+  msearch::BatchSource queue_;           ///< pending work the scheduler drains
+  std::size_t outstanding_ = 0;
+  mesh::FaultPlan* fault_ = nullptr;     ///< not owned
+  CompletionFn callback_;
+
+  // Report accumulators (histograms live here; counters snapshot into
+  // TenantReport).
+  std::size_t completed_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t rejected_submissions_ = 0;
+  std::size_t rejected_queries_ = 0;
+  std::size_t batches_ = 0;
+  std::size_t degraded_batches_ = 0;
+  std::size_t replans_ = 0;
+  mesh::Cost inject_;
+  mesh::Cost run_;
+  util::LogHistogram queue_wait_steps_;
+  util::LogHistogram latency_steps_;
+  util::LogHistogram batch_latency_us_;
+};
+
+}  // namespace meshsearch::service

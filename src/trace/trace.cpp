@@ -141,6 +141,20 @@ std::string span_histogram_name(std::string_view span_name) {
   return out;
 }
 
+std::string tenant_metric(std::string_view tenant, std::string_view metric) {
+  std::string out = "tenant.";
+  out.reserve(out.size() + tenant.size() + 1 + metric.size());
+  for (const char ch : tenant) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '.' || ch == '_' ||
+                    ch == '-';
+    out += ok ? ch : '_';
+  }
+  out += '.';
+  out += metric;
+  return out;
+}
+
 std::vector<Span> TraceRecorder::spans() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::vector<Span> out = spans_;

@@ -193,6 +193,14 @@ class TraceRecorder {
 /// collapse to "stream.batch" so one histogram aggregates all batches.
 std::string span_histogram_name(std::string_view span_name);
 
+/// Namespace a metric under a tenant: ("acme", "queue_wait") ->
+/// "tenant.acme.queue_wait". Characters outside [A-Za-z0-9._-] in the tenant
+/// id are replaced with '_' so arbitrary tenant names cannot collide with or
+/// corrupt the dotted metric grammar the exporters parse. An empty metric
+/// yields the bare prefix "tenant.<id>." for callers that prepend it
+/// themselves (record_fault_metrics).
+std::string tenant_metric(std::string_view tenant, std::string_view metric);
+
 /// RAII span guard. A null recorder makes every operation a no-op, so call
 /// sites need no branching.
 class SpanScope {

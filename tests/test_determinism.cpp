@@ -17,6 +17,11 @@
 #include "multisearch/hierarchical.hpp"
 #include "multisearch/partitioned.hpp"
 #include "multisearch/query.hpp"
+#include "multisearch/sequential.hpp"
+#include "service/engine.hpp"
+#include "service/scheduler.hpp"
+#include "service/tenant.hpp"
+#include "trace/stats.hpp"
 #include "trace/trace.hpp"
 #include "util/parallel_for.hpp"
 #include "util/rng.hpp"
@@ -232,6 +237,97 @@ TEST(Determinism, Alg3AlphaBetaPartitioned) {
                                             tree.euler_scan(), q, m, shape);
     return RunRecord{outcomes(q), res.cost, rec.counters()};
   });
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant service determinism: a pinned arrival trace through the
+// ServiceScheduler — two tenants interleaving submissions on one warm
+// engine — produces bit-identical outcomes, charged costs, primitive
+// attribution, AND exported tenant metrics at 1 vs 8 threads, with the
+// stats registry disabled or armed (MESHSEARCH_STATS=1 equivalent).
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, MultiTenantServicePinnedTraceBitIdentical) {
+  KaryTree tree(ds::iota_keys(500), 3, TreeMode::kDirected);
+  const auto shape = tree.graph().shape_for(tree.graph().vertex_count());
+  const std::size_t cap = shape.size();
+  const auto make_stream = [&](std::size_t m, std::uint64_t seed) {
+    util::Rng rng(seed);
+    return ds::uniform_key_queries(m, 520, rng);
+  };
+  // The pinned trace: four submissions interleaved across two tenants, with
+  // a pump between waves so later arrivals queue behind in-flight work.
+  const auto qa1 = make_stream(cap + 31, 71);
+  const auto qb1 = make_stream(cap / 2, 72);
+  const auto qa2 = make_stream(cap / 3, 73);
+  const auto qb2 = make_stream(cap + 7, 74);
+
+  struct ServiceRecord {
+    std::vector<QueryOutcome> out;  ///< both tenants, ticket order
+    double clock_steps = 0;
+    std::map<trace::PrimitiveKey, trace::PrimitiveStat> counters;
+    std::map<std::string, double> metrics;  ///< exported, deterministic
+  };
+  const auto run = [&] {
+    trace::TraceRecorder rec("counting");
+    mesh::CostModel m;
+    m.trace = &rec;
+    auto engine = service::make_partitioned_engine(
+        EngineKind::kAlg2Alpha, tree.graph(), tree.alpha_splitting(),
+        tree.alpha_splitting(), tree.rank_count(), m, shape);
+    service::ServiceScheduler svc({}, &rec);
+    service::TenantQuota quota;
+    quota.max_outstanding = 8 * cap;
+    service::TenantSession& a = svc.add_tenant("acme", *engine, quota);
+    service::TenantSession& b = svc.add_tenant("bolt", *engine, quota);
+    a.submit(qa1);
+    b.submit(qb1);
+    svc.pump();  // wave 1 partially served before wave 2 arrives
+    a.submit(qa2);
+    b.submit(qb2);
+    svc.run_until_idle();
+    svc.export_metrics();
+    ServiceRecord r;
+    for (const service::TenantSession* t : {&a, &b})
+      for (service::Ticket k = 0; k < t->submitted(); ++k) {
+        const Query& q = t->result(k);
+        r.out.push_back(QueryOutcome{q.steps, q.acc0, q.acc1, q.result});
+      }
+    r.clock_steps = svc.now_steps();
+    r.counters = rec.counters();
+    for (const auto& mt : rec.metrics()) r.metrics[mt.name] = mt.value;
+    return r;
+  };
+
+  util::ThreadPool::set_global_threads(1);
+  const ServiceRecord serial = run();
+  util::ThreadPool::set_global_threads(8);
+  const ServiceRecord parallel = run();
+  // Third run with the stats registry armed (what MESHSEARCH_STATS=1 does):
+  // wall histograms flow, determinism-covered values must not move.
+  auto& registry = stats::StatsRegistry::global();
+  const bool stats_were_enabled = registry.enabled();
+  registry.set_enabled(true);
+  const ServiceRecord stats_on = run();
+  registry.set_enabled(stats_were_enabled);
+  util::ThreadPool::set_global_threads(0);
+
+  for (const ServiceRecord* other : {&parallel, &stats_on}) {
+    EXPECT_EQ(diff_outcomes(serial.out, other->out), "");
+    EXPECT_EQ(serial.clock_steps, other->clock_steps);  // exact
+    EXPECT_TRUE(serial.counters == other->counters)
+        << "per-primitive attribution diverged";
+    EXPECT_EQ(serial.metrics.size(), other->metrics.size());
+    EXPECT_TRUE(serial.metrics == other->metrics)
+        << "exported tenant metrics diverged";
+  }
+  // Sanity: the pinned trace exercised both tenants and produced metrics.
+  EXPECT_EQ(serial.out.size(),
+            qa1.size() + qb1.size() + qa2.size() + qb2.size());
+  EXPECT_EQ(serial.metrics.at("tenant.acme.completed"),
+            static_cast<double>(qa1.size() + qa2.size()));
+  EXPECT_EQ(serial.metrics.at("tenant.bolt.completed"),
+            static_cast<double>(qb1.size() + qb2.size()));
 }
 
 }  // namespace

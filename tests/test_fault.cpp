@@ -27,6 +27,9 @@
 #include "mesh/fault.hpp"
 #include "multisearch/query.hpp"
 #include "multisearch/stream.hpp"
+#include "service/engine.hpp"
+#include "service/scheduler.hpp"
+#include "service/tenant.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
 #include "util/parallel_for.hpp"
@@ -820,6 +823,118 @@ TEST(FaultCycle, RawCombiningSurvivesInjection) {
   EXPECT_EQ(faulty.table, oracle.table);
   EXPECT_GE(faulty.steps, oracle.steps);
   EXPECT_GT(plan.stats().detections, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant fault isolation (src/service/): arming a FaultPlan on ONE
+// tenant's stream degrades only that tenant — co-resident tenants sharing
+// the same warm engine stay bit-identical to a fault-free service run.
+// ---------------------------------------------------------------------------
+
+TEST(FaultService, FaultPlanOnOneTenantIsolatesCoResidents) {
+  const Alg2Fixture fx;
+  const std::size_t cap = fx.shape.size();
+  const auto faulty_qs = fx.stream(cap + cap / 2, /*seed=*/81);
+  const auto clean_qs = fx.stream(cap + 13, /*seed=*/82);
+
+  // One service run: pinned interleaved trace, optional fault on tenant A.
+  struct ServiceRun {
+    std::vector<QueryOutcome> faulty_out, clean_out;
+    service::TenantReport faulty_rep, clean_rep;
+  };
+  const auto run = [&](mesh::FaultPlan* plan) {
+    const mesh::CostModel m;
+    auto engine = service::make_partitioned_engine(
+        EngineKind::kAlg2Alpha, fx.tree.graph(), fx.tree.alpha_splitting(),
+        fx.tree.alpha_splitting(), fx.tree.rank_count(), m, fx.shape);
+    service::ServiceScheduler svc;
+    service::TenantQuota quota;
+    quota.max_outstanding = 8 * cap;
+    service::TenantSession& faulty = svc.add_tenant("faulty", *engine, quota);
+    service::TenantSession& clean = svc.add_tenant("clean", *engine, quota);
+    faulty.set_fault(plan);
+    const auto sf = faulty.submit(faulty_qs);
+    const auto sc = clean.submit(clean_qs);
+    svc.run_until_idle();
+    ServiceRun out;
+    for (auto k = sf.first; k < sf.first + sf.count; ++k) {
+      const Query& q = faulty.result(k);
+      out.faulty_out.push_back(QueryOutcome{q.steps, q.acc0, q.acc1, q.result});
+    }
+    for (auto k = sc.first; k < sc.first + sc.count; ++k) {
+      const Query& q = clean.result(k);
+      out.clean_out.push_back(QueryOutcome{q.steps, q.acc0, q.acc1, q.result});
+    }
+    out.faulty_rep = faulty.report();
+    out.clean_rep = clean.report();
+    return out;
+  };
+
+  const ServiceRun reference = run(nullptr);
+  EXPECT_EQ(reference.faulty_rep.failed_queries, 0u);
+  EXPECT_EQ(reference.clean_rep.failed_queries, 0u);
+
+  mesh::FaultConfig cfg;
+  cfg.seed = 17;
+  cfg.p_phase = 1.0;  // every attempt of every phase fails: nothing survives
+  mesh::FaultPlan plan(cfg);
+  const ServiceRun faulted = run(&plan);
+
+  // The faulty tenant's batches degrade: every query is REPORTED failed at
+  // its pre-batch checkpoint (never a silent wrong answer), after visible
+  // re-plan generations against its shrinking surviving capacity.
+  EXPECT_EQ(faulted.faulty_rep.failed_queries, faulty_qs.size());
+  EXPECT_EQ(faulted.faulty_rep.completed, 0u);
+  EXPECT_GT(faulted.faulty_rep.degraded_batches, 0u);
+  EXPECT_GT(faulted.faulty_rep.replans, 0u);
+  EXPECT_EQ(diff_outcomes(faulted.faulty_out, outcomes(faulty_qs)), "");
+  EXPECT_GT(plan.stats().exhausted, 0u);
+  EXPECT_LT(plan.stats().capacity_factor, 1.0);
+
+  // The co-resident tenant — SHARING the warm engine — is untouched:
+  // bit-identical outcomes and charges vs the fault-free run, no failures.
+  EXPECT_EQ(faulted.clean_rep.failed_queries, 0u);
+  EXPECT_EQ(faulted.clean_rep.degraded_batches, 0u);
+  EXPECT_EQ(faulted.clean_rep.completed, clean_qs.size());
+  EXPECT_EQ(diff_outcomes(faulted.clean_out, reference.clean_out), "");
+  EXPECT_EQ(faulted.clean_rep.charged().steps,
+            reference.clean_rep.charged().steps);
+}
+
+TEST(FaultService, PerTenantFaultMetricsLandUnderTenantNamespace) {
+  const Alg3Fixture fx;
+  const std::size_t cap = fx.shape.size();
+  const mesh::CostModel m;
+  auto engine = service::make_partitioned_engine(
+      EngineKind::kAlg3AlphaBeta, fx.tree.graph(), fx.s1, fx.s2,
+      fx.tree.euler_scan(), m, fx.shape);
+  trace::TraceRecorder rec("service");
+  service::ServiceScheduler svc({}, &rec);
+  service::TenantQuota quota;
+  quota.max_outstanding = 8 * cap;
+  service::TenantSession& faulty = svc.add_tenant("faulty", *engine, quota);
+  service::TenantSession& clean = svc.add_tenant("clean", *engine, quota);
+  mesh::FaultConfig cfg;
+  cfg.seed = 23;
+  cfg.p_phase = 0.5;  // retries happen, batches still (almost surely) survive
+  mesh::FaultPlan plan(cfg);
+  faulty.set_fault(&plan);
+  faulty.submit(fx.stream(cap, 91));
+  clean.submit(fx.stream(cap / 2, 92));
+  svc.run_until_idle();
+  svc.export_metrics();
+
+  std::map<std::string, double> metrics;
+  for (const auto& mt : rec.metrics()) metrics[mt.name] = mt.value;
+  // The armed plan's family is namespaced under its tenant...
+  ASSERT_TRUE(metrics.count("tenant.faulty.fault.phase_failures"));
+  EXPECT_GT(metrics.at("tenant.faulty.fault.phase_failures"), 0.0);
+  ASSERT_TRUE(metrics.count("tenant.faulty.fault.capacity_factor"));
+  // ...the fault-free tenant exports no fault family at all...
+  for (const auto& [name, value] : metrics)
+    EXPECT_EQ(name.find("tenant.clean.fault."), std::string::npos) << name;
+  // ...and nothing leaked into the global (unprefixed) fault namespace.
+  EXPECT_EQ(metrics.count("fault.phase_failures"), 0u);
 }
 
 }  // namespace

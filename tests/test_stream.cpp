@@ -692,4 +692,137 @@ TEST(StreamEdge, PartitionedPreparedSearchRejectsAlg1Kind) {
                std::logic_error);
 }
 
+// ---------------------------------------------------------------------------
+// plan_batches edge contracts: each formerly-implicit behavior is now
+// defined and pinned (empty stream, batch_size == 0, oversize clamp, zero
+// capacity), for both batch orders.
+// ---------------------------------------------------------------------------
+
+TEST(StreamEdge, PlanBatchesEmptyStreamYieldsNoBatches) {
+  for (const auto order : {BatchOrder::kFifo, BatchOrder::kLocalityReorder}) {
+    BatchPolicy policy;
+    policy.order = order;
+    EXPECT_TRUE(plan_batches({}, policy, 64).empty());
+    const BatchSource src({}, policy, 64);
+    EXPECT_TRUE(src.empty());
+    EXPECT_EQ(src.pending_queries(), 0u);
+  }
+}
+
+TEST(StreamEdge, PlanBatchesZeroBatchSizeMeansCapacity) {
+  const Alg1Fixture fx;
+  const auto stream = fx.stream(3 * 50 + 7);
+  BatchPolicy policy;
+  policy.batch_size = 0;
+  const auto batches = plan_batches(stream, policy, 50);
+  ASSERT_EQ(batches.size(), 4u);
+  for (std::size_t i = 0; i + 1 < batches.size(); ++i)
+    EXPECT_EQ(batches[i].size(), 50u);  // full capacity, not some default
+  EXPECT_EQ(batches.back().size(), 7u);
+}
+
+TEST(StreamEdge, PlanBatchesOversizeBatchClampedToCapacity) {
+  const Alg1Fixture fx;
+  const auto stream = fx.stream(100);
+  BatchPolicy policy;
+  policy.batch_size = 1000;  // larger than capacity: the clamp is a guarantee
+  const auto batches = plan_batches(stream, policy, 32);
+  for (const auto& b : batches) EXPECT_LE(b.size(), 32u);
+  std::size_t total = 0;
+  for (const auto& b : batches) total += b.size();
+  EXPECT_EQ(total, stream.size());
+}
+
+TEST(StreamEdge, PlanBatchesZeroCapacityIsInvalidInput) {
+  const Alg1Fixture fx;
+  const auto stream = fx.stream(8);
+  EXPECT_THROW(plan_batches(stream, BatchPolicy{}, 0), InvalidInputError);
+  // Even an empty stream: a zero-processor mesh is malformed, not idle.
+  EXPECT_THROW(plan_batches({}, BatchPolicy{}, 0), InvalidInputError);
+}
+
+// ---------------------------------------------------------------------------
+// BatchSource queue properties: the slicing/requeue machinery the service
+// scheduler shares with StreamScheduler.
+// ---------------------------------------------------------------------------
+
+TEST(StreamQueue, PopUptoSplitsAndCoalescesWithinAGeneration) {
+  BatchSource src;
+  src.enqueue({0, 1, 2, 3, 4});
+  src.enqueue({5, 6});
+  src.enqueue({});  // no-op
+  EXPECT_EQ(src.pending_batches(), 2u);
+  EXPECT_EQ(src.pending_queries(), 7u);
+
+  // Split: a 3-slice leaves the front batch's tail in place.
+  const auto first = src.pop_upto(3);
+  EXPECT_EQ(first.indices, (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(first.replans, 0u);
+  EXPECT_EQ(src.pending_queries(), 4u);
+  // Coalesce: the next slice spans the remaining tail AND the next batch,
+  // because both are generation 0.
+  const auto rest = src.pop_upto(10);
+  EXPECT_EQ(rest.indices, (std::vector<std::uint32_t>{3, 4, 5, 6}));
+  EXPECT_TRUE(src.empty());
+  EXPECT_EQ(src.pending_queries(), 0u);
+}
+
+TEST(StreamQueue, PopUptoNeverCoalescesAcrossGenerations) {
+  BatchSource src;
+  PendingBatch failed;
+  failed.indices = {10, 11, 12};
+  failed.replans = 1;
+  src.requeue_split_front(failed, 8);  // one piece at generation 2
+  src.enqueue({20, 21});               // fresh arrival at generation 0
+  // A wide slice stops at the generation boundary: mixing would let the
+  // fresh batch inherit the retried batch's shrunken retry budget.
+  const auto gen2 = src.pop_upto(100);
+  EXPECT_EQ(gen2.replans, 2u);
+  EXPECT_EQ(gen2.indices, (std::vector<std::uint32_t>{10, 11, 12}));
+  const auto gen0 = src.pop_upto(100);
+  EXPECT_EQ(gen0.replans, 0u);
+  EXPECT_EQ(gen0.indices, (std::vector<std::uint32_t>{20, 21}));
+}
+
+TEST(StreamQueue, RequeueSplitFrontPreservesOrderAndBumpsGeneration) {
+  BatchSource src;
+  src.enqueue({50, 51});
+  PendingBatch failed;
+  failed.indices = {0, 1, 2, 3, 4};
+  failed.replans = 0;
+  src.requeue_split_front(failed, 2);  // pieces {0,1} {2,3} {4} go FIRST
+  EXPECT_EQ(src.pending_queries(), 7u);
+  EXPECT_EQ(src.front_replans(), 1u);
+  const auto a = src.pop();
+  const auto b = src.pop();
+  const auto c = src.pop();
+  const auto d = src.pop();
+  EXPECT_EQ(a.indices, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(b.indices, (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(c.indices, (std::vector<std::uint32_t>{4}));
+  EXPECT_EQ(a.replans, 1u);
+  EXPECT_EQ(c.replans, 1u);
+  EXPECT_EQ(d.indices, (std::vector<std::uint32_t>{50, 51}));  // not overtaken
+  EXPECT_EQ(d.replans, 0u);
+  EXPECT_TRUE(src.empty());
+}
+
+TEST(StreamQueue, RequeueSplitBackAppendsAfterPendingWork) {
+  BatchSource src;
+  src.enqueue({50, 51});
+  PendingBatch failed;
+  failed.indices = {0, 1, 2};
+  failed.replans = 2;
+  src.requeue_split_back(failed, 2);
+  EXPECT_EQ(src.front_replans(), 0u);
+  EXPECT_EQ(src.pop().indices, (std::vector<std::uint32_t>{50, 51}));
+  const auto p1 = src.pop();
+  const auto p2 = src.pop();
+  EXPECT_EQ(p1.indices, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(p2.indices, (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(p1.replans, 3u);
+  EXPECT_EQ(p2.replans, 3u);
+  EXPECT_TRUE(src.empty());
+}
+
 }  // namespace
