@@ -31,6 +31,7 @@
 
 #include "multisearch/graph.hpp"
 #include "multisearch/splitter.hpp"
+#include "multisearch/update.hpp"
 
 namespace meshsearch::ds {
 
@@ -49,7 +50,14 @@ struct Interval {
 
 class IntervalTree {
  public:
-  explicit IntervalTree(std::vector<Interval> intervals);
+  /// `chain_slack` reserves that many spare vertices per secondary chain
+  /// (both L and R, at every node that stores intervals) so later inserts
+  /// can land without changing the topology. Spares sit after the chain's
+  /// real nodes with inert payloads and are never visited: the last real
+  /// node's has_next flag is 0, and an emptied chain parks its owner's
+  /// head index at -1. The default 0 reproduces the static layout exactly.
+  explicit IntervalTree(std::vector<Interval> intervals,
+                        std::size_t chain_slack = 0);
 
   const DistributedGraph& graph() const { return g_; }
   Vid root() const { return 0; }
@@ -78,12 +86,62 @@ class IntervalTree {
   static std::pair<std::int64_t, std::int64_t> stab_oracle(
       const std::vector<Interval>& intervals, std::int64_t x);
 
+  /// Batched dynamic update: remove the intervals named by `delete_ids`,
+  /// then add `inserts`. Validation (front door, before any mutation):
+  /// inserts must have lo <= hi and ids distinct from each other and from
+  /// every surviving interval; delete_ids must name present intervals with
+  /// no duplicates; the batch must not empty the set — violations throw
+  /// InvalidInputError and leave the structure untouched.
+  ///
+  /// The primary tree's straddle-descent places an interval with ARBITRARY
+  /// endpoints correctly (a stabbing query for any x in the interval
+  /// follows the same root path — the classical interval-tree argument
+  /// needs only that every proper ancestor's split lies strictly outside
+  /// the interval), so an update is payload-only whenever every touched
+  /// node's chains have capacity for their new occupancy: the touched
+  /// chains' payloads are rewritten in place (spares from `chain_slack`
+  /// absorb growth, emptied tails are re-inerted) and the delta lists the
+  /// dirty vertices. If any chain would overflow — or a touched node never
+  /// had chains — the whole structure is rebuilt in place (fresh endpoint
+  /// tree, same DistributedGraph address, same slack) and the delta reports
+  /// topology_changed. Either way the generation is bumped.
+  msearch::StructureDelta apply_updates(
+      const std::vector<Interval>& inserts,
+      const std::vector<std::int32_t>& delete_ids);
+
  private:
+  /// Fixed-capacity secondary chain: `cap` consecutive vids starting at
+  /// `first`, of which the first `used` hold live intervals.
+  struct ChainMeta {
+    Vid first = kNoVertex;
+    std::int64_t head_slot = -1;  ///< owner's nbr index of `first`
+    std::uint32_t cap = 0;
+    std::uint32_t used = 0;
+  };
+
+  /// (Re)build everything from intervals_ (+ slack_), preserving the graph
+  /// generation stamp across the assignment.
+  void build();
+  /// Straddle-descent: the node that stores `iv` in the current tree.
+  Vid assign_node(const Interval& iv) const;
+  /// Rewrite one chain of node t to hold exactly `ids` (already sorted for
+  /// the chain's direction), re-inerting any freed tail slots, and append
+  /// the vids whose payload actually changed to `dirty`.
+  void rewrite_chain(Vid t, bool left_chain,
+                     const std::vector<std::int32_t>& ids,
+                     const std::vector<std::pair<std::int32_t, std::size_t>>&
+                         id_index,
+                     std::vector<Vid>& dirty);
+
   DistributedGraph g_;
   std::vector<Interval> intervals_;
+  std::size_t slack_ = 0;
   std::int32_t tree_height_ = 0;
   std::size_t tree_nodes_ = 0;
   std::size_t leaf_offset_ = 0;  ///< heap index of first leaf
+  std::vector<std::int64_t> pts_;  ///< distinct endpoints the tree is built on
+  std::vector<std::vector<std::int32_t>> node_ids_;  ///< live ids per node
+  std::vector<ChainMeta> lchain_, rchain_;           ///< per tree node
   // Per chain-node metadata for splittings.
   std::vector<Vid> chain_owner_;          ///< owning tree node
   std::vector<std::uint32_t> chain_pos_;  ///< position within its chain

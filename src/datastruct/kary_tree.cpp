@@ -49,68 +49,167 @@ KaryTree::KaryTree(std::vector<WeightedKey> keys, unsigned k, TreeMode mode)
       msearch::invalid_input("keys not sorted unique at index " +
                                  std::to_string(i),
                              "kary-tree");
-  keys_ = keys.size();
+  key_set_ = std::move(keys);
+  keys_ = key_set_.size();
+  build();
+}
 
+void KaryTree::build() {
   // Complete k-ary tree: pad the leaf level with +inf sentinels.
   height_ = 0;
-  while (pow_k(k, height_) < keys.size()) ++height_;
-  leaves_ = pow_k(k, height_);
-  const std::size_t total = level_offset(k, height_ + 1);
+  while (pow_k(k_, height_) < key_set_.size()) ++height_;
+  leaves_ = pow_k(k_, height_);
+  const std::size_t total = level_offset(k_, height_ + 1);
+  const std::uint64_t gen = g_.generation();
   g_ = DistributedGraph(total);
+  g_.set_generation(gen);
   root_ = 0;
 
+  fill_payloads();
+
+  // Edges: children first (so nbr[0..nc-1] are children), then parents.
+  for (std::int32_t d = 0; d < height_; ++d) {
+    const std::size_t off = level_offset(k_, d);
+    const std::size_t coff = level_offset(k_, d + 1);
+    const std::size_t width = pow_k(k_, d);
+    for (std::size_t i = 0; i < width; ++i)
+      for (unsigned c = 0; c < k_; ++c)
+        g_.add_edge(static_cast<Vid>(off + i),
+                    static_cast<Vid>(coff + i * k_ + c));
+  }
+  if (mode_ == TreeMode::kUndirected) {
+    for (std::int32_t d = 1; d <= height_; ++d) {
+      const std::size_t off = level_offset(k_, d);
+      const std::size_t poff = level_offset(k_, d - 1);
+      const std::size_t width = pow_k(k_, d);
+      for (std::size_t i = 0; i < width; ++i)
+        g_.add_edge(static_cast<Vid>(off + i),
+                    static_cast<Vid>(poff + i / k_));
+    }
+  }
+  g_.validate();
+}
+
+void KaryTree::fill_payloads() {
   // Leaf weight prefix sums for left-sibling weights.
   std::vector<std::int64_t> wprefix(leaves_ + 1, 0);
   for (std::size_t j = 0; j < leaves_; ++j)
-    wprefix[j + 1] = wprefix[j] + (j < keys.size() ? keys[j].weight : 0);
+    wprefix[j + 1] = wprefix[j] + (j < key_set_.size() ? key_set_[j].weight : 0);
 
   auto leaf_min = [&](std::size_t leaf_idx) {
-    return leaf_idx < keys.size() ? keys[leaf_idx].key : kSentinel;
+    return leaf_idx < key_set_.size() ? key_set_[leaf_idx].key : kSentinel;
   };
 
   for (std::int32_t d = 0; d <= height_; ++d) {
-    const std::size_t off = level_offset(k, d);
-    const std::size_t width = pow_k(k, d);
-    const std::size_t span = pow_k(k, height_ - d);  // leaves per subtree
+    const std::size_t off = level_offset(k_, d);
+    const std::size_t width = pow_k(k_, d);
+    const std::size_t span = pow_k(k_, height_ - d);  // leaves per subtree
     for (std::size_t i = 0; i < width; ++i) {
       auto& rec = g_.vert(static_cast<Vid>(off + i));
       rec.level = d;
       const std::size_t first_leaf = i * span;
-      const std::size_t sib_first_leaf = (i - i % k) * span;
+      const std::size_t sib_first_leaf = (i - i % k_) * span;
       rec.key[7] = wprefix[first_leaf] - wprefix[sib_first_leaf];
       if (d == height_) {
         rec.key[6] = 0;  // leaf
         rec.key[0] = leaf_min(i);
-        rec.key[5] = i < keys.size() ? keys[i].weight : 0;
+        rec.key[5] = i < key_set_.size() ? key_set_[i].weight : 0;
       } else {
-        rec.key[6] = k;
-        for (unsigned c = 1; c < k; ++c)
-          rec.key[c - 1] = leaf_min((i * k + c) * pow_k(k, height_ - d - 1));
+        rec.key[6] = k_;
+        for (unsigned c = 1; c < k_; ++c)
+          rec.key[c - 1] = leaf_min((i * k_ + c) * pow_k(k_, height_ - d - 1));
       }
     }
   }
+}
 
-  // Edges: children first (so nbr[0..nc-1] are children), then parents.
-  for (std::int32_t d = 0; d < height_; ++d) {
-    const std::size_t off = level_offset(k, d);
-    const std::size_t coff = level_offset(k, d + 1);
-    const std::size_t width = pow_k(k, d);
-    for (std::size_t i = 0; i < width; ++i)
-      for (unsigned c = 0; c < k; ++c)
-        g_.add_edge(static_cast<Vid>(off + i),
-                    static_cast<Vid>(coff + i * k + c));
+msearch::StructureDelta KaryTree::apply_updates(
+    const std::vector<WeightedKey>& inserts,
+    const std::vector<std::int64_t>& deletes) {
+  // Front door: validate the whole batch before mutating anything.
+  auto key_present = [&](std::int64_t key) {
+    const auto it = std::lower_bound(
+        key_set_.begin(), key_set_.end(), key,
+        [](const WeightedKey& a, std::int64_t b) { return a.key < b; });
+    return it != key_set_.end() && it->key == key;
+  };
+  {
+    std::vector<std::int64_t> dels = deletes;
+    std::sort(dels.begin(), dels.end());
+    for (std::size_t i = 1; i < dels.size(); ++i)
+      if (dels[i - 1] == dels[i])
+        msearch::invalid_input("duplicate delete key " +
+                                   std::to_string(dels[i]),
+                               "kary-tree.apply_updates");
+    for (const std::int64_t key : dels)
+      if (!key_present(key))
+        msearch::invalid_input("delete of missing key " + std::to_string(key),
+                               "kary-tree.apply_updates");
+    std::vector<std::int64_t> ins;
+    ins.reserve(inserts.size());
+    for (const auto& wk : inserts) ins.push_back(wk.key);
+    std::sort(ins.begin(), ins.end());
+    for (std::size_t i = 1; i < ins.size(); ++i)
+      if (ins[i - 1] == ins[i])
+        msearch::invalid_input("duplicate insert key " +
+                                   std::to_string(ins[i]),
+                               "kary-tree.apply_updates");
   }
-  if (mode_ == TreeMode::kUndirected) {
-    for (std::int32_t d = 1; d <= height_; ++d) {
-      const std::size_t off = level_offset(k, d);
-      const std::size_t poff = level_offset(k, d - 1);
-      const std::size_t width = pow_k(k, d);
-      for (std::size_t i = 0; i < width; ++i)
-        g_.add_edge(static_cast<Vid>(off + i),
-                    static_cast<Vid>(poff + i / k));
+
+  // Merge: deletes first, then inserts (a key deleted and re-inserted in
+  // one batch ends up with the inserted weight; an insert of a surviving
+  // key updates its weight in place).
+  std::vector<WeightedKey> merged;
+  merged.reserve(key_set_.size() + inserts.size());
+  {
+    std::vector<std::int64_t> dels = deletes;
+    std::sort(dels.begin(), dels.end());
+    for (const auto& wk : key_set_)
+      if (!std::binary_search(dels.begin(), dels.end(), wk.key))
+        merged.push_back(wk);
+    for (const auto& wk : inserts) {
+      const auto it = std::lower_bound(
+          merged.begin(), merged.end(), wk.key,
+          [](const WeightedKey& a, std::int64_t b) { return a.key < b; });
+      if (it != merged.end() && it->key == wk.key)
+        it->weight = wk.weight;
+      else
+        merged.insert(it, wk);
     }
   }
-  g_.validate();
+  if (merged.empty())
+    msearch::invalid_input("update batch would empty the tree",
+                           "kary-tree.apply_updates");
+
+  msearch::StructureDelta delta;
+  delta.inserts = inserts.size();
+  delta.deletes = deletes.size();
+
+  if (merged.size() > leaves_) {
+    // The key set outgrew the leaf level: rebuild in place, one (or more)
+    // levels taller. The DistributedGraph member keeps its address; its
+    // generation stamp survives the assignment inside build().
+    key_set_ = std::move(merged);
+    keys_ = key_set_.size();
+    build();
+    g_.bump_generation();
+    delta.topology_changed = true;
+    delta.generation = g_.generation();
+    return delta;
+  }
+
+  // Payload-only path: same height, same vertices/edges — rewrite payloads
+  // and diff to find the dirty records.
+  const std::vector<VertexRecord> before = g_.verts();
+  key_set_ = std::move(merged);
+  keys_ = key_set_.size();
+  fill_payloads();
+  for (std::size_t v = 0; v < before.size(); ++v)
+    if (g_.vert(static_cast<Vid>(v)).key != before[v].key)
+      delta.dirty_vertices.push_back(static_cast<Vid>(v));
+  g_.bump_generation();
+  delta.generation = g_.generation();
+  return delta;
 }
 
 std::vector<std::int32_t> KaryTree::subtree_labels(std::int32_t d) const {

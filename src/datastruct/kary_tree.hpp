@@ -34,6 +34,7 @@
 
 #include "multisearch/graph.hpp"
 #include "multisearch/splitter.hpp"
+#include "multisearch/update.hpp"
 
 namespace meshsearch::ds {
 
@@ -63,6 +64,30 @@ class KaryTree {
   TreeMode mode() const { return mode_; }
   std::size_t leaf_count() const { return leaves_; }
   std::size_t key_count() const { return keys_; }
+  /// The live sorted key set (the master copy apply_updates maintains).
+  const std::vector<WeightedKey>& key_set() const { return key_set_; }
+
+  /// Batched dynamic update: delete the keys in `deletes`, then apply
+  /// `inserts` (an insert whose key is already present updates its weight).
+  /// Validation (front door, before any mutation): deletes must name
+  /// present keys, neither batch may contain duplicates, and the batch must
+  /// not empty the tree — violations throw InvalidInputError and leave the
+  /// structure untouched.
+  ///
+  /// While the merged key set still fits the current leaf level the tree
+  /// topology (vertices, edges, levels) is unchanged and only record
+  /// payloads are rewritten — the returned delta lists exactly the dirty
+  /// vertices, so a warm engine refreshes incrementally. Appending/deleting
+  /// at the key-space tail keeps the dirty set proportional to the batch
+  /// (leaf payloads shift only at and after the first changed rank);
+  /// interior inserts shift everything after them. When the merged set
+  /// outgrows the leaf level the whole tree is rebuilt in place (same
+  /// DistributedGraph address, one taller level) and the delta reports
+  /// topology_changed. Either way the graph generation is bumped, so stale
+  /// warm engines are fenced until they refresh.
+  msearch::StructureDelta apply_updates(
+      const std::vector<WeightedKey>& inserts,
+      const std::vector<std::int64_t>& deletes);
 
   /// Alpha-splitting at half height (Figure 2): the top piece is the head,
   /// every depth-ceil(h/2) subtree a tail. Directed mode only.
@@ -111,12 +136,20 @@ class KaryTree {
   std::vector<std::int32_t> subtree_labels(std::int32_t d) const;
 
  private:
+  /// (Re)build the complete tree from key_set_: size the graph (preserving
+  /// the generation stamp across the assignment), fill payloads, add edges.
+  void build();
+  /// Payload pass only — levels, separators, leaf keys/weights, sibling
+  /// weight prefixes. Pure function of key_set_ over the fixed topology.
+  void fill_payloads();
+
   DistributedGraph g_;
   Vid root_ = kNoVertex;
   unsigned k_ = 2;
   std::int32_t height_ = 0;
   std::size_t leaves_ = 0;
   std::size_t keys_ = 0;
+  std::vector<WeightedKey> key_set_;  ///< live keys, sorted unique
   TreeMode mode_ = TreeMode::kDirected;
 };
 

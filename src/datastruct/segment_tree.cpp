@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "mesh/snake.hpp"
+#include "multisearch/validate.hpp"
 #include "util/check.hpp"
 
 namespace meshsearch::ds {
@@ -20,10 +22,16 @@ constexpr std::int64_t kSentinel = std::numeric_limits<std::int64_t>::max();
 // test that decides the descent (x < e or x <= e), so the query program
 // needs nothing but the node record.
 SegmentTree::SegmentTree(const std::vector<Interval>& intervals) {
-  MS_CHECK_MSG(!intervals.empty(), "empty interval set");
+  // Front door (PR 5 contract): malformed input is caller error and throws
+  // InvalidInputError before any construction work, never an MS_CHECK.
+  if (intervals.empty())
+    msearch::invalid_input("empty interval set", "segment-tree");
   coords_.reserve(2 * intervals.size());
-  for (const auto& iv : intervals) {
-    MS_CHECK(iv.lo <= iv.hi);
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const auto& iv = intervals[i];
+    if (iv.lo > iv.hi)
+      msearch::invalid_input(
+          "interval " + std::to_string(i) + " has lo > hi", "segment-tree");
     coords_.push_back(iv.lo);
     coords_.push_back(iv.hi);
   }

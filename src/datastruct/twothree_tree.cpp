@@ -4,15 +4,22 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <string>
 
+#include "multisearch/validate.hpp"
 #include "util/check.hpp"
 
 namespace meshsearch::ds {
 
 TwoThreeTree::TwoThreeTree(const std::vector<std::int64_t>& keys) {
-  MS_CHECK_MSG(!keys.empty(), "empty key set");
+  // Front door (PR 5 contract): malformed input is caller error and throws
+  // InvalidInputError before any construction work, never an MS_CHECK.
+  if (keys.empty()) msearch::invalid_input("empty key set", "twothree-tree");
   for (std::size_t i = 1; i < keys.size(); ++i)
-    MS_CHECK_MSG(keys[i - 1] < keys[i], "keys not sorted unique");
+    if (!(keys[i - 1] < keys[i]))
+      msearch::invalid_input(
+          "keys not sorted unique at index " + std::to_string(i),
+          "twothree-tree");
   keys_ = keys.size();
 
   // Bottom-up construction. A level of w nodes is grouped into parents of

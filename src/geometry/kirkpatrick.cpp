@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <string>
 
 #include "multisearch/validate.hpp"
 #include "util/check.hpp"
@@ -46,16 +47,22 @@ std::vector<std::array<std::int32_t, 3>> ear_clip(
 }  // namespace
 
 Kirkpatrick::Kirkpatrick(std::vector<Point2> points, Scalar radius,
-                         unsigned max_degree) {
-  if (max_degree < 4)
+                         unsigned max_degree)
+    : points_(std::move(points)), radius_(radius), max_degree_(max_degree) {
+  if (max_degree_ < 4)
     msearch::invalid_input("Kirkpatrick needs max_degree >= 4", "kirkpatrick");
-  if (points.empty())
+  if (points_.empty())
     msearch::invalid_input("Kirkpatrick needs at least one point",
                            "kirkpatrick");
-  msearch::validate_points_in_bounds(points, "kirkpatrick");
-  msearch::validate_points_distinct(points, "kirkpatrick");
-  const Triangulation tin(std::move(points), radius);
+  msearch::validate_points_in_bounds(points_, "kirkpatrick");
+  msearch::validate_points_distinct(points_, "kirkpatrick");
+  rebuild_hierarchy();
+}
+
+void Kirkpatrick::rebuild_hierarchy() {
+  const Triangulation tin(points_, radius_);
   verts_ = tin.vertices();
+  levels_.clear();
 
   Level finest;
   for (const auto id : tin.alive_ids()) {
@@ -67,9 +74,88 @@ Kirkpatrick::Kirkpatrick(std::vector<Point2> points, Scalar radius,
 
   std::vector<std::uint8_t> removed(verts_.size(), 0);
   while (levels_.back().tri.size() > 1) {
-    levels_.push_back(coarsen(levels_.back(), removed, max_degree));
+    levels_.push_back(coarsen(levels_.back(), removed, max_degree_));
   }
   build_dag();
+}
+
+msearch::StructureDelta Kirkpatrick::apply_updates(
+    const std::vector<Point2>& inserts, const std::vector<Point2>& deletes) {
+  constexpr const char* kSite = "kirkpatrick.apply_updates";
+  auto same = [](const Point2& a, const Point2& b) {
+    return a.x == b.x && a.y == b.y;
+  };
+  // Validate the whole batch before mutating anything.
+  std::vector<std::uint8_t> doomed(points_.size(), 0);
+  for (std::size_t i = 0; i < deletes.size(); ++i) {
+    bool found = false;
+    for (std::size_t j = 0; j < points_.size() && !found; ++j) {
+      if (!same(deletes[i], points_[j])) continue;
+      if (doomed[j])
+        msearch::invalid_input(
+            "duplicate delete of point " + std::to_string(i), kSite);
+      doomed[j] = 1;
+      found = true;
+    }
+    if (!found)
+      msearch::invalid_input(
+          "delete " + std::to_string(i) + " names an absent point", kSite);
+  }
+  msearch::validate_points_in_bounds(inserts, kSite);
+  for (std::size_t i = 0; i < inserts.size(); ++i) {
+    for (std::size_t j = 0; j < points_.size(); ++j)
+      if (!doomed[j] && same(inserts[i], points_[j]))
+        msearch::invalid_input(
+            "insert " + std::to_string(i) + " duplicates a live point",
+            kSite);
+    for (std::size_t i2 = 0; i2 < i; ++i2)
+      if (same(inserts[i], inserts[i2]))
+        msearch::invalid_input(
+            "duplicate insert of point " + std::to_string(i), kSite);
+  }
+  // Inserts land in the slots the deletes freed (leftovers append): the
+  // point ORDER is preserved, so the deterministic re-triangulation makes
+  // delete + re-insert of the same point an exact fixed point of the
+  // hierarchy — the payload-only diff below then reports an empty dirty
+  // set instead of a spurious topology change.
+  std::vector<Point2> next;
+  next.reserve(points_.size() + inserts.size());
+  std::size_t ins = 0;
+  for (std::size_t j = 0; j < points_.size(); ++j) {
+    if (!doomed[j])
+      next.push_back(points_[j]);
+    else if (ins < inserts.size())
+      next.push_back(inserts[ins++]);
+  }
+  for (; ins < inserts.size(); ++ins) next.push_back(inserts[ins]);
+  if (next.empty())
+    msearch::invalid_input("update batch would empty the point set", kSite);
+
+  // Re-triangulate the whole hierarchy from the new point set and diff the
+  // resulting slot DAG against the old one.
+  const std::vector<msearch::VertexRecord> before = dag_.verts();
+  points_ = std::move(next);
+  rebuild_hierarchy();
+
+  msearch::StructureDelta delta;
+  delta.inserts = inserts.size();
+  delta.deletes = deletes.size();
+  bool same_shape = dag_.vertex_count() == before.size();
+  for (std::size_t v = 0; same_shape && v < before.size(); ++v) {
+    const auto& a = before[v];
+    const auto& b = dag_.vert(static_cast<msearch::Vid>(v));
+    same_shape = a.level == b.level && a.degree == b.degree && a.nbr == b.nbr;
+  }
+  if (same_shape) {
+    for (std::size_t v = 0; v < before.size(); ++v)
+      if (dag_.vert(static_cast<msearch::Vid>(v)).key != before[v].key)
+        delta.dirty_vertices.push_back(static_cast<msearch::Vid>(v));
+  } else {
+    delta.topology_changed = true;
+  }
+  dag_.bump_generation();
+  delta.generation = dag_.generation();
+  return delta;
 }
 
 Kirkpatrick::Level Kirkpatrick::coarsen(const Level& fine,
@@ -174,7 +260,9 @@ void Kirkpatrick::build_dag() {
       total += levels_[s].children[j].size();
     }
   }
+  const std::uint64_t gen = dag_.generation();
   dag_ = msearch::DistributedGraph(total);
+  dag_.set_generation(gen);
 
   // Root slot: the bounding triangle, descending into its chain.
   {

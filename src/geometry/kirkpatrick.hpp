@@ -25,6 +25,7 @@
 
 #include "geometry/triangulate.hpp"
 #include "multisearch/hierarchical.hpp"
+#include "multisearch/update.hpp"
 
 namespace meshsearch::geom {
 
@@ -74,6 +75,28 @@ class Kirkpatrick {
   /// Does the finest triangle q.result contain the point in q.key?
   bool answer_contains_point(const msearch::Query& q) const;
 
+  /// The live point set (bounding-triangle corners excluded).
+  const std::vector<Point2>& points() const { return points_; }
+
+  /// Batched dynamic update: remove the points in `deletes` (matched by
+  /// value), then add `inserts`. Validation (front door, before any
+  /// mutation): deletes must name present points, inserts must be in
+  /// bounds and distinct from each other and from the survivors, and the
+  /// batch must not empty the point set — violations throw
+  /// InvalidInputError and leave the structure untouched.
+  ///
+  /// The subdivision hierarchy is re-triangulated from the new point set —
+  /// "re-triangulated pockets" at the coarsest granularity: the whole
+  /// hierarchy is one pocket — and the new slot DAG is diffed against the
+  /// old one. If the topology (vertex count, levels, adjacency) came out
+  /// identical, the delta lists only the slots whose triangle coordinates
+  /// changed (payload-only, e.g. a delete+re-insert of the same point
+  /// yields an empty dirty set); any structural difference reports
+  /// topology_changed, which is the common case and exercises warm
+  /// engines' full re-setup fallback. The generation is bumped either way.
+  msearch::StructureDelta apply_updates(const std::vector<Point2>& inserts,
+                                        const std::vector<Point2>& deletes);
+
  private:
   struct Level {
     std::vector<std::array<std::int32_t, 3>> tri;  ///< ccw vertex ids
@@ -85,7 +108,13 @@ class Kirkpatrick {
   Level coarsen(const Level& fine, std::vector<std::uint8_t>& removed_flag,
                 unsigned max_degree);
   void build_dag();
+  /// Re-triangulate points_ and rebuild levels_ + dag_ from scratch
+  /// (preserving the DAG's generation stamp across the assignment).
+  void rebuild_hierarchy();
 
+  std::vector<Point2> points_;       ///< live input point set
+  Scalar radius_ = 0;
+  unsigned max_degree_ = 8;
   std::vector<Point2> verts_;        ///< shared vertex coordinates
   std::vector<Level> levels_;        ///< [0] = finest ... back() = 1 triangle
   msearch::DistributedGraph dag_;

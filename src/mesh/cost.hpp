@@ -140,6 +140,17 @@ struct CostModel {
     return charge(trace::Primitive::kBackoff, p, 1.0, steps);
   }
 
+  /// Dynamic-update refresh: `times` rounds of re-distributing dirty
+  /// records (and their band replicas) onto a p-processor submesh. Each
+  /// round is one sort (collect the dirty records into address order) plus
+  /// one routing (deliver them), the standard redistribution skeleton.
+  /// Charged under its own primitive so incremental refresh cost is
+  /// separable from setup and search in the attribution table.
+  Cost rebuild(double p, double times = 1.0) const {
+    return charge(trace::Primitive::kRebuild, p, times,
+                  sort_steps(p) + route_steps(p));
+  }
+
  private:
   double sort_steps(double p) const {
     if (physical_sort) return sqrt_p(p) * (std::log2(std::max(2.0, p)) + 1.0);

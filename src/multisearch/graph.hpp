@@ -53,8 +53,20 @@ class DistributedGraph {
 
   std::size_t max_degree() const;
 
+  /// Monotonic mutation stamp. Structure builders bump it on every
+  /// apply_updates batch (payload-only or topological); warm engines record
+  /// the stamp they were prepared against and refuse to serve when it has
+  /// moved (StaleEngineError). 0 = freshly built, never mutated.
+  std::uint64_t generation() const { return generation_; }
+  void bump_generation() { ++generation_; }
+  /// For in-place rebuilds that replace the whole graph by assignment (the
+  /// topological apply_updates fallback): carry the old stamp across the
+  /// assignment, then bump. Never use this to rewind a stamp.
+  void set_generation(std::uint64_t gen) { generation_ = gen; }
+
  private:
   std::vector<VertexRecord> verts_;
+  std::uint64_t generation_ = 0;
 };
 
 /// Visit semantics shared by all engines: q arrives at q.next, receives the

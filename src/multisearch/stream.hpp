@@ -34,15 +34,25 @@
 //     the full setup before every batch — the naive baseline E8 compares
 //     against.
 //
-// Invalidation contract (DESIGN.md §5, "Streaming batches"): the cache is
-// valid as long as the graph, the mesh shape, and (for Alg 1) the plan kind
-// are unchanged. Mutating the graph or resizing the mesh requires a new
-// PreparedSearch; nothing tracks that for you. Query contents never
-// invalidate anything.
+// Invalidation contract (DESIGN.md §5, decisions "Streaming batches" and
+// 16): the cache is valid as long as the graph, the mesh shape, and (for
+// Alg 1) the plan kind are unchanged — and, since PR 9, the engine TRACKS
+// that. Construction records the graph's generation stamp; every
+// run_batch/charge_setup first compares it against the live stamp and
+// throws a typed StaleEngineError (never a silently wrong answer) when a
+// structure's apply_updates has moved it. refresh(RefreshRequest) brings a
+// stale engine back: payload-only deltas re-distribute just the dirty
+// records and their band replicas (charged under the `rebuild` primitive,
+// proportional to the dirty copy count, fault-recoverable like any phase);
+// topological deltas or force_full re-run the full setup. After refresh the
+// warm engine is bit-identical to a cold engine built from the post-update
+// structure. Resizing the mesh still requires a new PreparedSearch. Query
+// contents never invalidate anything.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -55,11 +65,14 @@
 #include "multisearch/graph.hpp"
 #include "multisearch/hierarchical.hpp"
 #include "multisearch/partitioned.hpp"
+#include "multisearch/recovery.hpp"
 #include "multisearch/setup.hpp"
 #include "multisearch/splitter.hpp"
+#include "multisearch/update.hpp"
 #include "multisearch/validate.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
 #include "util/stats.hpp"
 
 namespace meshsearch::msearch {
@@ -265,6 +278,7 @@ class PreparedSearch {
     // trade-off), so its labels legitimately exceed capacity.
     if (plan_kind_ == PlanKind::kPaper)
       verify_label_capacity(plan_, shape_, labels_);
+    prepared_generation_ = g_->generation();
     setup_cost_ = charge_setup();
   }
 
@@ -289,6 +303,7 @@ class PreparedSearch {
     validate_graph_fits(*g_, shape_, engine_kind_name(kind_));
     validate_splitting_input(*g_, psi_a_, engine_kind_name(kind_));
     validate_splitting_input(*g_, psi_b_, engine_kind_name(kind_));
+    prepared_generation_ = g_->generation();
     setup_cost_ = charge_setup();
   }
 
@@ -300,6 +315,86 @@ class PreparedSearch {
   mesh::Cost setup_cost() const { return setup_cost_; }
   std::size_t batches_served() const { return batches_served_; }
   const mesh::CostModel& model() const { return *m_; }
+
+  /// Diagnostic name carried into StaleEngineError ("<unnamed>" until the
+  /// registry — or a caller — stamps one).
+  const std::string& dataset() const { return dataset_; }
+  void set_dataset(std::string name) { dataset_ = std::move(name); }
+
+  /// Generation of the structure the engine was prepared (or last
+  /// refreshed) against, and the structure's live stamp.
+  std::uint64_t prepared_generation() const { return prepared_generation_; }
+  std::uint64_t structure_generation() const { return g_->generation(); }
+  /// True when the structure has been mutated since preparation — serving
+  /// would throw StaleEngineError; call refresh() first.
+  bool stale() const { return structure_generation() != prepared_generation_; }
+  /// Refreshes performed so far (incremental or full).
+  std::size_t refreshes() const { return refreshes_; }
+
+  /// Bring a stale (or doubted) engine back in sync with its structure
+  /// after an apply_updates batch.
+  ///
+  /// Payload-only deltas (!delta.topology_changed, !force_full) refresh
+  /// incrementally: the dirty records and every band replica holding a copy
+  /// of them are re-distributed, charged under the `rebuild` primitive as
+  /// ceil(dirty copies / p) redistribution rounds. All cached state (plan,
+  /// labels, splittings) stays valid. The phase runs under the standard
+  /// fault machinery as phase "rebuild" — failed attempts re-charge and
+  /// back off, and an exhausted budget throws FaultExhaustedError leaving
+  /// the engine still stale (the caller degrades and retries, or falls back
+  /// to force_full).
+  ///
+  /// Topological deltas (or force_full) re-run the full setup: Algorithm-1
+  /// engines recompute their band plan and replica labels from the DAG
+  /// (which the structure must have refreshed in place — HierarchicalDag is
+  /// assignable precisely so its address stays stable); partitioned engines
+  /// adopt the request's fresh splittings when provided, keeping their old
+  /// ones for payload-only-forced-full refreshes.
+  ///
+  /// Either way the engine adopts the structure's current generation and
+  /// the run_batch gate reopens. Afterwards the engine is bit-identical to
+  /// a cold engine built from the post-update structure (the contract the
+  /// UpdateWarmColdOracle tests pin).
+  RefreshReport refresh(const RefreshRequest& req) {
+    TRACE_SPAN(m_->trace, "stream.refresh");
+    RefreshReport rep;
+    const double p = static_cast<double>(shape_.size());
+    if (!req.delta.topology_changed && !req.force_full) {
+      rep.incremental = true;
+      // The charge body is idempotent (a pure cost computation), so an int
+      // stands in as the checkpoint state for the retry machinery.
+      int state = 0;
+      rep.cost = detail::recovered_phase(*m_, p, "rebuild", state, [&] {
+        double messages = 0;
+        for (const Vid v : req.delta.dirty_vertices)
+          messages += static_cast<double>(replica_copies(g_->vert(v).level));
+        return m_->rebuild(p, std::max(1.0, std::ceil(messages / p)));
+      });
+    } else {
+      // Full re-setup. Re-validate at the front door: the mutated structure
+      // must still be a graph this engine kind can serve.
+      validate_graph(*g_, engine_kind_name(kind_));
+      validate_graph_fits(*g_, shape_, engine_kind_name(kind_));
+      if (dag_ != nullptr) {
+        plan_ = make_hierarchical_plan(*dag_, shape_, plan_kind_);
+        labels_ = band_labels(plan_, shape_);
+        if (plan_kind_ == PlanKind::kPaper)
+          verify_label_capacity(plan_, shape_, labels_);
+      } else {
+        if (req.has_splittings) {
+          psi_a_ = req.psi_a;
+          psi_b_ = req.psi_b;
+        }
+        validate_splitting_input(*g_, psi_a_, engine_kind_name(kind_));
+        validate_splitting_input(*g_, psi_b_, engine_kind_name(kind_));
+      }
+      setup_cost_ = charge_setup();
+      rep.cost = setup_cost_;
+    }
+    prepared_generation_ = g_->generation();
+    ++refreshes_;
+    return rep;
+  }
 
   /// Algorithm-1 cache views (MS_CHECKs on partitioned engines).
   const HierarchicalPlan& plan() const {
@@ -322,9 +417,33 @@ class PreparedSearch {
     mesh::Cost cost = distribute_graph(*g_, *m_, shape_);
     if (dag_ != nullptr) {
       const LevelIndexResult li = compute_level_indices(*g_, *m_, shape_);
-      for (std::size_t v = 0; v < li.level.size(); ++v)
-        MS_CHECK_MSG(li.level[v] == g_->vert(static_cast<Vid>(v)).level,
-                     "on-mesh level peel disagrees with DAG level fields");
+      // The peel's strict input class (every edge drops exactly one level)
+      // must reproduce the stored level fields exactly. Chain-link
+      // hierarchies (e.g. Kirkpatrick transition chains, whose next-slot
+      // edges run WITHIN a level) are outside that class: there the peel
+      // yields some finer topological ranking, so verify precisely that —
+      // every edge ascends in peel order.
+      bool strictly_leveled = true;
+      for (std::size_t v = 0; strictly_leveled && v < g_->vertex_count();
+           ++v) {
+        const auto& rec = g_->vert(static_cast<Vid>(v));
+        for (std::uint8_t d = 0; d < rec.degree; ++d)
+          strictly_leveled &=
+              g_->vert(rec.nbr[d]).level == rec.level + 1;
+      }
+      for (std::size_t v = 0; v < li.level.size(); ++v) {
+        const auto& rec = g_->vert(static_cast<Vid>(v));
+        if (strictly_leveled) {
+          MS_CHECK_MSG(li.level[v] == rec.level,
+                       "on-mesh level peel disagrees with DAG level fields");
+        } else {
+          for (std::uint8_t d = 0; d < rec.degree; ++d)
+            MS_CHECK_MSG(
+                li.level[v] <
+                    li.level[static_cast<std::size_t>(rec.nbr[d])],
+                "on-mesh level peel is not a topological ranking");
+        }
+      }
       cost += li.cost;
       cost += band_setup_cost(plan_, shape_, *m_);
     } else {
@@ -340,6 +459,7 @@ class PreparedSearch {
   /// `batch.size()` must be at most capacity(). The queries are advanced in
   /// place (outcome fields hold the answers afterwards).
   BatchReport run_batch(std::vector<Query>& batch) {
+    check_fresh("run_batch");
     BatchReport rep;
     rep.size = batch.size();
     if (batch.empty()) return rep;
@@ -370,6 +490,38 @@ class PreparedSearch {
   }
 
  private:
+  /// The stale gate: a mutated structure must never be served silently.
+  void check_fresh(const char* phase) const {
+    if (g_->generation() == prepared_generation_) return;
+    ErrorContext ctx;
+    ctx.engine = engine_kind_name(kind_);
+    ctx.phase = phase;
+    throw StaleEngineError(dataset_, g_->generation(), prepared_generation_,
+                           std::move(ctx));
+  }
+
+  /// How many resident copies of a level's records the warm cache holds —
+  /// the per-record multiplier of the incremental rebuild charge. Alg 1:
+  /// each band is duplicated into its grid^2 submeshes, and the Lemma-1
+  /// prefix B_i^1 (levels below band.split) again into inner_grid^2
+  /// sub-submeshes of each; B* levels live once, in the master copy.
+  /// Partitioned engines hold the master copy plus one piece-id tag route
+  /// per distinct splitting (Alg 2: Psi_A == Psi_B).
+  double replica_copies(std::int32_t level) const {
+    if (dag_ == nullptr)
+      return 1.0 + (kind_ == EngineKind::kAlg2Alpha ? 1.0 : 2.0);
+    for (const Band& b : plan_.bands) {
+      if (level < b.lo || level > b.hi) continue;
+      const double g2 = static_cast<double>(b.grid) *
+                        static_cast<double>(b.grid);
+      if (level < b.split)
+        return g2 * static_cast<double>(b.inner_grid) *
+               static_cast<double>(b.inner_grid);
+      return g2;
+    }
+    return 1.0;  // B* (or a level outside every band): master copy only
+  }
+
   EngineKind kind_;
   const DistributedGraph* g_;
   const HierarchicalDag* dag_ = nullptr;  ///< Alg 1 only
@@ -383,6 +535,9 @@ class PreparedSearch {
   bool duplicate_copies_ = true;
   mesh::Cost setup_cost_;
   std::size_t batches_served_ = 0;
+  std::string dataset_ = "<unnamed>";
+  std::uint64_t prepared_generation_ = 0;
+  std::size_t refreshes_ = 0;
 };
 
 template <SearchProgram P>

@@ -1,0 +1,79 @@
+// Dynamic-update vocabulary shared by the application structures
+// (src/datastruct/, src/geometry/) and the warm engines that cache their
+// distributed state (multisearch/stream.hpp, src/service/).
+//
+// A structure's apply_updates(inserts, deletes) mutates the host-side
+// master copy IN PLACE (same DistributedGraph address, bumped generation)
+// and returns a StructureDelta describing exactly what changed. A warm
+// PreparedSearch turns that delta into a RefreshRequest and refreshes
+// itself one of two ways:
+//
+//   incremental — the delta was payload-only (same vertices, same edges,
+//     same levels; only record payloads moved). Only the dirty records and
+//     their band replicas are re-distributed, charged under the `rebuild`
+//     trace primitive proportionally to the number of dirty copies. The
+//     cached plan, replica labels, and splittings all stay valid.
+//
+//   full re-setup — the delta changed topology (vertex/edge/level sets),
+//     or the caller forced it. The engine recomputes its plan/labels (or
+//     adopts the request's fresh splittings) and re-charges charge_setup().
+//
+// Either way the engine adopts the structure's new generation, so the
+// StaleEngineError gate at run_batch reopens. The contract the oracle
+// tests pin (DESIGN.md §5, decision 16): after refresh, a warm engine is
+// bit-identical to a cold engine built from the post-update structure —
+// same outcomes, same per-batch charges, same attribution — at any thread
+// count. Only the *setup-side* cost differs (rebuild vs full setup), which
+// is the whole point of E11.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mesh/cost.hpp"
+#include "multisearch/splitter.hpp"
+#include "multisearch/types.hpp"
+
+namespace meshsearch::msearch {
+
+/// What one apply_updates batch did to a structure, from the point of view
+/// of a cached engine deciding how much of its state to invalidate.
+struct StructureDelta {
+  /// The structure's generation AFTER the batch (== graph().generation()).
+  std::uint64_t generation = 0;
+  /// True when the vertex/edge/level sets changed — cached plans, labels,
+  /// and splittings are invalid and a full re-setup is required. False when
+  /// only record payloads changed (dirty_vertices lists them).
+  bool topology_changed = false;
+  /// Vertices whose records changed, ascending, no duplicates. Meaningful
+  /// only when !topology_changed (a topological delta dirties everything).
+  std::vector<Vid> dirty_vertices;
+  /// Batch accounting (reporting only).
+  std::size_t inserts = 0;
+  std::size_t deletes = 0;
+};
+
+/// Everything a warm engine needs to refresh itself after a delta.
+struct RefreshRequest {
+  StructureDelta delta;
+  /// Force the full re-setup path even for a payload-only delta (the E11
+  /// baseline strategy, and an escape hatch for callers that distrust a
+  /// structure's dirty-set accounting).
+  bool force_full = false;
+  /// Fresh splittings for partitioned engines after a topological delta
+  /// (Alg 2/3 cache them; a new topology needs new ones). Ignored by
+  /// Algorithm-1 engines, which recompute their plan from the DAG.
+  bool has_splittings = false;
+  Splitting psi_a;
+  Splitting psi_b;
+};
+
+/// What a refresh did and what it charged.
+struct RefreshReport {
+  bool incremental = false;  ///< dirty-set redistribution, not full setup
+  mesh::Cost cost;           ///< charged under `rebuild` (incremental) or
+                             ///< the usual setup primitives (full)
+};
+
+}  // namespace meshsearch::msearch

@@ -15,6 +15,9 @@ Engine& EngineRegistry::add(EngineKey key, std::unique_ptr<Engine> engine) {
   if (engine == nullptr)
     msearch::invalid_input("EngineRegistry::add requires a non-null engine",
                            "EngineRegistry");
+  // Stamp the dataset name so a later StaleEngineError can say WHICH
+  // structure the engine went stale against.
+  engine->set_dataset(key.dataset);
   auto [it, inserted] = engines_.emplace(std::move(key), std::move(engine));
   if (!inserted)
     msearch::invalid_input(

@@ -46,6 +46,25 @@ class Engine {
   virtual mesh::Cost setup_cost() const = 0;
   virtual std::size_t batches_served() const = 0;
 
+  /// Dataset name carried into StaleEngineError messages. EngineRegistry
+  /// stamps this from the key at add() time.
+  virtual const std::string& dataset() const = 0;
+  virtual void set_dataset(std::string name) = 0;
+
+  /// Generation of the underlying structure's graph right now.
+  virtual std::uint64_t structure_generation() const = 0;
+  /// Generation the engine's distribution was prepared against.
+  virtual std::uint64_t prepared_generation() const = 0;
+  /// True when the structure mutated after this engine was prepared;
+  /// run_batch then throws StaleEngineError until refresh() is called.
+  virtual bool stale() const = 0;
+  virtual std::size_t refreshes() const = 0;
+
+  /// Re-synchronize with the mutated structure: incremental dirty-band
+  /// re-distribution when the delta allows, full re-setup otherwise (see
+  /// PreparedSearch::refresh).
+  virtual msearch::RefreshReport refresh(const msearch::RefreshRequest& req) = 0;
+
   /// Point subsequent charges at a tenant's sinks. Either may be null
   /// (null trace = unattributed, null fault = fault-free). Affects only
   /// observability and fault injection — never outcomes of a fault-free run.
@@ -85,6 +104,23 @@ class PreparedEngine final : public Engine {
   mesh::Cost setup_cost() const override { return prepared_.setup_cost(); }
   std::size_t batches_served() const override {
     return prepared_.batches_served();
+  }
+
+  const std::string& dataset() const override { return prepared_.dataset(); }
+  void set_dataset(std::string name) override {
+    prepared_.set_dataset(std::move(name));
+  }
+  std::uint64_t structure_generation() const override {
+    return prepared_.structure_generation();
+  }
+  std::uint64_t prepared_generation() const override {
+    return prepared_.prepared_generation();
+  }
+  bool stale() const override { return prepared_.stale(); }
+  std::size_t refreshes() const override { return prepared_.refreshes(); }
+
+  msearch::RefreshReport refresh(const msearch::RefreshRequest& req) override {
+    return prepared_.refresh(req);
   }
 
   void bind_sinks(trace::TraceRecorder* trace,

@@ -62,7 +62,7 @@ const TenantSession& ServiceScheduler::tenant(const std::string& name) const {
 
 bool ServiceScheduler::idle() const {
   for (const auto& t : tenants_)
-    if (!t->queue_.empty()) return false;
+    if (!t->queue_.empty() || t->pending_updates() > 0) return false;
   return true;
 }
 
@@ -102,6 +102,16 @@ void ServiceScheduler::resolve(TenantSession& t, std::uint32_t idx,
 
 ServiceScheduler::ServeOutcome ServiceScheduler::serve_slice(
     TenantSession& t, std::size_t window) {
+  // A pending update is a barrier in the tenant's stream: queries admitted
+  // after it must not be served until it applies. The queue is FIFO in
+  // admission order (fault requeues go to the front), so clamping the
+  // window to the unresolved-before-barrier count is exact.
+  if (t.next_update_ < t.updates_.size()) {
+    const std::size_t barrier = t.updates_[t.next_update_].barrier;
+    const std::size_t resolved = t.completed_ + t.failed_;
+    window = barrier > resolved ? std::min(window, barrier - resolved) : 0;
+  }
+  if (window == 0) return ServeOutcome{};
   msearch::PendingBatch cur = t.queue_.pop_upto(window);
   ServeOutcome out;
   out.taken = cur.indices.size();
@@ -173,18 +183,66 @@ ServiceScheduler::ServeOutcome ServiceScheduler::serve_slice(
   return out;
 }
 
+void ServiceScheduler::apply_ready_updates(TenantSession& t) {
+  while (t.update_ready()) {
+    TenantSession::PendingUpdate& u = t.updates_[t.next_update_];
+    Engine& engine = t.engine();
+    engine.bind_sinks(trace_, t.fault_);
+    trace::SpanScope span(trace_, "service.update " + std::to_string(serial_));
+    ++serial_;
+    // The mutation itself (structure apply_updates) is mesh-free here; the
+    // charged work is the engine refresh that follows.
+    const msearch::RefreshRequest req = u.mutate();
+    msearch::RefreshReport rep;
+    try {
+      rep = engine.refresh(req);
+    } catch (const mesh::FaultExhaustedError&) {
+      if (t.fault_ == nullptr) throw;  // not ours to recover
+      // Same degradation contract as batches, but an update cannot be
+      // "reported failed" — the structure already mutated, so a permanently
+      // stale engine would wedge the tenant. Degrade the plan and re-run
+      // the refresh fault-free: applied-after-degradation, never wedged.
+      t.fault_->degrade();
+      t.fault_->count_degraded_batch();
+      ++t.degraded_refreshes_;
+      if (trace_ != nullptr)
+        trace_->stat_add(trace::tenant_metric(t.name_, "degraded_refreshes"));
+      engine.bind_sinks(trace_, nullptr);
+      rep = engine.refresh(req);
+    }
+    clock_ += rep.cost.steps;
+    t.refresh_ += rep.cost;
+    ++t.next_update_;
+    if (rep.incremental)
+      ++t.incremental_refreshes_;
+    else
+      ++t.full_refreshes_;
+    if (trace_ != nullptr) {
+      trace_->stat_add(trace::tenant_metric(t.name_, "updates_applied"));
+      trace_->stat_add(trace::tenant_metric(
+          t.name_, rep.incremental ? "incremental_refreshes"
+                                   : "full_refreshes"));
+    }
+  }
+}
+
 std::size_t ServiceScheduler::pump() {
   std::size_t resolved = 0;
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     TenantSession& t = *tenants_[i];
+    apply_ready_updates(t);
     if (t.queue_.empty()) {
       deficit_[i] = 0;  // no banking while idle
       continue;
     }
     if (cfg_.policy == SchedulePolicy::kExhaustive) {
-      // Unfair baseline: drain this tenant before anyone else runs.
-      while (!t.queue_.empty())
+      // Unfair baseline: drain this tenant before anyone else runs. Updates
+      // whose barrier resolves mid-drain apply between slices so later
+      // queries see them (read-your-writes).
+      while (!t.queue_.empty()) {
         resolved += serve_slice(t, t.slice_cap()).resolved;
+        apply_ready_updates(t);
+      }
       deficit_[i] = 0;
       continue;
     }
@@ -198,6 +256,10 @@ std::size_t ServiceScheduler::pump() {
       // A faulted attempt ends the tenant's turn: its retries queue behind
       // everyone else's round instead of taxing co-resident tenants now.
       if (out.faulted) break;
+      // A slice that resolved an update's barrier lets the update apply
+      // before the tenant's next slice — queries admitted after the write
+      // are always served by the refreshed engine.
+      apply_ready_updates(t);
     }
     if (t.queue_.empty()) deficit_[i] = 0;
   }
@@ -234,7 +296,13 @@ void ServiceScheduler::export_metrics() const {
     metric(t, "batches", static_cast<double>(t.batches_));
     metric(t, "degraded_batches", static_cast<double>(t.degraded_batches_));
     metric(t, "replans", static_cast<double>(t.replans_));
-    metric(t, "charged_steps", (t.inject_ + t.run_).steps);
+    metric(t, "updates_submitted", static_cast<double>(t.updates_.size()));
+    metric(t, "updates_applied", static_cast<double>(t.next_update_));
+    metric(t, "incremental_refreshes",
+           static_cast<double>(t.incremental_refreshes_));
+    metric(t, "full_refreshes", static_cast<double>(t.full_refreshes_));
+    metric(t, "refresh_steps", t.refresh_.steps);
+    metric(t, "charged_steps", (t.inject_ + t.run_ + t.refresh_).steps);
     if (t.fault_ != nullptr)
       mesh::record_fault_metrics(trace_, *t.fault_,
                                  trace::tenant_metric(t.name_, ""));

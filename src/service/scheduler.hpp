@@ -81,10 +81,12 @@ class ServiceScheduler {
   const TenantSession& tenant(const std::string& name) const;
   std::size_t tenant_count() const { return tenants_.size(); }
 
-  /// No tenant has pending work.
+  /// No tenant has pending work (queries or unapplied updates).
   bool idle() const;
 
   /// One scheduling round over all tenants under the configured policy.
+  /// A tenant's turn first applies its ready updates (mutate + engine
+  /// refresh, see TenantSession::submit_update), then serves query slices.
   /// Returns queries resolved (answered or reported failed) this round.
   std::size_t pump();
 
@@ -119,6 +121,13 @@ class ServiceScheduler {
   /// Pop one slice of at most `window` queries off `t`'s queue and run it,
   /// handling fault degradation per the tenant's plan.
   ServeOutcome serve_slice(TenantSession& t, std::size_t window);
+
+  /// Apply every ready update of `t` (in submission order): run the
+  /// mutation, refresh the engine under the tenant's sinks, advance the
+  /// clock by the charged refresh steps. A refresh that exhausts its fault
+  /// retry budget degrades the plan and re-runs fault-free — an update is
+  /// applied-after-degradation, never wedged.
+  void apply_ready_updates(TenantSession& t);
 
   /// Resolve one query: state, accounting, histograms, callback.
   void resolve(TenantSession& t, std::uint32_t idx, bool failed,

@@ -49,6 +49,23 @@ Submission TenantSession::submit(std::vector<msearch::Query> queries) {
   return sub;
 }
 
+std::size_t TenantSession::submit_update(UpdateFn mutate) {
+  if (!mutate) {
+    ErrorContext ctx;
+    ctx.engine = "service";
+    ctx.phase = "admission";
+    ctx.site = name_;
+    throw InvalidInputError(
+        "tenant '" + name_ + "' submit_update requires a callable",
+        std::move(ctx));
+  }
+  PendingUpdate u;
+  u.mutate = std::move(mutate);
+  u.barrier = stream_.size();
+  updates_.push_back(std::move(u));
+  return updates_.size() - 1;
+}
+
 QueryState TenantSession::poll(Ticket t) const {
   MS_CHECK_MSG(t < state_.size(), "poll on an unknown ticket");
   return state_[t];
@@ -81,8 +98,14 @@ TenantReport TenantSession::report() const {
   rep.batches = batches_;
   rep.degraded_batches = degraded_batches_;
   rep.replans = replans_;
+  rep.updates_submitted = updates_.size();
+  rep.updates_applied = next_update_;
+  rep.incremental_refreshes = incremental_refreshes_;
+  rep.full_refreshes = full_refreshes_;
+  rep.degraded_refreshes = degraded_refreshes_;
   rep.inject = inject_;
   rep.run = run_;
+  rep.refresh = refresh_;
   rep.queue_wait_steps = queue_wait_steps_;
   rep.latency_steps = latency_steps_;
   rep.batch_latency_us = batch_latency_us_;

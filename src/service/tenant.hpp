@@ -79,6 +79,17 @@ struct CompletionEvent {
 };
 using CompletionFn = std::function<void(const CompletionEvent&)>;
 
+/// An update batch, deferred: the callable mutates the tenant's structure
+/// (e.g. KaryTree::apply_updates) and returns the RefreshRequest the
+/// scheduler hands to the engine. It runs exactly once, from inside pump(),
+/// only after every query admitted before submit_update() has resolved —
+/// and queries admitted after it wait behind it (scheduler slices never
+/// cross the barrier). So within a tenant: earlier reads see the
+/// pre-update structure, later reads see the refreshed one
+/// (read-your-writes), and the engine never serves a mutation it has not
+/// been refreshed for.
+using UpdateFn = std::function<msearch::RefreshRequest()>;
+
 /// Snapshot of one tenant's service-level accounting.
 struct TenantReport {
   std::string tenant;
@@ -91,15 +102,21 @@ struct TenantReport {
   std::size_t batches = 0;          ///< attempts that produced an outcome
   std::size_t degraded_batches = 0;
   std::size_t replans = 0;          ///< re-plan generations executed
+  std::size_t updates_submitted = 0;
+  std::size_t updates_applied = 0;
+  std::size_t incremental_refreshes = 0;  ///< dirty-band re-distributions
+  std::size_t full_refreshes = 0;         ///< fell back to full re-setup
+  std::size_t degraded_refreshes = 0;     ///< retried fault-free after budget
   mesh::Cost inject;  ///< charged on this tenant's behalf
   mesh::Cost run;
+  mesh::Cost refresh;  ///< engine refresh work done on this tenant's behalf
   /// Simulated-step SLO histograms — deterministic, baseline-safe.
   util::LogHistogram queue_wait_steps;  ///< admission -> attempt start
   util::LogHistogram latency_steps;     ///< admission -> completion
   /// Wall-clock per-attempt latency — observability only.
   util::LogHistogram batch_latency_us;
 
-  mesh::Cost charged() const { return inject + run; }
+  mesh::Cost charged() const { return inject + run + refresh; }
 };
 
 class TenantSession {
@@ -122,6 +139,18 @@ class TenantSession {
   /// scheduler; the Submission's tickets are `first .. first + count - 1`.
   Submission submit(std::vector<msearch::Query> queries);
 
+  /// Enqueue an update batch (see UpdateFn). Returns the update's index in
+  /// this tenant's update sequence. The mutation does NOT happen here — it
+  /// runs inside a later pump(), once every query admitted before this call
+  /// has resolved. Throws InvalidInputError on a null callable.
+  std::size_t submit_update(UpdateFn mutate);
+
+  std::size_t updates_submitted() const { return updates_.size(); }
+  std::size_t updates_applied() const { return next_update_; }
+  std::size_t pending_updates() const {
+    return updates_.size() - next_update_;
+  }
+
   QueryState poll(Ticket t) const;
   /// The answered (or reported-failed, checkpoint-state) query. MS_CHECKs
   /// that the ticket is resolved — poll first.
@@ -143,10 +172,25 @@ class TenantSession {
  private:
   friend class ServiceScheduler;
 
+  /// One deferred update batch.
+  struct PendingUpdate {
+    UpdateFn mutate;
+    /// Queries admitted before submission; the update waits for them.
+    std::size_t barrier = 0;
+  };
+
   /// Largest slice the scheduler may hand the engine right now: mesh
   /// capacity, clamped by quota.max_batch and the fault plan's surviving
   /// capacity.
   std::size_t slice_cap() const;
+
+  /// The next unapplied update exists and its barrier has resolved.
+  /// (Queries resolve in admission order, so resolved-count >= barrier is
+  /// exactly "everything admitted before the update is done.")
+  bool update_ready() const {
+    return next_update_ < updates_.size() &&
+           completed_ + failed_ >= updates_[next_update_].barrier;
+  }
 
   std::string name_;
   Engine* engine_;
@@ -170,8 +214,14 @@ class TenantSession {
   std::size_t batches_ = 0;
   std::size_t degraded_batches_ = 0;
   std::size_t replans_ = 0;
+  std::vector<PendingUpdate> updates_;  ///< all submitted updates, in order
+  std::size_t next_update_ = 0;         ///< first unapplied index
+  std::size_t incremental_refreshes_ = 0;
+  std::size_t full_refreshes_ = 0;
+  std::size_t degraded_refreshes_ = 0;
   mesh::Cost inject_;
   mesh::Cost run_;
+  mesh::Cost refresh_;
   util::LogHistogram queue_wait_steps_;
   util::LogHistogram latency_steps_;
   util::LogHistogram batch_latency_us_;

@@ -15,6 +15,7 @@ const char* primitive_name(Primitive p) {
     case Primitive::kRaw: return "raw";
     case Primitive::kCompress: return "compress";
     case Primitive::kBackoff: return "backoff";
+    case Primitive::kRebuild: return "rebuild";
   }
   return "unknown";
 }

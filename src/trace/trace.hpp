@@ -58,8 +58,10 @@ enum class Primitive : std::uint8_t {
   kRaw,       ///< random access write with combining
   kCompress,
   kBackoff,   ///< fault-recovery wait between phase retry attempts
+  kRebuild,   ///< dynamic-update refresh: re-distributing dirty records
+              ///< (and replicas) after an apply_updates batch
 };
-inline constexpr std::size_t kPrimitiveCount = 9;
+inline constexpr std::size_t kPrimitiveCount = 10;
 
 const char* primitive_name(Primitive p);
 

@@ -122,4 +122,42 @@ class CheckFailedError : public Error {
   using Error::Error;
 };
 
+/// A warm engine was asked to serve against a structure that has been
+/// mutated since the engine was prepared (or refreshed). An IntegrityError
+/// — serving would return answers for a dataset that no longer exists —
+/// but a *recoverable* one: call refresh() on the engine (or rebuild it)
+/// and retry. Carries the dataset name and both generation stamps so the
+/// divergence is diagnosable from the error alone.
+class StaleEngineError : public IntegrityError {
+ public:
+  StaleEngineError(std::string dataset, std::uint64_t structure_generation,
+                   std::uint64_t prepared_generation, ErrorContext ctx = {})
+      : IntegrityError(
+            [&] {
+              std::ostringstream os;
+              os << "stale warm engine for dataset '" << dataset
+                 << "': structure at generation " << structure_generation
+                 << ", engine prepared at generation " << prepared_generation
+                 << " (refresh the engine before serving)";
+              return os.str();
+            }(),
+            std::move(ctx)),
+        dataset_(std::move(dataset)),
+        structure_generation_(structure_generation),
+        prepared_generation_(prepared_generation) {}
+
+  const std::string& dataset() const noexcept { return dataset_; }
+  std::uint64_t structure_generation() const noexcept {
+    return structure_generation_;
+  }
+  std::uint64_t prepared_generation() const noexcept {
+    return prepared_generation_;
+  }
+
+ private:
+  std::string dataset_;
+  std::uint64_t structure_generation_ = 0;
+  std::uint64_t prepared_generation_ = 0;
+};
+
 }  // namespace meshsearch

@@ -1,0 +1,804 @@
+// Dynamic updates (ISSUE 9): batched insert/delete on the application
+// structures, incremental invalidation of warm engines, and the stale-engine
+// hole the feature closes. The contracts pinned here:
+//
+//   1. apply_updates is validated at the front door (InvalidInputError, the
+//      structure untouched) and reports an honest StructureDelta: payload-only
+//      dirty sets while the topology holds, topology_changed when it cannot.
+//   2. A warm engine whose structure mutated NEVER serves silently: run_batch
+//      throws StaleEngineError (an IntegrityError) carrying the dataset name
+//      and both generation stamps.
+//   3. refresh() heals: incremental (dirty-band re-distribution charged under
+//      the `rebuild` primitive) for payload deltas, full re-setup otherwise —
+//      and the refreshed warm engine is bit-identical to a cold engine built
+//      over the same mutated structure: outcomes, per-batch charges, visits,
+//      at 1 and 8 host threads, with the stats registry armed or not.
+//   4. The `rebuild` phase rides the standard fault machinery: armed plans
+//      retry and back off; an exhausted budget throws FaultExhaustedError and
+//      leaves the engine still (safely) stale.
+//   5. The service layer carries mixed read/write tenant streams: an update
+//      submitted mid-stream applies only after the reads admitted before it,
+//      reads after it see the new structure, and the refresh is charged to
+//      the submitting tenant on the virtual clock.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datastruct/interval_tree.hpp"
+#include "datastruct/kary_tree.hpp"
+#include "datastruct/workloads.hpp"
+#include "geometry/kirkpatrick.hpp"
+#include "mesh/fault.hpp"
+#include "multisearch/hierarchical.hpp"
+#include "multisearch/query.hpp"
+#include "multisearch/sequential.hpp"
+#include "multisearch/stream.hpp"
+#include "multisearch/update.hpp"
+#include "service/engine.hpp"
+#include "service/scheduler.hpp"
+#include "service/tenant.hpp"
+#include "trace/stats.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+#include "util/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace meshsearch;
+using namespace meshsearch::msearch;
+using ds::Interval;
+using ds::IntervalTree;
+using ds::KaryTree;
+using ds::TreeMode;
+using geom::Kirkpatrick;
+using geom::Point2;
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+// ---------------------------------------------------------------------------
+
+struct RunRecord {
+  std::vector<QueryOutcome> out;
+  mesh::Cost cost;
+  std::map<trace::PrimitiveKey, trace::PrimitiveStat> counters;
+};
+
+/// The determinism harness for update flows: run `f` under a 1-thread pool,
+/// an 8-thread pool, and once more (8 threads) with the stats registry armed
+/// (what MESHSEARCH_STATS=1 does) — outcomes, charges and attribution must
+/// be bit-identical in all three.
+template <typename F>
+void expect_update_invariant(F f) {
+  util::ThreadPool::set_global_threads(1);
+  const RunRecord serial = f();
+  util::ThreadPool::set_global_threads(8);
+  const RunRecord parallel = f();
+  auto& registry = stats::StatsRegistry::global();
+  const bool stats_were_enabled = registry.enabled();
+  registry.set_enabled(true);
+  const RunRecord stats_on = f();
+  registry.set_enabled(stats_were_enabled);
+  util::ThreadPool::set_global_threads(0);
+  for (const RunRecord* other : {&parallel, &stats_on}) {
+    EXPECT_EQ(diff_outcomes(serial.out, other->out), "");
+    EXPECT_EQ(serial.cost, other->cost);  // exact, not approximate
+    EXPECT_TRUE(serial.counters == other->counters)
+        << "per-primitive attribution diverged";
+  }
+}
+
+std::vector<Query> rank_queries(std::size_t m, std::int64_t key_hi,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  return ds::uniform_key_queries(m, key_hi, rng);
+}
+
+std::vector<Query> stab_queries(std::size_t m, std::int64_t lo,
+                                std::int64_t hi, std::uint64_t seed) {
+  auto qs = make_queries(m);
+  util::Rng rng(seed);
+  for (auto& q : qs)
+    q.key[0] = rng.uniform_range(lo, hi);
+  return qs;
+}
+
+// ---------------------------------------------------------------------------
+// The rebuild primitive itself.
+// ---------------------------------------------------------------------------
+
+TEST(RebuildPrimitive, NamedAndChargedAsSortPlusRoute) {
+  EXPECT_STREQ(trace::primitive_name(trace::Primitive::kRebuild), "rebuild");
+  trace::TraceRecorder rec("counting");
+  mesh::CostModel m;
+  m.trace = &rec;
+  const double p = 1024;
+  const mesh::Cost c = m.rebuild(p, 3.0);
+  // rebuild = one sort pass + one route pass over the dirty records.
+  const mesh::CostModel quiet;
+  EXPECT_DOUBLE_EQ(c.steps,
+                   3.0 * (quiet.sort(p).steps + quiet.route(p).steps));
+  bool saw = false;
+  for (const auto& [key, stat] : rec.counters())
+    if (key.prim == trace::Primitive::kRebuild) {
+      saw = true;
+      EXPECT_EQ(stat.calls, 3u);  // `times` back-to-back executions
+    }
+  EXPECT_TRUE(saw);
+}
+
+// ---------------------------------------------------------------------------
+// KaryTree::apply_updates.
+// ---------------------------------------------------------------------------
+
+TEST(DynamicKaryTree, PayloadOnlyBatchReportsDirtySetAndStaysCorrect) {
+  KaryTree tree(ds::iota_keys(200), 3, TreeMode::kDirected);
+  const std::size_t vertices = tree.graph().vertex_count();
+  EXPECT_EQ(tree.graph().generation(), 0u);
+
+  // Two inserts (one brand-new key, one weight update in place), two
+  // deletes: the merged key set still fits the leaf level, so the update is
+  // payload-only.
+  const auto delta = tree.apply_updates(
+      {ds::WeightedKey{500, 2}, ds::WeightedKey{5, 42}},
+      {std::int64_t{7}, std::int64_t{13}});
+  EXPECT_FALSE(delta.topology_changed);
+  EXPECT_FALSE(delta.dirty_vertices.empty());
+  EXPECT_LT(delta.dirty_vertices.size(), vertices);  // incremental, not all
+  EXPECT_EQ(delta.generation, 1u);
+  EXPECT_EQ(tree.graph().generation(), 1u);
+  EXPECT_EQ(tree.graph().vertex_count(), vertices);  // same topology
+  EXPECT_EQ(tree.key_set().size(), 199u);            // 200 - 2 + 1 new
+
+  // The updated tree answers exactly like a cold tree built from the same
+  // key set.
+  KaryTree fresh(tree.key_set(), 3, TreeMode::kDirected);
+  auto qa = rank_queries(300, 520, 91);
+  auto qb = qa;
+  sequential_multisearch(tree.graph(), tree.rank_count(), qa);
+  sequential_multisearch(fresh.graph(), fresh.rank_count(), qb);
+  EXPECT_EQ(diff_outcomes(outcomes(qa), outcomes(qb)), "");
+}
+
+TEST(DynamicKaryTree, OutgrowingTheLeafLevelRebuildsInPlace) {
+  KaryTree tree(ds::iota_keys(9), 3, TreeMode::kDirected);  // 9 = full leaves
+  std::vector<ds::WeightedKey> ins{ds::WeightedKey{100, 1}};
+  const auto delta = tree.apply_updates(ins, {});
+  EXPECT_TRUE(delta.topology_changed);
+  EXPECT_EQ(delta.generation, 1u);
+  EXPECT_EQ(tree.key_set().size(), 10u);
+  tree.graph().validate();
+
+  KaryTree fresh(tree.key_set(), 3, TreeMode::kDirected);
+  auto qa = rank_queries(100, 120, 92);
+  auto qb = qa;
+  sequential_multisearch(tree.graph(), tree.rank_count(), qa);
+  sequential_multisearch(fresh.graph(), fresh.rank_count(), qb);
+  EXPECT_EQ(diff_outcomes(outcomes(qa), outcomes(qb)), "");
+}
+
+TEST(DynamicKaryTree, MalformedBatchesRejectedBeforeAnyMutation) {
+  KaryTree tree(ds::iota_keys(20), 2, TreeMode::kDirected);
+  const auto before = tree.key_set();
+  // Duplicate insert keys.
+  EXPECT_THROW(tree.apply_updates({ds::WeightedKey{50, 1},
+                                   ds::WeightedKey{50, 2}},
+                                  {}),
+               InvalidInputError);
+  // Delete of an absent key.
+  EXPECT_THROW(tree.apply_updates({}, {std::int64_t{999}}),
+               InvalidInputError);
+  // Duplicate delete.
+  EXPECT_THROW(tree.apply_updates({}, {std::int64_t{3}, std::int64_t{3}}),
+               InvalidInputError);
+  // Emptying the tree.
+  std::vector<std::int64_t> all;
+  for (const auto& wk : before) all.push_back(wk.key);
+  EXPECT_THROW(tree.apply_updates({}, all), InvalidInputError);
+  // Nothing moved: same keys, same generation.
+  EXPECT_EQ(tree.graph().generation(), 0u);
+  EXPECT_EQ(tree.key_set().size(), before.size());
+}
+
+// ---------------------------------------------------------------------------
+// IntervalTree::apply_updates (slack chains).
+// ---------------------------------------------------------------------------
+
+std::vector<Interval> demo_intervals() {
+  std::vector<Interval> ivs;
+  util::Rng rng(7);
+  for (std::int32_t i = 0; i < 24; ++i) {
+    const std::int64_t lo = rng.uniform_range(0, 900);
+    ivs.push_back(Interval{lo, lo + rng.uniform_range(0, 120), i});
+  }
+  ivs.push_back(Interval{0, 1000, 24});  // wide: anchors the root chain
+  return ivs;
+}
+
+void expect_stab_matches_oracle(const IntervalTree& t,
+                                std::vector<Query> qs) {
+  sequential_multisearch(t.graph(), t.stabbing_program(), qs);
+  for (const auto& q : qs) {
+    const auto [cnt, sum] = IntervalTree::stab_oracle(t.intervals(), q.key[0]);
+    EXPECT_EQ(q.acc0, cnt) << "x=" << q.key[0];
+    EXPECT_EQ(q.acc1, sum) << "x=" << q.key[0];
+  }
+}
+
+TEST(DynamicIntervalTree, SlackAbsorbsInsertsAndDeletesPayloadOnly) {
+  IntervalTree t(demo_intervals(), /*chain_slack=*/3);
+  const std::size_t vertices = t.graph().vertex_count();
+
+  // A root-straddling insert lands in the root chains' spare slots; a
+  // delete re-inerts a tail slot. Both are payload rewrites.
+  const auto delta = t.apply_updates({Interval{1, 999, 100}},
+                                     {std::int32_t{24}});
+  EXPECT_FALSE(delta.topology_changed);
+  EXPECT_FALSE(delta.dirty_vertices.empty());
+  EXPECT_EQ(delta.generation, 1u);
+  EXPECT_EQ(t.graph().vertex_count(), vertices);
+  EXPECT_EQ(t.interval_count(), 25u);
+  t.graph().validate();
+  expect_stab_matches_oracle(t, stab_queries(400, -50, 1100, 71));
+
+  // Delete + re-insert with the same id in one batch is legal (the delete
+  // frees the id first); emptied chains park and re-open correctly.
+  const auto delta2 = t.apply_updates({Interval{2, 998, 100}},
+                                      {std::int32_t{100}});
+  EXPECT_FALSE(delta2.topology_changed);
+  EXPECT_EQ(delta2.generation, 2u);
+  expect_stab_matches_oracle(t, stab_queries(400, -50, 1100, 72));
+}
+
+TEST(DynamicIntervalTree, ChainOverflowFallsBackToFullRebuild) {
+  IntervalTree t(demo_intervals(), /*chain_slack=*/0);  // no spare slots
+  const auto delta = t.apply_updates({Interval{1, 999, 100}}, {});
+  EXPECT_TRUE(delta.topology_changed);
+  EXPECT_EQ(delta.generation, 1u);
+  EXPECT_EQ(t.interval_count(), 26u);
+  t.graph().validate();
+  expect_stab_matches_oracle(t, stab_queries(400, -50, 1100, 73));
+}
+
+TEST(DynamicIntervalTree, MalformedBatchesRejectedBeforeAnyMutation) {
+  IntervalTree t(demo_intervals(), /*chain_slack=*/2);
+  // Inverted insert.
+  EXPECT_THROW(t.apply_updates({Interval{10, 5, 200}}, {}),
+               InvalidInputError);
+  // Insert id already live (and not deleted in the same batch).
+  EXPECT_THROW(t.apply_updates({Interval{1, 2, 0}}, {}), InvalidInputError);
+  // Duplicate insert ids within the batch.
+  EXPECT_THROW(t.apply_updates({Interval{1, 2, 300}, Interval{3, 4, 300}},
+                               {}),
+               InvalidInputError);
+  // Delete of an absent id, duplicate delete ids.
+  EXPECT_THROW(t.apply_updates({}, {std::int32_t{999}}), InvalidInputError);
+  EXPECT_THROW(t.apply_updates({}, {std::int32_t{0}, std::int32_t{0}}),
+               InvalidInputError);
+  // Emptying the set.
+  std::vector<std::int32_t> all;
+  for (const auto& iv : t.intervals()) all.push_back(iv.id);
+  EXPECT_THROW(t.apply_updates({}, all), InvalidInputError);
+  EXPECT_EQ(t.graph().generation(), 0u);
+  EXPECT_EQ(t.interval_count(), 25u);
+}
+
+// ---------------------------------------------------------------------------
+// Kirkpatrick::apply_updates (re-triangulated pockets).
+// ---------------------------------------------------------------------------
+
+std::vector<Point2> demo_points() {
+  std::vector<Point2> pts;
+  util::Rng rng(19);
+  for (int i = 0; i < 40; ++i)
+    pts.push_back(Point2{rng.uniform_range(-900, 900),
+                         rng.uniform_range(-900, 900)});
+  std::sort(pts.begin(), pts.end(), [](const Point2& a, const Point2& b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  });
+  pts.erase(std::unique(pts.begin(), pts.end(),
+                        [](const Point2& a, const Point2& b) {
+                          return a.x == b.x && a.y == b.y;
+                        }),
+            pts.end());
+  return pts;
+}
+
+TEST(DynamicKirkpatrick, DeleteReinsertOfSamePointIsPayloadOnly) {
+  Kirkpatrick kp(demo_points(), 2048);
+  const Point2 p = kp.points().front();
+  // Deterministic re-triangulation: removing and re-adding the same point
+  // rebuilds an identical DAG — an empty dirty set, but the generation
+  // still moves (the engine must still be told to re-stamp).
+  const auto delta = kp.apply_updates({p}, {p});
+  EXPECT_FALSE(delta.topology_changed);
+  EXPECT_TRUE(delta.dirty_vertices.empty());
+  EXPECT_EQ(delta.generation, 1u);
+  EXPECT_EQ(kp.dag().generation(), 1u);
+}
+
+TEST(DynamicKirkpatrick, PointInsertChangesTopologyAndStaysCorrect) {
+  Kirkpatrick kp(demo_points(), 2048);
+  const auto delta = kp.apply_updates({Point2{3, 4}, Point2{-7, 11}}, {});
+  // A changed point count changes the slot count: the honest delta is a
+  // topology change, the engines' full re-setup fallback.
+  EXPECT_TRUE(delta.topology_changed);
+  EXPECT_EQ(delta.generation, 1u);
+  kp.dag().validate();
+
+  util::Rng rng(23);
+  auto qs = make_queries(200);
+  for (auto& q : qs) {
+    q.key[0] = rng.uniform_range(-3000, 3000);
+    q.key[1] = rng.uniform_range(-3000, 3000);
+  }
+  sequential_multisearch(kp.dag(), kp.locate_program(), qs);
+  const auto bt = kp.bounding_corners();
+  for (const auto& q : qs) {
+    const Point2 p{q.key[0], q.key[1]};
+    if (point_in_triangle(p, bt[0], bt[1], bt[2]))
+      EXPECT_TRUE(kp.answer_contains_point(q));
+    else
+      EXPECT_EQ(q.result, Kirkpatrick::kOutside);
+  }
+}
+
+TEST(DynamicKirkpatrick, MalformedBatchesRejectedBeforeAnyMutation) {
+  Kirkpatrick kp(demo_points(), 2048);
+  const std::size_t n = kp.points().size();
+  // Delete of an absent point; duplicate insert of a live point.
+  EXPECT_THROW(kp.apply_updates({}, {Point2{12345, 12345}}),
+               InvalidInputError);
+  EXPECT_THROW(kp.apply_updates({kp.points().front()}, {}),
+               InvalidInputError);
+  // Emptying the point set.
+  EXPECT_THROW(kp.apply_updates({}, kp.points()), InvalidInputError);
+  EXPECT_EQ(kp.dag().generation(), 0u);
+  EXPECT_EQ(kp.points().size(), n);
+}
+
+// ---------------------------------------------------------------------------
+// The stale-engine gate (satellite 1): a mutated dataset must never be
+// served silently — the typed throw, with context, at the warm boundary.
+// ---------------------------------------------------------------------------
+
+TEST(UpdateStaleEngine, MutatedDatasetLookupThrowsTypedStaleEngineError) {
+  KaryTree tree(ds::iota_keys(200), 3, TreeMode::kDirected);
+  const auto shape = tree.graph().shape_for(tree.graph().vertex_count());
+  const mesh::CostModel m;
+
+  service::EngineRegistry registry;
+  service::Engine& engine = registry.add(
+      {"orders", EngineKind::kAlg2Alpha},
+      service::make_partitioned_engine(
+          EngineKind::kAlg2Alpha, tree.graph(), tree.alpha_splitting(),
+          tree.alpha_splitting(), tree.rank_count(), m, shape));
+  EXPECT_EQ(engine.dataset(), "orders");  // stamped by the registry
+
+  // Warm serving works before the mutation...
+  auto batch = rank_queries(shape.size(), 220, 41);
+  EXPECT_NO_THROW(engine.run_batch(batch));
+  EXPECT_FALSE(engine.stale());
+
+  // ...then the dataset mutates out from under the warm engine.
+  const auto delta = tree.apply_updates({ds::WeightedKey{777, 3}}, {});
+  EXPECT_TRUE(engine.stale());
+  bool threw = false;
+  try {
+    engine.run_batch(batch);
+  } catch (const StaleEngineError& e) {
+    threw = true;
+    EXPECT_EQ(e.dataset(), "orders");
+    EXPECT_EQ(e.structure_generation(), 1u);
+    EXPECT_EQ(e.prepared_generation(), 0u);
+    EXPECT_EQ(e.context().phase, "run_batch");
+    EXPECT_NE(std::string(e.what()).find("orders"), std::string::npos);
+  }
+  EXPECT_TRUE(threw) << "stale warm engine served silently";
+  // The taxonomy: StaleEngineError IS an IntegrityError IS an Error.
+  EXPECT_THROW(engine.run_batch(batch), IntegrityError);
+  EXPECT_THROW(engine.run_batch(batch), Error);
+
+  // refresh() reopens the gate and the answers match the mutated oracle.
+  RefreshRequest req;
+  req.delta = delta;
+  const auto rep = engine.refresh(req);
+  EXPECT_TRUE(rep.incremental);
+  EXPECT_FALSE(engine.stale());
+  auto served = rank_queries(shape.size(), 800, 42);
+  auto expect = served;
+  engine.run_batch(served);
+  sequential_multisearch(tree.graph(), tree.rank_count(), expect);
+  EXPECT_EQ(diff_outcomes(outcomes(served), outcomes(expect)), "");
+}
+
+// ---------------------------------------------------------------------------
+// Warm-refresh == cold-rebuild oracle (satellite 3): after refresh, a warm
+// engine is bit-identical to a cold engine prepared over the same mutated
+// structure — outcomes, per-batch charges, visits — at 1 and 8 threads and
+// with the stats registry armed.
+// ---------------------------------------------------------------------------
+
+/// Run the warm-update-refresh flow for one engine pair and demand parity
+/// with the cold comparator. Returns the warm record for the thread-
+/// invariance harness.
+template <typename MakeWarm, typename MakeCold, typename Mutate,
+          typename Oracle>
+RunRecord warm_cold_flow(MakeWarm make_warm, MakeCold make_cold,
+                         Mutate mutate, Oracle oracle,
+                         const std::vector<Query>& qs) {
+  trace::TraceRecorder rec("counting");
+  mesh::CostModel m;
+  m.trace = &rec;
+  auto warm_engine = make_warm(m);
+  {
+    auto pre = qs;
+    warm_engine->run_batch(pre);  // pre-update warm serving
+  }
+  const RefreshRequest req = mutate();
+  const RefreshReport rrep = warm_engine->refresh(req);
+  EXPECT_EQ(rrep.incremental, !req.delta.topology_changed && !req.force_full);
+
+  auto warm = qs;
+  const BatchReport wrep = warm_engine->run_batch(warm);
+
+  const mesh::CostModel cold_model;  // unattributed comparator
+  auto cold_engine = make_cold(cold_model);
+  auto cold = qs;
+  const BatchReport crep = cold_engine->run_batch(cold);
+
+  EXPECT_EQ(diff_outcomes(outcomes(warm), outcomes(cold)), "");
+  EXPECT_EQ(wrep.inject, crep.inject);
+  EXPECT_EQ(wrep.run, crep.run);
+  EXPECT_EQ(wrep.visits, crep.visits);
+
+  auto seq = qs;
+  oracle(seq);
+  EXPECT_EQ(diff_outcomes(outcomes(warm), outcomes(seq)), "");
+  return RunRecord{outcomes(warm), rrep.cost + wrep.inject + wrep.run,
+                   rec.counters()};
+}
+
+TEST(UpdateWarmColdOracle, Alg1PaperAndGeometricOverKaryDag) {
+  for (const PlanKind plan : {PlanKind::kPaper, PlanKind::kGeometric}) {
+    const auto qs = rank_queries(300, 520, 61);
+    expect_update_invariant([&] {
+      // Fresh per run: the flow mutates the tree.
+      KaryTree tree(ds::iota_keys(200), 3, TreeMode::kDirected);
+      const HierarchicalDag dag(tree.graph(), 3.0);
+      const auto shape = tree.graph().shape_for(qs.size());
+      using Prog = decltype(tree.rank_count());
+      return warm_cold_flow(
+          [&](const mesh::CostModel& m) {
+            return std::make_unique<PreparedSearch<Prog>>(
+                dag, plan, tree.rank_count(), m, shape);
+          },
+          [&](const mesh::CostModel& m) {
+            return std::make_unique<PreparedSearch<Prog>>(
+                dag, plan, tree.rank_count(), m, shape);
+          },
+          [&] {
+            RefreshRequest req;
+            req.delta = tree.apply_updates(
+                {ds::WeightedKey{500, 2}, ds::WeightedKey{5, 42}},
+                {std::int64_t{7}, std::int64_t{13}});
+            EXPECT_FALSE(req.delta.topology_changed);
+            return req;
+          },
+          [&](std::vector<Query>& seq) {
+            sequential_multisearch(tree.graph(), tree.rank_count(), seq);
+          },
+          qs);
+    });
+  }
+}
+
+TEST(UpdateWarmColdOracle, Alg2AlphaOverKaryTree) {
+  const auto qs = rank_queries(300, 520, 62);
+  expect_update_invariant([&] {
+    KaryTree tree(ds::iota_keys(200), 3, TreeMode::kDirected);
+    const auto shape = tree.graph().shape_for(qs.size());
+    using Prog = decltype(tree.rank_count());
+    RunRecord r = warm_cold_flow(
+        [&](const mesh::CostModel& m) {
+          return std::make_unique<PreparedSearch<Prog>>(
+              EngineKind::kAlg2Alpha, tree.graph(), tree.alpha_splitting(),
+              tree.alpha_splitting(), tree.rank_count(), m, shape);
+        },
+        [&](const mesh::CostModel& m) {
+          return std::make_unique<PreparedSearch<Prog>>(
+              EngineKind::kAlg2Alpha, tree.graph(), tree.alpha_splitting(),
+              tree.alpha_splitting(), tree.rank_count(), m, shape);
+        },
+        [&] {
+          RefreshRequest req;
+          req.delta =
+              tree.apply_updates({ds::WeightedKey{500, 2}}, {std::int64_t{7}});
+          EXPECT_FALSE(req.delta.topology_changed);
+          return req;
+        },
+        [&](std::vector<Query>& seq) {
+          sequential_multisearch(tree.graph(), tree.rank_count(), seq);
+        },
+        qs);
+    // The incremental refresh is charged under the rebuild primitive.
+    bool saw_rebuild = false;
+    for (const auto& [key, stat] : r.counters)
+      saw_rebuild |= key.prim == trace::Primitive::kRebuild;
+    EXPECT_TRUE(saw_rebuild);
+    return r;
+  });
+}
+
+TEST(UpdateWarmColdOracle, Alg3AlphaBetaOverSlackIntervalTree) {
+  const auto qs = stab_queries(256, -50, 1100, 63);
+  expect_update_invariant([&] {
+    IntervalTree t(demo_intervals(), /*chain_slack=*/3);
+    const auto [s1, s2] = t.alpha_beta_splittings();
+    const auto shape = t.graph().shape_for(qs.size());
+    using Prog = decltype(t.stabbing_program());
+    return warm_cold_flow(
+        [&](const mesh::CostModel& m) {
+          return std::make_unique<PreparedSearch<Prog>>(
+              EngineKind::kAlg3AlphaBeta, t.graph(), s1, s2,
+              t.stabbing_program(), m, shape);
+        },
+        [&](const mesh::CostModel& m) {
+          return std::make_unique<PreparedSearch<Prog>>(
+              EngineKind::kAlg3AlphaBeta, t.graph(), s1, s2,
+              t.stabbing_program(), m, shape);
+        },
+        [&] {
+          RefreshRequest req;
+          req.delta = t.apply_updates({Interval{1, 999, 100}},
+                                      {std::int32_t{24}});
+          EXPECT_FALSE(req.delta.topology_changed);
+          return req;
+        },
+        [&](std::vector<Query>& seq) {
+          sequential_multisearch(t.graph(), t.stabbing_program(), seq);
+        },
+        qs);
+  });
+}
+
+TEST(UpdateWarmColdOracle, KirkpatrickTopologyChangeTakesFullResetup) {
+  util::Rng qrng(64);
+  auto qs = make_queries(200);
+  for (auto& q : qs) {
+    q.key[0] = qrng.uniform_range(-3000, 3000);
+    q.key[1] = qrng.uniform_range(-3000, 3000);
+  }
+  expect_update_invariant([&] {
+    Kirkpatrick kp(demo_points(), 2048);
+    // Leave headroom in the mesh: the re-triangulated DAG grows.
+    const auto shape =
+        kp.dag().shape_for(4 * kp.dag().vertex_count());
+    // The HierarchicalDag view is assignable so the warm engine's pointer
+    // stays valid across the topology change.
+    HierarchicalDag dag = kp.hierarchical_dag();
+    using Prog = Kirkpatrick::PointLocate;
+    return warm_cold_flow(
+        [&](const mesh::CostModel& m) {
+          return std::make_unique<PreparedSearch<Prog>>(
+              dag, PlanKind::kGeometric, kp.locate_program(), m, shape);
+        },
+        [&](const mesh::CostModel& m) {
+          return std::make_unique<PreparedSearch<Prog>>(
+              dag, PlanKind::kGeometric, kp.locate_program(), m, shape);
+        },
+        [&] {
+          RefreshRequest req;
+          req.delta = kp.apply_updates({Point2{3, 4}, Point2{-7, 11}}, {});
+          EXPECT_TRUE(req.delta.topology_changed);
+          dag = kp.hierarchical_dag();  // refresh the view in place
+          return req;
+        },
+        [&](std::vector<Query>& seq) {
+          sequential_multisearch(kp.dag(), kp.locate_program(), seq);
+        },
+        qs);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection on the rebuild phase (satellite 3): retries recharge and
+// back off; an exhausted budget leaves the engine safely stale.
+// ---------------------------------------------------------------------------
+
+TEST(UpdateFaultRebuild, ArmedPlanRetriesAndExhaustionLeavesEngineStale) {
+  KaryTree tree(ds::iota_keys(200), 3, TreeMode::kDirected);
+  const auto shape = tree.graph().shape_for(tree.graph().vertex_count());
+
+  // Fault-free reference refresh cost.
+  const mesh::CostModel quiet;
+  PreparedSearch ref(EngineKind::kAlg2Alpha, tree.graph(),
+                     tree.alpha_splitting(), tree.alpha_splitting(),
+                     tree.rank_count(), quiet, shape);
+  RefreshRequest req;
+  req.delta = tree.apply_updates({ds::WeightedKey{500, 2}}, {});
+  const RefreshReport clean = ref.refresh(req);
+  EXPECT_TRUE(clean.incremental);
+
+  // Armed plan: the rebuild phase fails some attempts, each failed attempt
+  // re-charges and backs off, so the faulted refresh costs strictly more.
+  mesh::FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.p_phase = 0.9;
+  mesh::FaultPlan plan(cfg);
+  mesh::CostModel m;
+  m.fault = &plan;
+  PreparedSearch eng(EngineKind::kAlg2Alpha, tree.graph(),
+                     tree.alpha_splitting(), tree.alpha_splitting(),
+                     tree.rank_count(), m, shape);
+  req.delta = tree.apply_updates({ds::WeightedKey{501, 2}}, {});
+  EXPECT_TRUE(eng.stale());
+  const RefreshReport faulted = eng.refresh(req);
+  EXPECT_TRUE(faulted.incremental);
+  EXPECT_FALSE(eng.stale());
+  EXPECT_GT(plan.stats().phase_failures, 0u);
+  EXPECT_GT(faulted.cost.steps, clean.cost.steps);
+
+  // Exhaustion: every attempt fails -> FaultExhaustedError, the engine is
+  // STILL stale (the gate stays shut), and a fault-free retry heals it.
+  mesh::FaultConfig fatal;
+  fatal.seed = 6;
+  fatal.p_phase = 1.0;
+  fatal.max_retries = 2;
+  mesh::FaultPlan fatal_plan(fatal);
+  m.fault = &fatal_plan;
+  req.delta = tree.apply_updates({ds::WeightedKey{502, 2}}, {});
+  EXPECT_THROW(eng.refresh(req), mesh::FaultExhaustedError);
+  EXPECT_TRUE(eng.stale());
+  auto batch = rank_queries(64, 520, 44);
+  EXPECT_THROW(eng.run_batch(batch), StaleEngineError);
+  m.fault = nullptr;
+  const RefreshReport healed = eng.refresh(req);
+  EXPECT_TRUE(healed.incremental);
+  EXPECT_FALSE(eng.stale());
+  auto served = rank_queries(64, 520, 44);
+  auto expect = served;
+  eng.run_batch(served);
+  sequential_multisearch(tree.graph(), tree.rank_count(), expect);
+  EXPECT_EQ(diff_outcomes(outcomes(served), outcomes(expect)), "");
+}
+
+// ---------------------------------------------------------------------------
+// Mixed read/write tenant streams through the service layer.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceUpdates, MixedReadWriteStreamAppliesUpdateBetweenWaves) {
+  KaryTree tree(ds::iota_keys(200), 3, TreeMode::kDirected);
+  const auto shape = tree.graph().shape_for(tree.graph().vertex_count());
+  const std::size_t cap = shape.size();
+  const mesh::CostModel m;
+  auto engine = service::make_partitioned_engine(
+      EngineKind::kAlg2Alpha, tree.graph(), tree.alpha_splitting(),
+      tree.alpha_splitting(), tree.rank_count(), m, shape);
+
+  trace::TraceRecorder rec("counting");
+  service::ServiceScheduler svc({}, &rec);
+  service::TenantQuota quota;
+  quota.max_outstanding = 8 * cap;
+  service::TenantSession& t = svc.add_tenant("acme", *engine, quota);
+
+  // Wave 1 reads the original structure: pin its oracle BEFORE the update
+  // can run.
+  const auto wave1 = rank_queries(cap + 9, 520, 81);
+  auto expect1 = wave1;
+  sequential_multisearch(tree.graph(), tree.rank_count(), expect1);
+  const service::Submission s1 = t.submit(wave1);
+
+  // The write, then wave 2, which must see the mutated structure.
+  const std::size_t uidx = t.submit_update([&tree] {
+    RefreshRequest req;
+    req.delta = tree.apply_updates({ds::WeightedKey{500, 7}},
+                                   {std::int64_t{13}});
+    return req;
+  });
+  EXPECT_EQ(uidx, 0u);
+  EXPECT_EQ(t.pending_updates(), 1u);
+  const auto wave2 = rank_queries(cap / 2, 800, 82);
+  const service::Submission s2 = t.submit(wave2);
+  EXPECT_THROW(t.submit_update(service::UpdateFn{}), InvalidInputError);
+
+  svc.run_until_idle();
+  EXPECT_TRUE(svc.idle());
+  EXPECT_EQ(t.pending_updates(), 0u);
+  EXPECT_EQ(t.updates_applied(), 1u);
+
+  // Wave 1 was answered by the pre-update structure, wave 2 by the
+  // post-update one.
+  auto expect2 = wave2;
+  sequential_multisearch(tree.graph(), tree.rank_count(), expect2);
+  std::vector<Query> got1, got2;
+  for (service::Ticket k = s1.first; k < s1.first + s1.count; ++k)
+    got1.push_back(t.result(k));
+  for (service::Ticket k = s2.first; k < s2.first + s2.count; ++k)
+    got2.push_back(t.result(k));
+  EXPECT_EQ(diff_outcomes(outcomes(got1), outcomes(expect1)), "");
+  EXPECT_EQ(diff_outcomes(outcomes(got2), outcomes(expect2)), "");
+
+  // The refresh was charged to the tenant on the virtual clock, and the
+  // report carries the update accounting.
+  const service::TenantReport rep = t.report();
+  EXPECT_EQ(rep.updates_submitted, 1u);
+  EXPECT_EQ(rep.updates_applied, 1u);
+  EXPECT_EQ(rep.incremental_refreshes, 1u);
+  EXPECT_EQ(rep.full_refreshes, 0u);
+  EXPECT_GT(rep.refresh.steps, 0.0);
+  EXPECT_DOUBLE_EQ(svc.now_steps(), rep.charged().steps);
+  svc.export_metrics();
+  std::map<std::string, double> metrics;
+  for (const auto& mt : rec.metrics()) metrics[mt.name] = mt.value;
+  EXPECT_EQ(metrics.at("tenant.acme.updates_applied"), 1.0);
+  EXPECT_EQ(metrics.at("tenant.acme.incremental_refreshes"), 1.0);
+  EXPECT_GT(metrics.at("tenant.acme.refresh_steps"), 0.0);
+}
+
+TEST(ServiceUpdates, OutOfBandMutationSurfacesStaleEngineErrorFromPump) {
+  KaryTree tree(ds::iota_keys(100), 3, TreeMode::kDirected);
+  const auto shape = tree.graph().shape_for(tree.graph().vertex_count());
+  const mesh::CostModel m;
+  auto engine = service::make_partitioned_engine(
+      EngineKind::kAlg2Alpha, tree.graph(), tree.alpha_splitting(),
+      tree.alpha_splitting(), tree.rank_count(), m, shape);
+  service::ServiceScheduler svc;
+  service::TenantQuota quota;
+  quota.max_outstanding = 4 * shape.size();
+  service::TenantSession& t = svc.add_tenant("acme", *engine, quota);
+  t.submit(rank_queries(shape.size() / 2, 120, 83));
+  // Mutating the structure WITHOUT submit_update is the bug this PR closes:
+  // the service refuses to serve the stale engine rather than answering
+  // from a structure the engine never distributed.
+  tree.apply_updates({ds::WeightedKey{700, 1}}, {});
+  EXPECT_THROW(svc.run_until_idle(), StaleEngineError);
+}
+
+TEST(ServiceUpdates, FaultExhaustedRefreshDegradesAndStillApplies) {
+  KaryTree tree(ds::iota_keys(100), 3, TreeMode::kDirected);
+  const auto shape = tree.graph().shape_for(tree.graph().vertex_count());
+  const mesh::CostModel m;
+  auto engine = service::make_partitioned_engine(
+      EngineKind::kAlg2Alpha, tree.graph(), tree.alpha_splitting(),
+      tree.alpha_splitting(), tree.rank_count(), m, shape);
+  service::ServiceScheduler svc;
+  service::TenantQuota quota;
+  quota.max_outstanding = 4 * shape.size();
+  service::TenantSession& t = svc.add_tenant("acme", *engine, quota);
+
+  mesh::FaultConfig cfg;
+  cfg.seed = 11;
+  cfg.p_phase = 1.0;  // the rebuild phase can never succeed under this plan
+  cfg.max_retries = 2;
+  mesh::FaultPlan plan(cfg);
+  t.set_fault(&plan);
+
+  t.submit_update([&tree] {
+    RefreshRequest req;
+    req.delta = tree.apply_updates({ds::WeightedKey{700, 1}}, {});
+    return req;
+  });
+  svc.run_until_idle();  // must terminate: degraded, then applied fault-free
+  EXPECT_EQ(t.updates_applied(), 1u);
+  const service::TenantReport rep = t.report();
+  EXPECT_EQ(rep.degraded_refreshes, 1u);
+  EXPECT_EQ(rep.incremental_refreshes, 1u);
+
+  // And the engine serves the mutated structure correctly afterwards.
+  t.set_fault(nullptr);
+  auto served = rank_queries(shape.size() / 2, 800, 84);
+  const service::Submission sub = t.submit(served);
+  svc.run_until_idle();
+  auto expect = served;
+  sequential_multisearch(tree.graph(), tree.rank_count(), expect);
+  std::vector<Query> got;
+  for (service::Ticket k = sub.first; k < sub.first + sub.count; ++k)
+    got.push_back(t.result(k));
+  EXPECT_EQ(diff_outcomes(outcomes(got), outcomes(expect)), "");
+}
+
+}  // namespace

@@ -11,6 +11,8 @@
 
 #include "datastruct/interval_tree.hpp"
 #include "datastruct/kary_tree.hpp"
+#include "datastruct/segment_tree.hpp"
+#include "datastruct/twothree_tree.hpp"
 #include "datastruct/workloads.hpp"
 #include "geometry/hull3d.hpp"
 #include "geometry/kirkpatrick.hpp"
@@ -146,6 +148,35 @@ TEST(Validate, IntervalTreeDuplicateEndpointsHandled) {
   // Duplicate and degenerate endpoints are legal — distinct-endpoint
   // compaction inside the builder must absorb them, not trip a check.
   EXPECT_NO_THROW(ds::IntervalTree({{5, 5, 0}, {5, 5, 1}, {5, 9, 2}, {9, 9, 3}}));
+}
+
+TEST(Validate, SegmentTreeBuilderUsesTheFrontDoor) {
+  // Same taxonomy as the other builders: InvalidInputError before any
+  // construction work, never a deep MS_CHECK.
+  EXPECT_THROW(ds::SegmentTree({}), InvalidInputError);
+  EXPECT_THROW(ds::SegmentTree({{1, 5, 0}, {10, 4, 1}}), InvalidInputError);
+  try {
+    ds::SegmentTree({{1, 5, 0}, {10, 4, 1}});
+    FAIL() << "inverted interval accepted";
+  } catch (const InvalidInputError& e) {
+    EXPECT_EQ(e.context().site, "segment-tree");
+    EXPECT_NE(std::string(e.what()).find("lo > hi"), std::string::npos);
+  }
+  EXPECT_NO_THROW(ds::SegmentTree({{5, 5, 0}, {1, 9, 1}}));
+}
+
+TEST(Validate, TwoThreeTreeBuilderUsesTheFrontDoor) {
+  EXPECT_THROW(ds::TwoThreeTree({}), InvalidInputError);
+  EXPECT_THROW(ds::TwoThreeTree({3, 1, 2}), InvalidInputError);   // unsorted
+  EXPECT_THROW(ds::TwoThreeTree({1, 2, 2, 3}), InvalidInputError);  // dup
+  try {
+    ds::TwoThreeTree({1, 2, 2, 3});
+    FAIL() << "duplicate key accepted";
+  } catch (const InvalidInputError& e) {
+    EXPECT_EQ(e.context().site, "twothree-tree");
+    EXPECT_NE(std::string(e.what()).find("index 2"), std::string::npos);
+  }
+  EXPECT_NO_THROW(ds::TwoThreeTree({1, 2, 3, 10}));
 }
 
 // ---------------------------------------------------------------------------
