@@ -105,6 +105,34 @@ PendingBatch BatchSource::pop_upto(std::size_t limit) {
   return out;
 }
 
+std::vector<std::uint32_t> BatchSource::pop_expired(
+    const std::function<bool(std::uint32_t)>& expired) {
+  MS_CHECK_MSG(static_cast<bool>(expired),
+               "pop_expired requires a predicate");
+  std::vector<std::uint32_t> out;
+  while (!work_.empty()) {
+    PendingBatch& front = work_.front();
+    std::size_t take = 0;
+    while (take < front.indices.size() && expired(front.indices[take]))
+      ++take;
+    if (take > 0) {
+      out.insert(out.end(), front.indices.begin(),
+                 front.indices.begin() + static_cast<std::ptrdiff_t>(take));
+      queries_ -= take;
+    }
+    if (take == front.indices.size()) {
+      work_.pop_front();  // whole batch expired (or was empty)
+      continue;
+    }
+    if (take > 0)
+      front.indices.erase(
+          front.indices.begin(),
+          front.indices.begin() + static_cast<std::ptrdiff_t>(take));
+    break;  // first live position reached: the expired prefix ends here
+  }
+  return out;
+}
+
 namespace {
 
 std::vector<PendingBatch> split_pieces(const PendingBatch& failed,

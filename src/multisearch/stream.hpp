@@ -55,6 +55,7 @@
 #include <cmath>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -175,6 +176,18 @@ class BatchSource {
   /// inherit — or reset — another batch's retry budget). `limit` must be
   /// >= 1.
   PendingBatch pop_upto(std::size_t limit);
+
+  /// Pop the expired front prefix: remove and return, in order, every
+  /// position from the front of the queue for which `expired` holds,
+  /// stopping at the first live one. The service scheduler uses this for
+  /// deadline shedding at dispatch time — and the prefix form is EXACT, not
+  /// an approximation, because the queue is kept in admission order (enqueue
+  /// appends arrivals, requeue_split_front prepends strictly older work), so
+  /// under a per-tenant deadline measured from each position's admission
+  /// clock, the expired positions are always a prefix. Empty batches left
+  /// behind are dropped. Returns an empty vector on an empty source.
+  std::vector<std::uint32_t> pop_expired(
+      const std::function<bool(std::uint32_t)>& expired);
 
   /// Requeue a fault-exhausted batch as pieces of at most `cap` positions,
   /// each at generation `failed.replans + 1`, preserving index order.

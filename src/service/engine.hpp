@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "multisearch/stream.hpp"
+#include "service/breaker.hpp"
 
 namespace meshsearch::service {
 
@@ -74,6 +75,17 @@ class Engine {
   /// Run one warm batch (inject + multisearch, no setup). Queries are
   /// advanced in place. batch.size() must be at most capacity().
   virtual msearch::BatchReport run_batch(std::vector<msearch::Query>& batch) = 0;
+
+  /// This engine's circuit breaker (service/breaker.hpp) — per registered
+  /// engine, i.e. per (dataset, EngineKind) key, shared by every tenant the
+  /// engine serves. Disabled by default; EngineRegistry::set_breaker_policy
+  /// (or breaker().configure) arms it. The ServiceScheduler consults it
+  /// before every dispatch and feeds it every batch outcome.
+  CircuitBreaker& breaker() { return breaker_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+
+ private:
+  CircuitBreaker breaker_;
 };
 
 /// The concrete wrapper: PreparedSearch<P> plus the CostModel it charges
@@ -188,6 +200,14 @@ class EngineRegistry {
 
   /// Lookup; throws InvalidInputError naming the key if absent.
   Engine& at(const EngineKey& key);
+
+  /// Arm (or re-arm) the circuit breaker of the engine registered under
+  /// `key`. Throws InvalidInputError if the key is absent. A threshold of 0
+  /// disarms it.
+  void set_breaker_policy(const EngineKey& key, BreakerPolicy policy);
+
+  /// The breaker of the engine registered under `key` (throws if absent).
+  CircuitBreaker& breaker(const EngineKey& key);
 
   std::size_t size() const { return engines_.size(); }
   std::vector<EngineKey> keys() const;

@@ -16,6 +16,24 @@ double wall_us_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Metric identity of an engine's breaker: "dataset/kind" as in
+/// engine_key_name (the scheduler has the Engine, not its registry key, but
+/// dataset + kind IS the key).
+std::string breaker_id(const Engine& e) {
+  std::string out = e.dataset();
+  out += '/';
+  out += msearch::engine_kind_name(e.kind());
+  return out;
+}
+
+/// Scale a positive query count, flooring at 1 (a brownouted tenant is
+/// deprioritized, never fully starved — starvation would turn a latency
+/// SLO miss into unbounded waits for work already admitted).
+std::size_t scale_count(std::size_t n, double scale) {
+  const auto scaled = static_cast<std::size_t>(static_cast<double>(n) * scale);
+  return std::max<std::size_t>(1, scaled);
+}
+
 }  // namespace
 
 const char* schedule_policy_name(SchedulePolicy p) {
@@ -31,7 +49,7 @@ ServiceScheduler::ServiceScheduler(ServiceConfig cfg,
     : cfg_(cfg), trace_(trace) {}
 
 TenantSession& ServiceScheduler::add_tenant(std::string name, Engine& engine,
-                                            TenantQuota quota) {
+                                            TenantQuota quota, SloPolicy slo) {
   for (const auto& t : tenants_)
     if (t->name() == name)
       msearch::invalid_input("tenant '" + name + "' already registered",
@@ -42,8 +60,18 @@ TenantSession& ServiceScheduler::add_tenant(std::string name, Engine& engine,
   if (quota.weight == 0)
     msearch::invalid_input("tenant quota requires weight >= 1",
                            "ServiceScheduler");
+  if (slo.deadline_steps < 0 || slo.p99_target_steps < 0)
+    msearch::invalid_input(
+        "tenant SLO policy requires non-negative deadline/p99 target",
+        "ServiceScheduler");
+  if (slo.shed_mode == ShedMode::kDeadline && slo.deadline_steps <= 0)
+    msearch::invalid_input(
+        "ShedMode::kDeadline requires deadline_steps > 0 (a zero deadline "
+        "would shed every query at its first dispatch opportunity)",
+        "ServiceScheduler");
   tenants_.push_back(std::make_unique<TenantSession>(std::move(name), engine,
-                                                     quota, &clock_));
+                                                     quota, slo, &clock_));
+  tenants_.back()->sched_ = this;
   deficit_.push_back(0.0);
   return *tenants_.back();
 }
@@ -78,44 +106,129 @@ void ServiceScheduler::advance_clock_to(double steps) {
 }
 
 void ServiceScheduler::resolve(TenantSession& t, std::uint32_t idx,
-                               bool failed, double attempt_start) {
-  t.state_[idx] = failed ? QueryState::kFailed : QueryState::kDone;
+                               QueryState state, double attempt_start,
+                               bool dispatched) {
+  MS_CHECK(state != QueryState::kPending);
+  t.state_[idx] = state;
+  t.resolve_steps_[idx] = clock_;
   MS_CHECK(t.outstanding_ > 0);
   --t.outstanding_;
-  if (failed)
-    ++t.failed_;
-  else
-    ++t.completed_;
+  switch (state) {
+    case QueryState::kDone: ++t.completed_; break;
+    case QueryState::kFailed: ++t.failed_; break;
+    case QueryState::kShed: ++t.shed_; break;
+    case QueryState::kPending: break;  // unreachable (checked above)
+  }
   const double admitted = t.submit_steps_[idx];
   const double latency = clock_ - admitted;
-  t.queue_wait_steps_.observe(attempt_start - admitted);
-  t.latency_steps_.observe(latency);
+  if (dispatched) {
+    t.queue_wait_steps_.observe(attempt_start - admitted);
+    t.latency_steps_.observe(latency);
+  }
   if (t.callback_) {
     CompletionEvent ev;
     ev.ticket = idx;
     ev.query = &t.stream_[idx];
-    ev.failed = failed;
+    ev.failed = state == QueryState::kFailed;
+    ev.shed = state == QueryState::kShed;
     ev.latency_steps = latency;
     t.callback_(ev);
   }
 }
 
+std::size_t ServiceScheduler::shed_expired(TenantSession& t) {
+  if (t.slo_.shed_mode != ShedMode::kDeadline || t.queue_.empty()) return 0;
+  const double deadline = t.slo_.deadline_steps;
+  const std::vector<std::uint32_t> expired =
+      t.queue_.pop_expired([&](std::uint32_t idx) {
+        return clock_ - t.submit_steps_[idx] > deadline;
+      });
+  if (expired.empty()) return 0;
+  // Shed happens BEFORE any pop for dispatch, so a query that survives to a
+  // dispatch has waited at most deadline_steps — the invariant that makes a
+  // p99 target of deadline + one-batch-margin provably satisfiable.
+  for (const auto idx : expired)
+    resolve(t, idx, QueryState::kShed, clock_, /*dispatched=*/false);
+  if (trace_ != nullptr)
+    trace_->stat_add(trace::tenant_metric(t.name_, "shed"), expired.size());
+  return expired.size();
+}
+
+bool ServiceScheduler::over_target(const TenantSession& t) const {
+  return t.slo_.p99_target_steps > 0 && !t.latency_steps_.empty() &&
+         t.latency_steps_.p99() > t.slo_.p99_target_steps;
+}
+
+double ServiceScheduler::retry_after_hint(const TenantSession& t,
+                                          std::size_t incoming) const {
+  const std::size_t queued = t.queue_.pending_queries();
+  const std::size_t watermark = t.slo_.max_queue;
+  const std::size_t excess =
+      queued + incoming > watermark ? queued + incoming - watermark : 1;
+  const std::size_t quantum = std::max<std::size_t>(1, quantum_for(t));
+  const auto rounds_needed = static_cast<double>((excess + quantum - 1) /
+                                                 quantum);
+  // Observed service rate: virtual steps per resolved query so far, over
+  // all tenants (1.0 before anything has resolved — any positive hint beats
+  // "retry now" while the service is still cold).
+  std::size_t resolved_total = 0;
+  double round_queries = 0;
+  for (const auto& tp : tenants_) {
+    resolved_total += tp->completed_ + tp->failed_ + tp->shed_;
+    round_queries += static_cast<double>(quantum_for(*tp));
+  }
+  const double per_query =
+      resolved_total > 0 ? clock_ / static_cast<double>(resolved_total) : 1.0;
+  return rounds_needed * round_queries * per_query;
+}
+
 ServiceScheduler::ServeOutcome ServiceScheduler::serve_slice(
     TenantSession& t, std::size_t window) {
+  ServeOutcome out;
+  // Deadline shedding first: anything already expired must not ride this
+  // dispatch (it would be served past its deadline) and must not hold the
+  // barrier clamp below hostage.
+  out.resolved += shed_expired(t);
   // A pending update is a barrier in the tenant's stream: queries admitted
   // after it must not be served until it applies. The queue is FIFO in
   // admission order (fault requeues go to the front), so clamping the
-  // window to the unresolved-before-barrier count is exact.
+  // window to the unresolved-before-barrier count is exact. Shed counts as
+  // resolved: those queries will never be attempted.
   if (t.next_update_ < t.updates_.size()) {
     const std::size_t barrier = t.updates_[t.next_update_].barrier;
-    const std::size_t resolved = t.completed_ + t.failed_;
+    const std::size_t resolved = t.completed_ + t.failed_ + t.shed_;
     window = barrier > resolved ? std::min(window, barrier - resolved) : 0;
   }
-  if (window == 0) return ServeOutcome{};
+  if (window == 0 || t.queue_.empty()) return out;
   msearch::PendingBatch cur = t.queue_.pop_upto(window);
-  ServeOutcome out;
   out.taken = cur.indices.size();
   Engine& engine = t.engine();
+  CircuitBreaker& breaker = engine.breaker();
+  if (breaker.enabled()) {
+    try {
+      breaker.admit(round_, engine.dataset(),
+                    msearch::engine_kind_name(engine.kind()));
+      if (breaker.state() == BreakerState::kHalfOpen && trace_ != nullptr)
+        trace_->stat_add(trace::breaker_metric(breaker_id(engine), "probes"));
+    } catch (const CircuitOpenError&) {
+      // Fail fast: reported failed with ZERO charge — no engine work, no
+      // retry-budget burn, no clock advance. Still never silent: every
+      // ticket flips to kFailed and the completion callback fires.
+      breaker.count_fail_fast(cur.indices.size());
+      t.failed_fast_ += cur.indices.size();
+      if (trace_ != nullptr) {
+        trace_->stat_add(trace::breaker_metric(breaker_id(engine),
+                                               "fail_fast_queries"),
+                         cur.indices.size());
+        trace_->stat_add(trace::tenant_metric(t.name_, "failed_fast"),
+                         cur.indices.size());
+      }
+      for (const auto idx : cur.indices)
+        resolve(t, idx, QueryState::kFailed, clock_, /*dispatched=*/false);
+      out.resolved += cur.indices.size();
+      return out;
+    }
+  }
   engine.bind_sinks(trace_, t.fault_);
   // Span per attempt, like "stream.batch N": closing it lands the wall
   // latency in the shared wall.phase.service.batch histogram.
@@ -134,6 +247,9 @@ ServiceScheduler::ServeOutcome ServiceScheduler::serve_slice(
     t.inject_ += rep.inject;
     t.run_ += rep.run;
     ++t.batches_;
+    if (breaker.record_success() && trace_ != nullptr)
+      trace_->stat_add(trace::breaker_metric(breaker_id(engine),
+                                             "recoveries"));
     const double wall = wall_us_since(wall_begin);
     t.batch_latency_us_.observe(wall);
     if (trace_ != nullptr) {
@@ -143,12 +259,15 @@ ServiceScheduler::ServeOutcome ServiceScheduler::serve_slice(
     }
     for (std::size_t k = 0; k < cur.indices.size(); ++k) {
       t.stream_[cur.indices[k]] = batch[k];
-      resolve(t, cur.indices[k], /*failed=*/false, attempt_start);
+      resolve(t, cur.indices[k], QueryState::kDone, attempt_start,
+              /*dispatched=*/true);
     }
-    out.resolved = cur.indices.size();
+    out.resolved += cur.indices.size();
   } catch (const mesh::FaultExhaustedError&) {
     if (t.fault_ == nullptr) throw;  // not ours to recover
     out.faulted = true;
+    if (breaker.record_failure(round_) && trace_ != nullptr)
+      trace_->stat_add(trace::breaker_metric(breaker_id(engine), "trips"));
     t.fault_->degrade();
     const auto max_replans = static_cast<std::uint32_t>(
         std::max(0, t.fault_->config().max_replans));
@@ -176,8 +295,9 @@ ServiceScheduler::ServeOutcome ServiceScheduler::serve_slice(
       // Reported failed, never silently wrong: the tickets stay at their
       // checkpoint state and flip to kFailed.
       for (const auto idx : cur.indices)
-        resolve(t, idx, /*failed=*/true, attempt_start);
-      out.resolved = cur.indices.size();
+        resolve(t, idx, QueryState::kFailed, attempt_start,
+                /*dispatched=*/true);
+      out.resolved += cur.indices.size();
     }
   }
   return out;
@@ -227,10 +347,28 @@ void ServiceScheduler::apply_ready_updates(TenantSession& t) {
 }
 
 std::size_t ServiceScheduler::pump() {
+  ++round_;  // the breaker's probe clock: a trip this round probes the next
+  // Brownout assessment once per round, on the aggregate backlog BEFORE any
+  // serving — a deterministic function of the submit/pump sequence. DRR
+  // only: the exhaustive baseline stays unfair on purpose.
+  bool brownout = false;
+  if (cfg_.brownout.watermark_queries > 0 &&
+      cfg_.policy == SchedulePolicy::kDeficitRoundRobin) {
+    std::size_t backlog = 0;
+    for (const auto& t : tenants_) backlog += t->queue_.pending_queries();
+    brownout = backlog > cfg_.brownout.watermark_queries;
+    if (brownout) {
+      ++brownout_rounds_;
+      if (trace_ != nullptr) trace_->stat_add("service.brownout.rounds");
+    }
+  }
   std::size_t resolved = 0;
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     TenantSession& t = *tenants_[i];
     apply_ready_updates(t);
+    // Shed before the empty check: a queue made entirely of expired work
+    // must still resolve (kShed) this round, not linger as phantom backlog.
+    resolved += shed_expired(t);
     if (t.queue_.empty()) {
       deficit_[i] = 0;  // no banking while idle
       continue;
@@ -246,10 +384,24 @@ std::size_t ServiceScheduler::pump() {
       deficit_[i] = 0;
       continue;
     }
-    deficit_[i] += static_cast<double>(quantum_for(t));
+    std::size_t quantum = quantum_for(t);
+    std::size_t cap_limit = t.slice_cap();
+    if (brownout && over_target(t)) {
+      // Over-target tenants yield: scaled quantum (floored at 1) shifts
+      // this round's service toward tenants still inside their targets.
+      quantum = scale_count(quantum, cfg_.brownout.quantum_scale);
+      if (cfg_.brownout.capacity_scale < 1.0)
+        cap_limit = scale_count(cap_limit, cfg_.brownout.capacity_scale);
+      ++t.brownout_deprioritized_;
+      if (trace_ != nullptr)
+        trace_->stat_add(
+            trace::tenant_metric(t.name_, "brownout_deprioritized"));
+    }
+    deficit_[i] += static_cast<double>(quantum);
     while (!t.queue_.empty() && deficit_[i] >= 1.0) {
-      const std::size_t window = std::min(
-          t.slice_cap(), static_cast<std::size_t>(deficit_[i]));
+      const std::size_t window =
+          std::min({cap_limit, t.slice_cap(),
+                    static_cast<std::size_t>(deficit_[i])});
       const ServeOutcome out = serve_slice(t, window);
       deficit_[i] -= static_cast<double>(out.taken);
       resolved += out.resolved;
@@ -293,6 +445,12 @@ void ServiceScheduler::export_metrics() const {
     metric(t, "completed", static_cast<double>(t.completed_));
     metric(t, "failed_queries", static_cast<double>(t.failed_));
     metric(t, "rejected_queries", static_cast<double>(t.rejected_queries_));
+    metric(t, "rejected_backpressure",
+           static_cast<double>(t.rejected_backpressure_));
+    metric(t, "shed", static_cast<double>(t.shed_));
+    metric(t, "failed_fast", static_cast<double>(t.failed_fast_));
+    metric(t, "brownout_deprioritized",
+           static_cast<double>(t.brownout_deprioritized_));
     metric(t, "batches", static_cast<double>(t.batches_));
     metric(t, "degraded_batches", static_cast<double>(t.degraded_batches_));
     metric(t, "replans", static_cast<double>(t.replans_));
@@ -309,6 +467,31 @@ void ServiceScheduler::export_metrics() const {
   }
   trace_->metric("service.tenants", static_cast<double>(tenants_.size()));
   trace_->metric("service.clock_steps", clock_);
+  trace_->metric("service.rounds", static_cast<double>(round_));
+  trace_->metric("service.brownout_rounds",
+                 static_cast<double>(brownout_rounds_));
+  // One breaker block per distinct ENGINE with an armed breaker (tenants
+  // may share an engine; dedupe by identity so counters export once).
+  std::vector<const Engine*> seen;
+  for (const auto& tp : tenants_) {
+    const Engine& e = tp->engine();
+    if (!e.breaker().enabled()) continue;
+    if (std::find(seen.begin(), seen.end(), &e) != seen.end()) continue;
+    seen.push_back(&e);
+    const std::string id = breaker_id(e);
+    const BreakerCounters& c = e.breaker().counters();
+    const auto bmetric = [&](const char* name, double value) {
+      trace_->metric(trace::breaker_metric(id, name), value);
+    };
+    bmetric("trips", static_cast<double>(c.trips));
+    bmetric("probes", static_cast<double>(c.probes));
+    bmetric("recoveries", static_cast<double>(c.recoveries));
+    bmetric("fail_fast_batches", static_cast<double>(c.fail_fast_batches));
+    bmetric("fail_fast_queries", static_cast<double>(c.fail_fast_queries));
+    bmetric("consecutive_failures",
+            static_cast<double>(e.breaker().consecutive_failures()));
+    bmetric("open", e.breaker().state() == BreakerState::kOpen ? 1.0 : 0.0);
+  }
 }
 
 }  // namespace meshsearch::service

@@ -38,6 +38,31 @@
 // ones), and the tenant's turn ends so co-resident tenants are not taxed by
 // its retries. After max_replans generations the piece is reported failed
 // (kFailed tickets, TenantReport::failed_queries) — never silently wrong.
+//
+// Overload protection (DESIGN.md decision 17) composes four mechanisms, all
+// decided on the SAME virtual clock / round counter so every shed, reject,
+// fail-fast, and deprioritization is bit-identical at any thread count:
+//
+//   * deadline shedding — a tenant with SloPolicy::shed_mode = kDeadline has
+//     its expired queries (virtual queue wait > deadline_steps) popped and
+//     resolved kShed at dispatch time, BEFORE any engine work. The queue is
+//     FIFO in admission order, so expired queries are always a front prefix
+//     (BatchSource::pop_expired) and the check at pop time bounds every
+//     DISPATCHED query's wait by the deadline — which is what makes an
+//     admitted-latency p99 target satisfiable under any overload.
+//   * backpressure — TenantSession::submit rejects past SloPolicy::max_queue
+//     with a BackpressureError carrying retry_after_hint()'s DRR drain-rate
+//     estimate (see that method).
+//   * circuit breakers — serve_slice consults the engine's CircuitBreaker
+//     (service/breaker.hpp) before dispatch and feeds it every outcome; an
+//     open breaker turns the slice into reported-failed tickets
+//     (failed_fast) with zero charge.
+//   * brownout — when the aggregate pending backlog exceeds
+//     BrownoutPolicy::watermark_queries, tenants whose OBSERVED latency p99
+//     exceeds their own p99_target_steps lose DRR quantum (and optionally
+//     slice capacity) for the round, shifting service toward tenants still
+//     inside their targets. DRR-only: the exhaustive baseline stays unfair
+//     on purpose.
 #pragma once
 
 #include <cstdint>
@@ -56,11 +81,27 @@ enum class SchedulePolicy : std::uint8_t {
 
 const char* schedule_policy_name(SchedulePolicy p);
 
+/// Service-wide brownout (graceful degradation) policy. Disabled by default
+/// (watermark 0). Applies to kDeficitRoundRobin only.
+struct BrownoutPolicy {
+  /// Aggregate pending queries (all tenants) above which a pump() round
+  /// runs in brownout. 0 = never.
+  std::size_t watermark_queries = 0;
+  /// Multiplier on an over-target tenant's DRR quantum during brownout
+  /// (floored at 1 query so no tenant is fully starved).
+  double quantum_scale = 0.25;
+  /// Multiplier on an over-target tenant's slice capacity during brownout;
+  /// 1.0 = no batch shrink (the default — smaller batches also lose batch
+  /// efficiency, so this is opt-in).
+  double capacity_scale = 1.0;
+};
+
 struct ServiceConfig {
   SchedulePolicy policy = SchedulePolicy::kDeficitRoundRobin;
   /// DRR credits (in queries) a weight-1 tenant earns per round; 0 = that
   /// tenant's engine capacity (one full mesh batch per round).
   std::size_t quantum = 0;
+  BrownoutPolicy brownout;
 };
 
 class ServiceScheduler {
@@ -73,9 +114,11 @@ class ServiceScheduler {
 
   /// Register a tenant on a warm engine. Names must be unique (else
   /// InvalidInputError). The returned session is stable for the scheduler's
-  /// lifetime.
+  /// lifetime. `slo` is the tenant's overload-protection policy; the default
+  /// (all zeros) disables shedding, backpressure, and brownout targeting for
+  /// this tenant. ShedMode::kDeadline requires deadline_steps > 0.
   TenantSession& add_tenant(std::string name, Engine& engine,
-                            TenantQuota quota = {});
+                            TenantQuota quota = {}, SloPolicy slo = {});
 
   TenantSession& tenant(const std::string& name);
   const TenantSession& tenant(const std::string& name) const;
@@ -103,6 +146,20 @@ class ServiceScheduler {
   /// must not move backwards.
   void advance_clock_to(double steps);
 
+  /// Scheduling rounds pumped so far (the breaker's probe clock).
+  std::uint64_t rounds() const { return round_; }
+  /// Rounds that ran in brownout (aggregate backlog over the watermark).
+  std::uint64_t brownout_rounds() const { return brownout_rounds_; }
+
+  /// Deterministic retry-after estimate (virtual steps) for a tenant whose
+  /// submit of `incoming` queries hit backpressure: rounds needed for DRR to
+  /// drain the excess at the tenant's quantum, times the estimated cost of
+  /// one full round (everyone's quanta at the service's observed
+  /// steps-per-resolved-query; 1.0 before anything has resolved). An
+  /// estimate, not a guarantee — but a deterministic one, so callers that
+  /// back off by it keep replayable traces.
+  double retry_after_hint(const TenantSession& t, std::size_t incoming) const;
+
   std::vector<TenantReport> reports() const;
 
   /// Record per-tenant metrics (tenant.<name>.* — deterministic counts and
@@ -129,9 +186,22 @@ class ServiceScheduler {
   /// applied-after-degradation, never wedged.
   void apply_ready_updates(TenantSession& t);
 
-  /// Resolve one query: state, accounting, histograms, callback.
-  void resolve(TenantSession& t, std::uint32_t idx, bool failed,
-               double attempt_start);
+  /// Resolve one query: state, accounting, histograms, callback. Only
+  /// DISPATCHED resolutions (a batch actually ran, successfully or not)
+  /// feed the queue-wait/latency SLO histograms — shed and fail-fast
+  /// queries were never served, and folding them in would let an overloaded
+  /// tenant's shed tail pollute the admitted-latency percentiles the SLO
+  /// gate reads.
+  void resolve(TenantSession& t, std::uint32_t idx, QueryState state,
+               double attempt_start, bool dispatched);
+
+  /// Pop and resolve (kShed) every expired query of `t` under its deadline
+  /// policy; returns how many were shed. No-op unless shed_mode=kDeadline.
+  std::size_t shed_expired(TenantSession& t);
+
+  /// Brownout target test: the tenant has a p99 target and its observed
+  /// latency p99 is above it.
+  bool over_target(const TenantSession& t) const;
 
   std::size_t quantum_for(const TenantSession& t) const;
 
@@ -141,6 +211,8 @@ class ServiceScheduler {
   std::vector<double> deficit_;  ///< parallel to tenants_
   double clock_ = 0;             ///< virtual time, simulated mesh steps
   std::size_t serial_ = 0;       ///< batch span numbering, attempt order
+  std::uint64_t round_ = 0;      ///< pump() rounds; the breaker probe clock
+  std::uint64_t brownout_rounds_ = 0;
 };
 
 }  // namespace meshsearch::service

@@ -2,14 +2,28 @@
 
 #include <utility>
 
+#include "service/scheduler.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace meshsearch::service {
 
+const char* shed_mode_name(ShedMode m) {
+  switch (m) {
+    case ShedMode::kNone: return "none";
+    case ShedMode::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
 TenantSession::TenantSession(std::string name, Engine& engine,
-                             TenantQuota quota, const double* clock)
-    : name_(std::move(name)), engine_(&engine), quota_(quota), clock_(clock) {
+                             TenantQuota quota, SloPolicy slo,
+                             const double* clock)
+    : name_(std::move(name)),
+      engine_(&engine),
+      quota_(quota),
+      slo_(slo),
+      clock_(clock) {
   MS_CHECK_MSG(clock_ != nullptr, "TenantSession requires a service clock");
 }
 
@@ -34,6 +48,30 @@ Submission TenantSession::submit(std::vector<msearch::Query> queries) {
             std::to_string(quota_.max_outstanding) + ")",
         std::move(ctx));
   }
+  if (slo_.max_queue != 0 && queue_.pending_queries() + n > slo_.max_queue) {
+    // Backpressure: the pending queue (admitted, not yet dispatched) is the
+    // overload signal — outstanding() also counts in-flight work the engine
+    // is already serving. Rejected whole, nothing enqueued or charged, and
+    // the error carries a retry-after hint in virtual steps from the DRR
+    // drain-rate estimate so a caller can back off deterministically.
+    ++rejected_submissions_;
+    rejected_queries_ += n;
+    rejected_backpressure_ += n;
+    const double retry_after =
+        sched_ != nullptr ? sched_->retry_after_hint(*this, n) : 0.0;
+    ErrorContext ctx;
+    ctx.engine = "service";
+    ctx.phase = "admission";
+    ctx.site = name_;
+    throw BackpressureError(
+        "tenant '" + name_ + "' submit of " + std::to_string(n) +
+            " queries exceeds max_queue backpressure watermark (" +
+            std::to_string(queue_.pending_queries()) + " queued, watermark " +
+            std::to_string(slo_.max_queue) + "); retry after ~" +
+            std::to_string(retry_after) + " virtual steps",
+        retry_after, queue_.pending_queries(), slo_.max_queue,
+        std::move(ctx));
+  }
   sub.count = n;
   std::vector<std::uint32_t> indices;
   indices.reserve(n);
@@ -43,6 +81,7 @@ Submission TenantSession::submit(std::vector<msearch::Query> queries) {
     stream_.push_back(std::move(q));
     state_.push_back(QueryState::kPending);
     submit_steps_.push_back(now);
+    resolve_steps_.push_back(0);
   }
   queue_.enqueue(std::move(indices));
   outstanding_ += n;
@@ -75,6 +114,18 @@ const msearch::Query& TenantSession::result(Ticket t) const {
   MS_CHECK_MSG(t < state_.size(), "result on an unknown ticket");
   MS_CHECK_MSG(state_[t] != QueryState::kPending,
                "result on a still-pending ticket (poll first)");
+  if (state_[t] == QueryState::kShed) {
+    // A shed query has no answer — the typed error replays the shed
+    // decision (admission clock vs deadline) instead of handing back a
+    // query whose answer fields were never written.
+    ErrorContext ctx;
+    ctx.engine = "service";
+    ctx.phase = "result";
+    ctx.site = name_;
+    throw DeadlineExceededError(name_, engine_->dataset(), submit_steps_[t],
+                                slo_.deadline_steps, resolve_steps_[t],
+                                std::move(ctx));
+  }
   return stream_[t];
 }
 
@@ -95,6 +146,10 @@ TenantReport TenantSession::report() const {
   rep.outstanding = outstanding_;
   rep.rejected_submissions = rejected_submissions_;
   rep.rejected_queries = rejected_queries_;
+  rep.rejected_backpressure = rejected_backpressure_;
+  rep.shed = shed_;
+  rep.failed_fast = failed_fast_;
+  rep.brownout_deprioritized = brownout_deprioritized_;
   rep.batches = batches_;
   rep.degraded_batches = degraded_batches_;
   rep.replans = replans_;

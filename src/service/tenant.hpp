@@ -43,6 +43,38 @@ namespace meshsearch::service {
 
 class ServiceScheduler;
 
+/// What to do with a query whose virtual queue wait has exceeded its
+/// tenant's deadline by dispatch time.
+enum class ShedMode : std::uint8_t {
+  kNone = 0,   ///< never shed: late queries are still served (PR 8 behavior)
+  kDeadline,   ///< shed before dispatch, resolve kShed, DeadlineExceededError
+};
+
+const char* shed_mode_name(ShedMode m);
+
+/// Per-tenant service-level objectives and overload-protection policy.
+/// Everything is measured on the service's VIRTUAL step clock, so every
+/// shed/reject decision is a deterministic function of the submit/pump
+/// sequence — bit-identical at any thread count (DESIGN.md decision 17).
+/// The default policy (all zeros) disables every mechanism.
+struct SloPolicy {
+  /// Max virtual queue wait (admission -> dispatch) before a query is shed
+  /// under ShedMode::kDeadline. 0 = no deadline.
+  double deadline_steps = 0;
+  /// The tenant's latency target. Drives two things: brownout
+  /// deprioritization (a tenant whose observed latency p99 exceeds its
+  /// target is over-target and loses quantum while the service is over its
+  /// watermark), and the E12 acceptance gate (admitted-query p99 must stay
+  /// within target under overload). 0 = no target (never over-target).
+  double p99_target_steps = 0;
+  /// Backpressure watermark: a submit that would push the tenant's PENDING
+  /// queue past this is rejected whole with BackpressureError carrying a
+  /// retry-after hint (in virtual steps, from the DRR round estimate).
+  /// 0 = no backpressure (quota.max_outstanding still applies).
+  std::size_t max_queue = 0;
+  ShedMode shed_mode = ShedMode::kNone;
+};
+
 /// Per-tenant admission and scheduling limits.
 struct TenantQuota {
   /// Queued + running queries the tenant may have in flight. A submit that
@@ -60,6 +92,8 @@ enum class QueryState : std::uint8_t {
   kPending = 0,  ///< admitted, not yet answered
   kDone,         ///< answered; result(ticket) holds the outcome
   kFailed,       ///< batch degraded after max_replans; reported, not answered
+  kShed,         ///< deadline exceeded before dispatch; result(ticket) throws
+                 ///< DeadlineExceededError — reported, never silently dropped
 };
 
 /// Ticket = the query's position in the tenant's submission order.
@@ -74,7 +108,8 @@ struct Submission {
 struct CompletionEvent {
   Ticket ticket = 0;
   const msearch::Query* query = nullptr;  ///< answered query (tenant-owned)
-  bool failed = false;                    ///< kFailed (degraded batch)
+  bool failed = false;                    ///< kFailed (degraded or fail-fast)
+  bool shed = false;                      ///< kShed (deadline exceeded)
   double latency_steps = 0;               ///< admission -> completion, sim
 };
 using CompletionFn = std::function<void(const CompletionEvent&)>;
@@ -98,7 +133,19 @@ struct TenantReport {
   std::size_t failed_queries = 0;   ///< reported-failed (kFailed)
   std::size_t outstanding = 0;      ///< still pending at snapshot time
   std::size_t rejected_submissions = 0;  ///< submit() calls refused
-  std::size_t rejected_queries = 0;      ///< queries in refused calls
+  std::size_t rejected_queries = 0;      ///< queries in refused calls (all)
+  /// Queries in calls refused by SloPolicy::max_queue backpressure — a
+  /// subset of rejected_queries; the rest tripped quota.max_outstanding.
+  std::size_t rejected_backpressure = 0;
+  /// Queries shed before dispatch (deadline exceeded, kShed). Disjoint from
+  /// failed_queries: shed = never attempted, failed = attempted and lost.
+  std::size_t shed = 0;
+  /// Queries reported failed WITHOUT a dispatch because the engine's
+  /// circuit breaker was open — a subset of failed_queries, so
+  /// failed_queries - failed_fast = "failed after exhausting retries".
+  std::size_t failed_fast = 0;
+  /// Rounds in which brownout deprioritized this tenant (quantum scaled).
+  std::size_t brownout_deprioritized = 0;
   std::size_t batches = 0;          ///< attempts that produced an outcome
   std::size_t degraded_batches = 0;
   std::size_t replans = 0;          ///< re-plan generations executed
@@ -124,7 +171,7 @@ class TenantSession {
   /// Built by ServiceScheduler::add_tenant. `clock` points at the service's
   /// virtual clock (stable for the scheduler's lifetime).
   TenantSession(std::string name, Engine& engine, TenantQuota quota,
-                const double* clock);
+                SloPolicy slo, const double* clock);
 
   TenantSession(const TenantSession&) = delete;
   TenantSession& operator=(const TenantSession&) = delete;
@@ -132,12 +179,20 @@ class TenantSession {
   const std::string& name() const { return name_; }
   Engine& engine() const { return *engine_; }
   const TenantQuota& quota() const { return quota_; }
+  const SloPolicy& slo() const { return slo_; }
 
-  /// Admit `queries` or throw CapacityError (tenant named in the error
-  /// context, nothing enqueued, nothing charged). An empty call is a no-op
-  /// returning count 0. Admitted queries are answered asynchronously by the
-  /// scheduler; the Submission's tickets are `first .. first + count - 1`.
+  /// Admit `queries` or throw (tenant named in the error context, nothing
+  /// enqueued, nothing charged): CapacityError when the call would exceed
+  /// quota.max_outstanding, BackpressureError — with a retry-after hint in
+  /// virtual steps — when it would push the pending queue past
+  /// slo().max_queue. An empty call is a no-op returning count 0. Admitted
+  /// queries are answered asynchronously by the scheduler; the Submission's
+  /// tickets are `first .. first + count - 1`.
   Submission submit(std::vector<msearch::Query> queries);
+
+  /// Queries admitted but not yet popped for a dispatch (the backpressure
+  /// watermark measures this, not outstanding()).
+  std::size_t queued() const { return queue_.pending_queries(); }
 
   /// Enqueue an update batch (see UpdateFn). Returns the update's index in
   /// this tenant's update sequence. The mutation does NOT happen here — it
@@ -153,7 +208,10 @@ class TenantSession {
 
   QueryState poll(Ticket t) const;
   /// The answered (or reported-failed, checkpoint-state) query. MS_CHECKs
-  /// that the ticket is resolved — poll first.
+  /// that the ticket is resolved — poll first. A kShed ticket throws
+  /// DeadlineExceededError (typed, replayable: tenant, dataset, admission
+  /// clock, deadline) — a shed query has no answer to return, and silence
+  /// is not an option.
   const msearch::Query& result(Ticket t) const;
   /// Register a per-query completion callback (replaces any previous one).
   void on_complete(CompletionFn fn) { callback_ = std::move(fn); }
@@ -186,20 +244,27 @@ class TenantSession {
 
   /// The next unapplied update exists and its barrier has resolved.
   /// (Queries resolve in admission order, so resolved-count >= barrier is
-  /// exactly "everything admitted before the update is done.")
+  /// exactly "everything admitted before the update is done." Shed counts
+  /// as resolved: a shed query will never be attempted, so waiting for it
+  /// would deadlock the update queue.)
   bool update_ready() const {
     return next_update_ < updates_.size() &&
-           completed_ + failed_ >= updates_[next_update_].barrier;
+           completed_ + failed_ + shed_ >= updates_[next_update_].barrier;
   }
 
   std::string name_;
   Engine* engine_;
   TenantQuota quota_;
+  SloPolicy slo_;
   const double* clock_;  ///< service virtual clock (owned by the scheduler)
+  /// Owning scheduler (set by add_tenant); source of the DRR-based
+  /// retry-after estimate that rides in BackpressureError.
+  ServiceScheduler* sched_ = nullptr;
 
   std::vector<msearch::Query> stream_;   ///< all admitted queries, by ticket
   std::vector<QueryState> state_;        ///< parallel to stream_
   std::vector<double> submit_steps_;     ///< admission clock, parallel
+  std::vector<double> resolve_steps_;    ///< resolution clock (0 = pending)
   msearch::BatchSource queue_;           ///< pending work the scheduler drains
   std::size_t outstanding_ = 0;
   mesh::FaultPlan* fault_ = nullptr;     ///< not owned
@@ -209,8 +274,12 @@ class TenantSession {
   // TenantReport).
   std::size_t completed_ = 0;
   std::size_t failed_ = 0;
+  std::size_t shed_ = 0;
+  std::size_t failed_fast_ = 0;
   std::size_t rejected_submissions_ = 0;
   std::size_t rejected_queries_ = 0;
+  std::size_t rejected_backpressure_ = 0;
+  std::size_t brownout_deprioritized_ = 0;
   std::size_t batches_ = 0;
   std::size_t degraded_batches_ = 0;
   std::size_t replans_ = 0;

@@ -142,10 +142,15 @@ std::string span_histogram_name(std::string_view span_name) {
   return out;
 }
 
-std::string tenant_metric(std::string_view tenant, std::string_view metric) {
-  std::string out = "tenant.";
-  out.reserve(out.size() + tenant.size() + 1 + metric.size());
-  for (const char ch : tenant) {
+namespace {
+
+/// Shared namespacing body: `<prefix><sanitized id>.<metric>` where id
+/// characters outside [A-Za-z0-9._-] become '_'.
+std::string namespaced_metric(std::string_view prefix, std::string_view id,
+                              std::string_view metric) {
+  std::string out(prefix);
+  out.reserve(out.size() + id.size() + 1 + metric.size());
+  for (const char ch : id) {
     const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
                     (ch >= '0' && ch <= '9') || ch == '.' || ch == '_' ||
                     ch == '-';
@@ -154,6 +159,16 @@ std::string tenant_metric(std::string_view tenant, std::string_view metric) {
   out += '.';
   out += metric;
   return out;
+}
+
+}  // namespace
+
+std::string tenant_metric(std::string_view tenant, std::string_view metric) {
+  return namespaced_metric("tenant.", tenant, metric);
+}
+
+std::string breaker_metric(std::string_view engine, std::string_view metric) {
+  return namespaced_metric("service.breaker.", engine, metric);
 }
 
 std::vector<Span> TraceRecorder::spans() const {

@@ -203,6 +203,12 @@ std::string span_histogram_name(std::string_view span_name);
 /// themselves (record_fault_metrics).
 std::string tenant_metric(std::string_view tenant, std::string_view metric);
 
+/// Namespace a metric under a warm engine's circuit breaker:
+/// ("dataset/alg1-paper", "trips") -> "service.breaker.dataset_alg1-paper.trips"
+/// with the same character sanitization as tenant_metric (the '/' in an
+/// engine-key name becomes '_').
+std::string breaker_metric(std::string_view engine, std::string_view metric);
+
 /// RAII span guard. A null recorder makes every operation a no-op, so call
 /// sites need no branching.
 class SpanScope {

@@ -122,6 +122,122 @@ class CheckFailedError : public Error {
   using Error::Error;
 };
 
+/// A query was shed by the overload-protection layer: its virtual queue
+/// wait exceeded its tenant's SloPolicy deadline, so it was dropped BEFORE
+/// dispatch instead of being served late (src/service/). A shed query is a
+/// reported outcome, never a silent drop: its ticket resolves to kShed,
+/// the completion callback fires with shed=true, and result() throws this
+/// error. Carries the tenant, the engine's dataset, the admission clock and
+/// the deadline so the shed decision can be reconstructed from the error
+/// alone (shed happens exactly when shed_steps - admitted_steps > deadline).
+class DeadlineExceededError : public Error {
+ public:
+  DeadlineExceededError(std::string tenant, std::string dataset,
+                        double admitted_steps, double deadline_steps,
+                        double shed_steps, ErrorContext ctx = {})
+      : Error(
+            [&] {
+              std::ostringstream os;
+              os << "query shed: tenant '" << tenant << "' on dataset '"
+                 << dataset << "' waited "
+                 << (shed_steps - admitted_steps)
+                 << " virtual steps (admitted at " << admitted_steps
+                 << ", shed at " << shed_steps << ") past its deadline of "
+                 << deadline_steps << " steps";
+              return os.str();
+            }(),
+            std::move(ctx)),
+        tenant_(std::move(tenant)),
+        dataset_(std::move(dataset)),
+        admitted_steps_(admitted_steps),
+        deadline_steps_(deadline_steps),
+        shed_steps_(shed_steps) {}
+
+  const std::string& tenant() const noexcept { return tenant_; }
+  const std::string& dataset() const noexcept { return dataset_; }
+  double admitted_steps() const noexcept { return admitted_steps_; }
+  double deadline_steps() const noexcept { return deadline_steps_; }
+  double shed_steps() const noexcept { return shed_steps_; }
+
+ private:
+  std::string tenant_;
+  std::string dataset_;
+  double admitted_steps_ = 0;
+  double deadline_steps_ = 0;
+  double shed_steps_ = 0;
+};
+
+/// A submit was refused by per-tenant backpressure: the tenant's pending
+/// queue is at its SloPolicy::max_queue watermark, so admitting more would
+/// only grow a queue whose tail is doomed to shed anyway. A CapacityError
+/// (the caller can retry later) extended with a structured retry-after
+/// hint in VIRTUAL steps, derived from the tenant's deficit-round-robin
+/// round estimate — an estimate, not a guarantee, but a deterministic one.
+class BackpressureError : public CapacityError {
+ public:
+  BackpressureError(const std::string& message, double retry_after_steps,
+                    std::size_t queued, std::size_t max_queue,
+                    ErrorContext ctx = {})
+      : CapacityError(
+            [&] {
+              std::ostringstream os;
+              os << message << " (queued " << queued << " of max " << max_queue
+                 << ", retry after ~" << retry_after_steps
+                 << " virtual steps)";
+              return os.str();
+            }(),
+            std::move(ctx)),
+        retry_after_steps_(retry_after_steps),
+        queued_(queued),
+        max_queue_(max_queue) {}
+
+  double retry_after_steps() const noexcept { return retry_after_steps_; }
+  std::size_t queued() const noexcept { return queued_; }
+  std::size_t max_queue() const noexcept { return max_queue_; }
+
+ private:
+  double retry_after_steps_ = 0;
+  std::size_t queued_ = 0;
+  std::size_t max_queue_ = 0;
+};
+
+/// A dispatch was refused by an open circuit breaker: the engine's last N
+/// consecutive batches degraded or faulted, so the service fails fast (no
+/// charge, no retry-budget burn) instead of feeding more work to an engine
+/// that is currently failing everything. Recoverable: the breaker half-opens
+/// a probe batch on the next scheduling round, and a successful probe closes
+/// it again. Carries the engine identity (dataset + kind) and the failure
+/// streak that tripped it.
+class CircuitOpenError : public Error {
+ public:
+  CircuitOpenError(std::string dataset, std::string engine_kind,
+                   std::uint32_t consecutive_failures, ErrorContext ctx = {})
+      : Error(
+            [&] {
+              std::ostringstream os;
+              os << "circuit breaker open for engine '" << dataset << '/'
+                 << engine_kind << "' after " << consecutive_failures
+                 << " consecutive degraded/faulted batches (half-open probe "
+                    "next round)";
+              return os.str();
+            }(),
+            std::move(ctx)),
+        dataset_(std::move(dataset)),
+        engine_kind_(std::move(engine_kind)),
+        consecutive_failures_(consecutive_failures) {}
+
+  const std::string& dataset() const noexcept { return dataset_; }
+  const std::string& engine_kind() const noexcept { return engine_kind_; }
+  std::uint32_t consecutive_failures() const noexcept {
+    return consecutive_failures_;
+  }
+
+ private:
+  std::string dataset_;
+  std::string engine_kind_;
+  std::uint32_t consecutive_failures_ = 0;
+};
+
 /// A warm engine was asked to serve against a structure that has been
 /// mutated since the engine was prepared (or refreshed). An IntegrityError
 /// — serving would return answers for a dataset that no longer exists —

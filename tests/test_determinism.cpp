@@ -256,11 +256,27 @@ TEST(Determinism, MultiTenantServicePinnedTraceBitIdentical) {
     return ds::uniform_key_queries(m, 520, rng);
   };
   // The pinned trace: four submissions interleaved across two tenants, with
-  // a pump between waves so later arrivals queue behind in-flight work.
+  // a pump between waves so later arrivals queue behind in-flight work, plus
+  // a fifth wave that deterministically expires (the clock jumps past
+  // bolt's deadline before its dispatch) so overload shedding is inside the
+  // bit-identity contract too.
   const auto qa1 = make_stream(cap + 31, 71);
   const auto qb1 = make_stream(cap / 2, 72);
   const auto qa2 = make_stream(cap / 3, 73);
   const auto qb2 = make_stream(cap + 7, 74);
+  const auto qb3 = make_stream(cap / 4, 75);
+
+  // One warm batch's charged steps — the unit bolt's deadline is written
+  // in. Deterministic: a scratch engine under a fresh model.
+  const double spb = [&] {
+    const mesh::CostModel m;
+    auto scratch = service::make_partitioned_engine(
+        EngineKind::kAlg2Alpha, tree.graph(), tree.alpha_splitting(),
+        tree.alpha_splitting(), tree.rank_count(), m, shape);
+    auto batch = make_stream(scratch->capacity(), 70);
+    const BatchReport rep = scratch->run_batch(batch);
+    return (rep.inject + rep.run).steps;
+  }();
 
   struct ServiceRecord {
     std::vector<QueryOutcome> out;  ///< both tenants, ticket order
@@ -278,18 +294,33 @@ TEST(Determinism, MultiTenantServicePinnedTraceBitIdentical) {
     service::ServiceScheduler svc({}, &rec);
     service::TenantQuota quota;
     quota.max_outstanding = 8 * cap;
+    service::SloPolicy bolt_slo;
+    bolt_slo.deadline_steps = 16 * spb;  // generous: waves 1-2 never shed
+    bolt_slo.shed_mode = service::ShedMode::kDeadline;
     service::TenantSession& a = svc.add_tenant("acme", *engine, quota);
-    service::TenantSession& b = svc.add_tenant("bolt", *engine, quota);
+    service::TenantSession& b =
+        svc.add_tenant("bolt", *engine, quota, bolt_slo);
     a.submit(qa1);
     b.submit(qb1);
     svc.pump();  // wave 1 partially served before wave 2 arrives
     a.submit(qa2);
     b.submit(qb2);
     svc.run_until_idle();
+    // Wave 5 expires in an idle gap: every query sheds at the next pump,
+    // before any dispatch — a deterministic function of the clock sequence.
+    b.submit(qb3);
+    svc.advance_clock_to(svc.now_steps() + bolt_slo.deadline_steps + 1.0);
+    svc.run_until_idle();
     svc.export_metrics();
     ServiceRecord r;
     for (const service::TenantSession* t : {&a, &b})
       for (service::Ticket k = 0; k < t->submitted(); ++k) {
+        if (t->poll(k) == service::QueryState::kShed) {
+          // No answer to read (result() throws the typed error); pin the
+          // shed state itself as a sentinel row.
+          r.out.push_back(QueryOutcome{-1, -1, -1, -1});
+          continue;
+        }
         const Query& q = t->result(k);
         r.out.push_back(QueryOutcome{q.steps, q.acc0, q.acc1, q.result});
       }
@@ -321,13 +352,16 @@ TEST(Determinism, MultiTenantServicePinnedTraceBitIdentical) {
     EXPECT_TRUE(serial.metrics == other->metrics)
         << "exported tenant metrics diverged";
   }
-  // Sanity: the pinned trace exercised both tenants and produced metrics.
-  EXPECT_EQ(serial.out.size(),
-            qa1.size() + qb1.size() + qa2.size() + qb2.size());
+  // Sanity: the pinned trace exercised both tenants, produced metrics, and
+  // shed exactly the expired wave (completed + shed == submitted for bolt).
+  EXPECT_EQ(serial.out.size(), qa1.size() + qb1.size() + qa2.size() +
+                                   qb2.size() + qb3.size());
   EXPECT_EQ(serial.metrics.at("tenant.acme.completed"),
             static_cast<double>(qa1.size() + qa2.size()));
   EXPECT_EQ(serial.metrics.at("tenant.bolt.completed"),
             static_cast<double>(qb1.size() + qb2.size()));
+  EXPECT_EQ(serial.metrics.at("tenant.bolt.shed"),
+            static_cast<double>(qb3.size()));
 }
 
 }  // namespace

@@ -30,7 +30,7 @@ file(MAKE_DIRECTORY "${WORK_DIR}")
 # bench_v1_engines --smoke is the counting-kernel sweep: its charged table
 # and data checksum pin the SoA kernels to the scalar reference, and its
 # wall histograms feed the wall gate when MESHSEARCH_BENCH_WALL_GATE=1.
-set(SMOKE_BENCHES bench_e1_hierarchical bench_e8_stream bench_e10_service bench_e11_dynamic bench_v1_engines)
+set(SMOKE_BENCHES bench_e1_hierarchical bench_e8_stream bench_e10_service bench_e11_dynamic bench_e12_overload bench_v1_engines)
 
 foreach(b ${SMOKE_BENCHES})
   message(STATUS "bench gate: running ${b} --smoke")
